@@ -1,0 +1,388 @@
+//! The combined per-function analysis and transformability verdict.
+//!
+//! This is the front door the transformer uses: it runs access
+//! collection, transfer functions, conflict detection, and the
+//! head/tail partition, then decides which of the paper's devices
+//! apply — and, per §6, explains *why* a function could not be
+//! transformed, since "the unresolved conflicts that necessitate these
+//! locks" are the programmer's tuning feedback.
+
+use curare_lisp::ast::{Func, Program};
+
+use crate::access::{collect_accesses, AccessSummary};
+use crate::conflict::{conflicts_from_parts, ConflictReport};
+use crate::declare::DeclDb;
+use crate::headtail::{head_tail, HeadTail};
+use crate::transfer::{transfer_functions, TransferSummary};
+
+/// How a function can be executed concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No conflicts: invocations may run fully concurrently.
+    ConflictFree,
+    /// Conflicts exist but every one has a finite distance; locking
+    /// (or delays) preserves sequential semantics with concurrency
+    /// bounded by the minimum distance.
+    NeedsSynchronization {
+        /// min(d₁…d_u) of §3.2.1.
+        min_distance: usize,
+    },
+    /// Not transformable as-is; the reasons list what blocked it.
+    Blocked,
+    /// Not a recursive function — nothing for CRI to do.
+    NotRecursive,
+}
+
+/// A reason the verdict was [`Verdict::Blocked`] (§6 feedback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReason {
+    /// A write whose root the analysis could not resolve.
+    UnknownWrite,
+    /// The function uses the value of a self-recursive call, so
+    /// invocations cannot be spawned asynchronously (§5 discusses the
+    /// enabling transformations that remove this).
+    UsesCallResult,
+    /// The programmer declared `dont-transform`.
+    DeclaredOff,
+    /// The function writes global variables with plain `setq`/`setf`;
+    /// concurrent invocations would race. Declaring the update
+    /// `reorderable` lets the reorder transform rewrite it to an
+    /// atomic update (§3.2.3).
+    GlobalWrite(Vec<String>),
+}
+
+/// Everything learned about one function.
+#[derive(Debug, Clone)]
+pub struct FunctionAnalysis {
+    /// The function's name.
+    pub name: String,
+    /// Collected accesses.
+    pub accesses: AccessSummary,
+    /// Per-parameter transfer functions.
+    pub transfers: TransferSummary,
+    /// Conflicts and distances.
+    pub conflicts: ConflictReport,
+    /// Head/tail partition and concurrency estimate.
+    pub head_tail: HeadTail,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Reasons when blocked.
+    pub reasons: Vec<BlockReason>,
+}
+
+impl FunctionAnalysis {
+    /// The CRI concurrency bound: the head/tail estimate capped by the
+    /// minimum conflict distance (§3.2.1).
+    pub fn concurrency_bound(&self) -> f64 {
+        let base = self.head_tail.concurrency();
+        match self.conflicts.min_distance {
+            Some(d) => base.min(d as f64),
+            None => base,
+        }
+    }
+
+    /// Render the §6-style feedback for the programmer.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("function {}:\n", self.name));
+        out.push_str(&format!(
+            "  recursive call sites: {}; head |H| = {}, tail |T| = {}, concurrency (|H|+|T|)/|H| = {:.2}\n",
+            self.head_tail.recursive_calls,
+            self.head_tail.head_size,
+            self.head_tail.tail_size,
+            self.head_tail.concurrency()
+        ));
+        for (i, t) in self.transfers.per_param.iter().enumerate() {
+            out.push_str(&format!("  τ[{i}] = {}\n", t.regex()));
+        }
+        if self.conflicts.conflicts.is_empty() {
+            out.push_str("  no conflicts detected\n");
+        }
+        for c in &self.conflicts.conflicts {
+            out.push_str(&format!(
+                "  conflict: write {} ⊙ {} at distance {}{}\n",
+                c.write_path,
+                c.other_path,
+                c.distance,
+                if c.persistent { " (persists at all larger distances)" } else { "" }
+            ));
+        }
+        if !self.accesses.globals_written.is_empty() {
+            out.push_str(&format!(
+                "  global write(s): {} — declare the update reorderable or remove it\n",
+                self.accesses.globals_written.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+        if self.conflicts.unknown_writes > 0 {
+            out.push_str(&format!(
+                "  {} write(s) with unanalyzable roots — supply declarations (§6)\n",
+                self.conflicts.unknown_writes
+            ));
+        }
+        out.push_str(&format!("  verdict: {:?}\n", self.verdict));
+        out
+    }
+}
+
+/// Analyze one function under `decls`.
+pub fn analyze_function(func: &Func, decls: &DeclDb) -> FunctionAnalysis {
+    analyze_function_with_canon(func, decls, None)
+}
+
+/// Analyze with an optional canonicalizer: declared inverse accessors
+/// (§2.1) let the conflict test see aliases like `succ.pred.value` ≡
+/// `value` that the plain string-prefix test misses.
+pub fn analyze_function_with_canon(
+    func: &Func,
+    decls: &DeclDb,
+    canon: Option<&crate::canon::Canonicalizer>,
+) -> FunctionAnalysis {
+    let accesses = collect_accesses(func);
+    let transfers = transfer_functions(func);
+    let conflicts = match canon {
+        Some(c) => crate::canon_conflict::conflicts_with_canon(&accesses, &transfers, c),
+        None => conflicts_from_parts(&accesses, &transfers),
+    };
+    let ht = head_tail(func);
+
+    let mut reasons = Vec::new();
+    if decls.transform_requested(&func.name) == Some(false) {
+        reasons.push(BlockReason::DeclaredOff);
+    }
+    if conflicts.unknown_writes > 0 {
+        reasons.push(BlockReason::UnknownWrite);
+    }
+    // A function whose recursive results feed further computation
+    // cannot spawn its invocations asynchronously (§3.1). Free calls
+    // and tail-position calls are fine: neither needs the value before
+    // proceeding.
+    if ht.recursive_calls > 0 && ht.value_position_calls > 0 {
+        reasons.push(BlockReason::UsesCallResult);
+    }
+    if ht.recursive_calls > 0 && !accesses.globals_written.is_empty() {
+        reasons.push(BlockReason::GlobalWrite(
+            accesses.globals_written.iter().cloned().collect(),
+        ));
+    }
+
+    let verdict = if ht.recursive_calls == 0 {
+        Verdict::NotRecursive
+    } else if !reasons.is_empty() {
+        Verdict::Blocked
+    } else if conflicts.is_conflict_free() {
+        Verdict::ConflictFree
+    } else {
+        match conflicts.min_distance {
+            Some(d) => Verdict::NeedsSynchronization { min_distance: d },
+            None => Verdict::ConflictFree,
+        }
+    };
+
+    FunctionAnalysis {
+        name: func.name.clone(),
+        accesses,
+        transfers,
+        conflicts,
+        head_tail: ht,
+        verdict,
+        reasons,
+    }
+}
+
+/// Analyze every function of a lowered program.
+pub fn analyze_program(prog: &Program) -> Result<Vec<FunctionAnalysis>, crate::declare::DeclError> {
+    let decls = DeclDb::from_program(prog)?;
+    Ok(prog.funcs.iter().map(|f| analyze_function(f, &decls)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_lisp::{Heap, Lowerer};
+    use curare_sexpr::parse_all;
+
+    fn analyze(src: &str) -> FunctionAnalysis {
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog = lw.lower_program(&parse_all(src).unwrap()).unwrap();
+        let decls = DeclDb::from_program(&prog).unwrap();
+        analyze_function(&prog.funcs[0], &decls)
+    }
+
+    #[test]
+    fn figure_3_conflict_free() {
+        let a = analyze("(defun f (l) (when l (print (car l)) (f (cdr l))))");
+        assert_eq!(a.verdict, Verdict::ConflictFree);
+        assert!(a.reasons.is_empty());
+    }
+
+    #[test]
+    fn figure_5_needs_synchronization_at_distance_1() {
+        let a = analyze(
+            "(defun f (l)
+               (cond ((null l) nil)
+                     ((null (cdr l)) (f (cdr l)))
+                     (t (setf (cadr l) (+ (car l) (cadr l)))
+                        (f (cdr l)))))",
+        );
+        assert_eq!(a.verdict, Verdict::NeedsSynchronization { min_distance: 1 });
+        assert!((a.concurrency_bound() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_recursive_function() {
+        let a = analyze("(defun f (l) (car l))");
+        assert_eq!(a.verdict, Verdict::NotRecursive);
+    }
+
+    #[test]
+    fn value_using_recursion_is_blocked() {
+        let a = analyze("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))");
+        assert_eq!(a.verdict, Verdict::Blocked);
+        assert!(a.reasons.contains(&BlockReason::UsesCallResult));
+    }
+
+    #[test]
+    fn tail_recursion_is_not_blocked() {
+        let a = analyze("(defun walk (l) (if (null l) nil (walk (cdr l))))");
+        assert_eq!(a.verdict, Verdict::ConflictFree);
+    }
+
+    #[test]
+    fn dont_transform_declaration_blocks() {
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog = lw
+            .lower_program(
+                &parse_all(
+                    "(curare-declare (dont-transform f))
+                     (defun f (l) (when l (print (car l)) (f (cdr l))))",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let decls = DeclDb::from_program(&prog).unwrap();
+        let a = analyze_function(&prog.funcs[0], &decls);
+        assert_eq!(a.verdict, Verdict::Blocked);
+        assert!(a.reasons.contains(&BlockReason::DeclaredOff));
+    }
+
+    #[test]
+    fn unknown_write_blocks_with_reason() {
+        let a = analyze("(defun f (l) (setf (car *g*) 1) (f (cdr l)))");
+        assert_eq!(a.verdict, Verdict::Blocked);
+        assert!(a.reasons.contains(&BlockReason::UnknownWrite));
+        assert!(a.explain().contains("unanalyzable roots"));
+    }
+
+    #[test]
+    fn explain_contains_tau_and_conflicts() {
+        let a = analyze("(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+        let text = a.explain();
+        assert!(text.contains("τ[0] = cdr"), "{text}");
+        assert!(text.contains("distance 1"), "{text}");
+    }
+
+    #[test]
+    fn concurrency_bound_capped_by_distance() {
+        // Head-recursive with lots of tail work but a distance-2
+        // conflict: bound = 2.
+        let a = analyze(
+            "(defun f (l)
+               (when l
+                 (setf (caddr l) (car l))
+                 (f (cdr l))
+                 (print l) (print l) (print l) (print l)
+                 (print l) (print l) (print l) (print l)))",
+        );
+        assert_eq!(a.conflicts.min_distance, Some(2));
+        assert!(a.concurrency_bound() <= 2.0);
+    }
+
+    #[test]
+    fn global_write_blocks_recursive_function() {
+        let a = analyze(
+            "(defun walk (l)
+               (when l
+                 (setq *sum* (+ *sum* (car l)))
+                 (walk (cdr l))))",
+        );
+        assert_eq!(a.verdict, Verdict::Blocked);
+        assert!(a
+            .reasons
+            .iter()
+            .any(|r| matches!(r, BlockReason::GlobalWrite(gs) if gs.contains(&"*sum*".to_string()))));
+    }
+
+    #[test]
+    fn atomic_incf_does_not_block() {
+        let a = analyze(
+            "(defun walk (l)
+               (when l
+                 (atomic-incf *sum* (car l))
+                 (walk (cdr l))))",
+        );
+        assert_eq!(a.verdict, Verdict::ConflictFree, "{:?}", a.reasons);
+    }
+
+    #[test]
+    fn global_write_in_non_recursive_function_is_fine() {
+        let a = analyze("(defun set-it (v) (setq *g* v))");
+        assert_eq!(a.verdict, Verdict::NotRecursive);
+    }
+
+    #[test]
+    fn canonicalizer_changes_the_verdict_for_backward_writers() {
+        use crate::canon::Canonicalizer;
+        use curare_sexpr::parse_one;
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog = lw
+            .lower_program(
+                &parse_all(
+                    "(defstruct dl succ pred value)
+                     (defun walk (n)
+                       (when n
+                         (when (dl-pred n)
+                           (setf (dl-value (dl-pred n)) (dl-value n)))
+                         (walk (dl-succ n))))",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut db = DeclDb::new();
+        db.add_toplevel(&parse_one("(curare-declare (inverse succ pred))").unwrap()).unwrap();
+        let canon = Canonicalizer::from_decls(&db, &heap);
+
+        let plain = analyze_function(&prog.funcs[0], &db);
+        let canonical = analyze_function_with_canon(&prog.funcs[0], &db, Some(&canon));
+        assert!(
+            canonical.conflicts.min_distance.is_some(),
+            "canonical analysis must find the backward-write conflict"
+        );
+        assert!(
+            plain.conflicts.min_distance.is_none()
+                || plain.conflicts.conflicts.len() < canonical.conflicts.conflicts.len(),
+            "the canonicalizer adds conflicts the plain test misses"
+        );
+    }
+
+    #[test]
+    fn analyze_program_covers_all_functions() {
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog = lw
+            .lower_program(
+                &parse_all(
+                    "(defun a (l) (when l (a (cdr l))))
+                     (defun b (l) (car l))",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let all = analyze_program(&prog).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].verdict, Verdict::ConflictFree);
+        assert_eq!(all[1].verdict, Verdict::NotRecursive);
+    }
+}

@@ -1,0 +1,302 @@
+//! The declaration database (paper §6).
+//!
+//! Curare "relies upon a programmer for a wide variety of information
+//! that it cannot collect by analyzing a program". Declarations appear
+//! in two places:
+//!
+//! - top-level `(curare-declare clause...)` forms, and
+//! - `(declare (curare clause...))` forms at the head of a `defun`.
+//!
+//! Supported clauses:
+//!
+//! | clause | meaning | paper |
+//! |---|---|---|
+//! | `(no-alias v...)` | the listed parameters are unaliased SAPP roots | §2.1 |
+//! | `(sapp v...)` | synonym of `no-alias` | §2.1 |
+//! | `(inverse f g)` | accessors `f` and `g` are inverses (canonicalization) | §2.1 |
+//! | `(reorderable op...)` | op is atomic+commutative+associative | §3.2.3 |
+//! | `(unordered-insert op...)` | op inserts into an unordered structure | §3.2.3 |
+//! | `(any-result f...)` | any result satisfying the search is acceptable | §3.2.3 |
+//! | `(transform f...)` | restructure these functions | §6 |
+//! | `(dont-transform f...)` | leave these functions alone | §6 |
+//! | `(structural ty field...)` | fields point to instances of the same structure | §2.1 |
+
+use std::collections::{HashMap, HashSet};
+
+use curare_sexpr::Sexpr;
+
+/// Errors from malformed declaration forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclError(pub String);
+
+impl std::fmt::Display for DeclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "declaration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeclError {}
+
+/// Accumulated declarations, queried by the analyses and transforms.
+#[derive(Debug, Clone, Default)]
+pub struct DeclDb {
+    /// Function name -> parameter names declared alias-free (SAPP roots).
+    no_alias: HashMap<String, HashSet<String>>,
+    /// Unordered pairs of inverse accessor names.
+    inverses: Vec<(String, String)>,
+    reorderable: HashSet<String>,
+    unordered_insert: HashSet<String>,
+    any_result: HashSet<String>,
+    transform: HashSet<String>,
+    dont_transform: HashSet<String>,
+    /// (type name, field name) pairs declared structural.
+    structural: HashSet<(String, String)>,
+}
+
+impl DeclDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a top-level `(curare-declare clause...)` form.
+    pub fn add_toplevel(&mut self, form: &Sexpr) -> Result<(), DeclError> {
+        let Some(clauses) = form.call_args("curare-declare") else {
+            return Err(DeclError(format!("not a curare-declare form: {form}")));
+        };
+        for clause in clauses {
+            self.add_clause(clause, None)?;
+        }
+        Ok(())
+    }
+
+    /// Ingest a `(declare ...)` form attached to function `fname`.
+    /// Only `(curare clause...)` sub-forms are interpreted; standard
+    /// CL declarations (`type`, `optimize`, ...) are ignored.
+    pub fn add_function_decl(&mut self, fname: &str, form: &Sexpr) -> Result<(), DeclError> {
+        let Some(specs) = form.call_args("declare") else {
+            return Err(DeclError(format!("not a declare form: {form}")));
+        };
+        for spec in specs {
+            if let Some(clauses) = spec.call_args("curare") {
+                for clause in clauses {
+                    self.add_clause(clause, Some(fname))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn add_clause(&mut self, clause: &Sexpr, fname: Option<&str>) -> Result<(), DeclError> {
+        let Some(items) = clause.as_list() else {
+            return Err(DeclError(format!("clause must be a list: {clause}")));
+        };
+        let Some(head) = items.first().and_then(Sexpr::as_symbol) else {
+            return Err(DeclError(format!("clause head must be a symbol: {clause}")));
+        };
+        let syms = |items: &[Sexpr]| -> Result<Vec<String>, DeclError> {
+            items
+                .iter()
+                .map(|s| {
+                    s.as_symbol()
+                        .map(str::to_string)
+                        .ok_or_else(|| DeclError(format!("expected symbol in {clause}")))
+                })
+                .collect()
+        };
+        match head {
+            "no-alias" | "sapp" => {
+                let Some(f) = fname else {
+                    return Err(DeclError(format!("{head} is only valid inside a defun")));
+                };
+                let names = syms(&items[1..])?;
+                self.no_alias.entry(f.to_string()).or_default().extend(names);
+            }
+            "inverse" => {
+                let names = syms(&items[1..])?;
+                let [a, b] = names.as_slice() else {
+                    return Err(DeclError(format!("(inverse f g) expects two accessors: {clause}")));
+                };
+                self.inverses.push((a.clone(), b.clone()));
+            }
+            "reorderable" | "commutative" => self.reorderable.extend(syms(&items[1..])?),
+            "unordered-insert" => self.unordered_insert.extend(syms(&items[1..])?),
+            "any-result" => self.any_result.extend(syms(&items[1..])?),
+            "transform" => self.transform.extend(syms(&items[1..])?),
+            "dont-transform" => self.dont_transform.extend(syms(&items[1..])?),
+            "structural" => {
+                let names = syms(&items[1..])?;
+                let Some((ty, fields)) = names.split_first() else {
+                    return Err(DeclError(format!("(structural ty field...) malformed: {clause}")));
+                };
+                for f in fields {
+                    self.structural.insert((ty.clone(), f.clone()));
+                }
+            }
+            other => return Err(DeclError(format!("unknown declaration clause: {other}"))),
+        }
+        Ok(())
+    }
+
+    /// Was parameter `param` of `fname` declared alias-free?
+    pub fn is_no_alias(&self, fname: &str, param: &str) -> bool {
+        self.no_alias.get(fname).is_some_and(|s| s.contains(param))
+    }
+
+    /// All inverse accessor pairs.
+    pub fn inverse_pairs(&self) -> &[(String, String)] {
+        &self.inverses
+    }
+
+    /// Are `a` and `b` declared inverses (in either order)?
+    pub fn are_inverses(&self, a: &str, b: &str) -> bool {
+        self.inverses
+            .iter()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Is `op` declared atomic-commutative-associative?
+    pub fn is_reorderable(&self, op: &str) -> bool {
+        self.reorderable.contains(op)
+    }
+
+    /// Is `op` an unordered-structure insert?
+    pub fn is_unordered_insert(&self, op: &str) -> bool {
+        self.unordered_insert.contains(op)
+    }
+
+    /// Is `f` an any-result search?
+    pub fn is_any_result(&self, f: &str) -> bool {
+        self.any_result.contains(f)
+    }
+
+    /// Should `f` be transformed? `None` = no explicit declaration.
+    pub fn transform_requested(&self, f: &str) -> Option<bool> {
+        if self.dont_transform.contains(f) {
+            Some(false)
+        } else if self.transform.contains(f) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Was `(ty, field)` declared structural?
+    pub fn is_structural(&self, ty: &str, field: &str) -> bool {
+        self.structural.contains(&(ty.to_string(), field.to_string()))
+    }
+
+    /// Build a database from a lowered program's collected forms.
+    pub fn from_program(prog: &curare_lisp::ast::Program) -> Result<Self, DeclError> {
+        let mut db = DeclDb::new();
+        for d in &prog.declarations {
+            db.add_toplevel(d)?;
+        }
+        for f in &prog.funcs {
+            for d in &f.declarations {
+                db.add_function_decl(&f.name, d)?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_sexpr::parse_one;
+
+    #[test]
+    fn toplevel_clauses() {
+        let mut db = DeclDb::new();
+        db.add_toplevel(
+            &parse_one("(curare-declare (inverse succ pred) (reorderable +) (any-result find))")
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(db.are_inverses("succ", "pred"));
+        assert!(db.are_inverses("pred", "succ"));
+        assert!(!db.are_inverses("succ", "succ"));
+        assert!(db.is_reorderable("+"));
+        assert!(!db.is_reorderable("-"));
+        assert!(db.is_any_result("find"));
+    }
+
+    #[test]
+    fn function_scoped_no_alias() {
+        let mut db = DeclDb::new();
+        db.add_function_decl("f", &parse_one("(declare (curare (no-alias l r)))").unwrap())
+            .unwrap();
+        assert!(db.is_no_alias("f", "l"));
+        assert!(db.is_no_alias("f", "r"));
+        assert!(!db.is_no_alias("f", "x"));
+        assert!(!db.is_no_alias("g", "l"));
+    }
+
+    #[test]
+    fn standard_declarations_are_ignored() {
+        let mut db = DeclDb::new();
+        db.add_function_decl("f", &parse_one("(declare (type list l) (optimize speed))").unwrap())
+            .unwrap();
+        assert!(!db.is_no_alias("f", "l"));
+    }
+
+    #[test]
+    fn transform_flags() {
+        let mut db = DeclDb::new();
+        db.add_toplevel(&parse_one("(curare-declare (transform f) (dont-transform g))").unwrap())
+            .unwrap();
+        assert_eq!(db.transform_requested("f"), Some(true));
+        assert_eq!(db.transform_requested("g"), Some(false));
+        assert_eq!(db.transform_requested("h"), None);
+    }
+
+    #[test]
+    fn structural_fields() {
+        let mut db = DeclDb::new();
+        db.add_toplevel(&parse_one("(curare-declare (structural node left right))").unwrap())
+            .unwrap();
+        assert!(db.is_structural("node", "left"));
+        assert!(db.is_structural("node", "right"));
+        assert!(!db.is_structural("node", "value"));
+    }
+
+    #[test]
+    fn unordered_insert() {
+        let mut db = DeclDb::new();
+        db.add_toplevel(&parse_one("(curare-declare (unordered-insert puthash))").unwrap())
+            .unwrap();
+        assert!(db.is_unordered_insert("puthash"));
+    }
+
+    #[test]
+    fn errors_on_unknown_or_malformed() {
+        let mut db = DeclDb::new();
+        assert!(db.add_toplevel(&parse_one("(curare-declare (frobnicate x))").unwrap()).is_err());
+        assert!(db.add_toplevel(&parse_one("(curare-declare (inverse just-one))").unwrap()).is_err());
+        assert!(db.add_toplevel(&parse_one("(curare-declare (reorderable 42))").unwrap()).is_err());
+        assert!(db.add_toplevel(&parse_one("(other-form)").unwrap()).is_err());
+        // no-alias at top level is rejected (needs a function scope).
+        assert!(db.add_toplevel(&parse_one("(curare-declare (no-alias l))").unwrap()).is_err());
+    }
+
+    #[test]
+    fn from_program_collects_both_scopes() {
+        use curare_lisp::{Heap, Lowerer};
+        use curare_sexpr::parse_all;
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog = lw
+            .lower_program(
+                &parse_all(
+                    "(curare-declare (reorderable +))
+                     (defun f (l) (declare (curare (no-alias l))) (car l))",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let db = DeclDb::from_program(&prog).unwrap();
+        assert!(db.is_reorderable("+"));
+        assert!(db.is_no_alias("f", "l"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Regular expressions over the accessor alphabet (paper §2.1–2.2).
+//!
+//! Transfer functions are regular expressions: `cdr⁺` for a function
+//! recursing down a list, alternations for multiple call sites, and
+//! `A*` (any accessor string) when nothing is known. The conflict test
+//! needs one operation: is a given access path a *prefix* of some
+//! string in the language (the paper's `≤` against `τ.A₂`)?
+//!
+//! Implementation: Thompson construction to an ε-NFA, subset
+//! simulation for matching, and prefix matching via non-emptiness of
+//! the reachable state set (every Thompson state can reach the accept
+//! state, so a non-empty state set witnesses an extension).
+
+use crate::path::{Accessor, Path};
+use std::fmt;
+
+/// A regular expression over [`Accessor`] letters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRegex {
+    /// ε — the empty string only.
+    Empty,
+    /// A single letter.
+    Atom(Accessor),
+    /// Any single letter (the paper's alphabet wildcard `A`).
+    Any,
+    /// Concatenation, in application order.
+    Concat(Vec<PathRegex>),
+    /// Alternation (`|`).
+    Alt(Vec<PathRegex>),
+    /// Kleene star.
+    Star(Box<PathRegex>),
+    /// One or more (`a⁺ = a a*`).
+    Plus(Box<PathRegex>),
+}
+
+impl PathRegex {
+    /// The regex matching exactly one literal path.
+    pub fn literal(p: &Path) -> PathRegex {
+        match p.accessors() {
+            [] => PathRegex::Empty,
+            [a] => PathRegex::Atom(*a),
+            many => PathRegex::Concat(many.iter().map(|&a| PathRegex::Atom(a)).collect()),
+        }
+    }
+
+    /// `A*`: any accessor string — the unknown transfer function.
+    pub fn any_star() -> PathRegex {
+        PathRegex::Star(Box::new(PathRegex::Any))
+    }
+
+    /// Concatenate two regexes (self applied first).
+    pub fn then(self, other: PathRegex) -> PathRegex {
+        match (self, other) {
+            (PathRegex::Empty, r) => r,
+            (l, PathRegex::Empty) => l,
+            (PathRegex::Concat(mut a), PathRegex::Concat(b)) => {
+                a.extend(b);
+                PathRegex::Concat(a)
+            }
+            (PathRegex::Concat(mut a), r) => {
+                a.push(r);
+                PathRegex::Concat(a)
+            }
+            (l, PathRegex::Concat(mut b)) => {
+                b.insert(0, l);
+                PathRegex::Concat(b)
+            }
+            (l, r) => PathRegex::Concat(vec![l, r]),
+        }
+    }
+
+    /// Alternate two regexes.
+    pub fn or(self, other: PathRegex) -> PathRegex {
+        match (self, other) {
+            (PathRegex::Alt(mut a), PathRegex::Alt(b)) => {
+                a.extend(b);
+                PathRegex::Alt(a)
+            }
+            (PathRegex::Alt(mut a), r) => {
+                if !a.contains(&r) {
+                    a.push(r);
+                }
+                PathRegex::Alt(a)
+            }
+            (l, r) => {
+                if l == r {
+                    l
+                } else {
+                    PathRegex::Alt(vec![l, r])
+                }
+            }
+        }
+    }
+
+    /// The n-fold composition `self^n` (ε when `n == 0`).
+    pub fn power(&self, n: usize) -> PathRegex {
+        let mut out = PathRegex::Empty;
+        for _ in 0..n {
+            out = out.then(self.clone());
+        }
+        out
+    }
+
+    /// Compile to an ε-NFA.
+    pub fn compile(&self) -> Nfa {
+        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(self, start, accept);
+        nfa
+    }
+
+    /// Does the regex match `path` exactly?
+    pub fn matches(&self, path: &Path) -> bool {
+        self.compile().matches(path)
+    }
+
+    /// Is `path` a prefix of some string in the language? This is the
+    /// paper's conflict test `path ≤ L(self)`.
+    pub fn has_prefix(&self, path: &Path) -> bool {
+        self.compile().accepts_prefix(path)
+    }
+}
+
+impl fmt::Display for PathRegex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathRegex::Empty => write!(f, "ε"),
+            PathRegex::Atom(a) => write!(f, "{a}"),
+            PathRegex::Any => write!(f, "A"),
+            PathRegex::Concat(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    if matches!(p, PathRegex::Alt(_)) {
+                        write!(f, "({p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            PathRegex::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            PathRegex::Star(inner) => write!(f, "({inner})*"),
+            PathRegex::Plus(inner) => write!(f, "({inner})+"),
+        }
+    }
+}
+
+/// A transition label: ε, a specific letter, or any letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Eps,
+    Letter(Accessor),
+    AnyLetter,
+}
+
+/// A Thompson ε-NFA over the accessor alphabet.
+pub struct Nfa {
+    states: Vec<Vec<(Label, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> usize {
+        self.states.push(Vec::new());
+        self.states.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, label: Label, to: usize) {
+        self.states[from].push((label, to));
+    }
+
+    fn build(&mut self, re: &PathRegex, from: usize, to: usize) {
+        match re {
+            PathRegex::Empty => self.edge(from, Label::Eps, to),
+            PathRegex::Atom(a) => self.edge(from, Label::Letter(*a), to),
+            PathRegex::Any => self.edge(from, Label::AnyLetter, to),
+            PathRegex::Concat(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { to } else { self.new_state() };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.edge(from, Label::Eps, to);
+                }
+            }
+            PathRegex::Alt(parts) => {
+                if parts.is_empty() {
+                    // Empty alternation matches nothing; no edges.
+                    return;
+                }
+                for p in parts {
+                    let s = self.new_state();
+                    let e = self.new_state();
+                    self.edge(from, Label::Eps, s);
+                    self.build(p, s, e);
+                    self.edge(e, Label::Eps, to);
+                }
+            }
+            PathRegex::Star(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.edge(from, Label::Eps, s);
+                self.edge(from, Label::Eps, to);
+                self.build(inner, s, e);
+                self.edge(e, Label::Eps, s);
+                self.edge(e, Label::Eps, to);
+            }
+            PathRegex::Plus(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.edge(from, Label::Eps, s);
+                self.build(inner, s, e);
+                self.edge(e, Label::Eps, s);
+                self.edge(e, Label::Eps, to);
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &mut Vec<bool>) {
+        let mut work: Vec<usize> =
+            set.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
+        while let Some(s) = work.pop() {
+            for &(label, to) in &self.states[s] {
+                if label == Label::Eps && !set[to] {
+                    set[to] = true;
+                    work.push(to);
+                }
+            }
+        }
+    }
+
+    fn step(&self, set: &[bool], letter: Accessor) -> Vec<bool> {
+        let mut next = vec![false; self.states.len()];
+        for (s, &active) in set.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            for &(label, to) in &self.states[s] {
+                let hit = match label {
+                    Label::Eps => false,
+                    Label::AnyLetter => true,
+                    Label::Letter(a) => a == letter,
+                };
+                if hit {
+                    next[to] = true;
+                }
+            }
+        }
+        self.eps_closure(&mut next);
+        next
+    }
+
+    fn run(&self, path: &Path) -> Vec<bool> {
+        let mut set = vec![false; self.states.len()];
+        set[self.start] = true;
+        self.eps_closure(&mut set);
+        for &a in path.accessors() {
+            set = self.step(&set, a);
+            if set.iter().all(|&b| !b) {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Exact acceptance.
+    pub fn matches(&self, path: &Path) -> bool {
+        self.run(path)[self.accept]
+    }
+
+    /// True if `path` can be extended to an accepted string. A
+    /// non-empty state set suffices for prefix acceptance only when
+    /// every live state can reach the accept state — true by Thompson
+    /// construction, but we verify reachability explicitly to stay
+    /// robust against future construction changes.
+    pub fn accepts_prefix(&self, path: &Path) -> bool {
+        let set = self.run(path);
+        let can_reach = self.states_reaching_accept();
+        set.iter().enumerate().any(|(i, &b)| b && can_reach[i])
+    }
+
+    fn states_reaching_accept(&self) -> Vec<bool> {
+        // Reverse reachability from accept over all edge kinds.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.states.len()];
+        for (s, edges) in self.states.iter().enumerate() {
+            for &(_, to) in edges {
+                rev[to].push(s);
+            }
+        }
+        let mut seen = vec![false; self.states.len()];
+        seen[self.accept] = true;
+        let mut work = vec![self.accept];
+        while let Some(s) = work.pop() {
+            for &p in &rev[s] {
+                if !seen[p] {
+                    seen[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::parse_list_path;
+    use Accessor::*;
+
+    fn p(s: &str) -> Path {
+        parse_list_path(s).unwrap()
+    }
+
+    fn cdr_plus() -> PathRegex {
+        PathRegex::Plus(Box::new(PathRegex::Atom(Cdr)))
+    }
+
+    #[test]
+    fn literal_match() {
+        let re = PathRegex::literal(&p("cdr.car"));
+        assert!(re.matches(&p("cdr.car")));
+        assert!(!re.matches(&p("cdr")));
+        assert!(!re.matches(&p("cdr.car.car")));
+        assert!(!re.matches(&p("car.cdr")));
+    }
+
+    #[test]
+    fn empty_regex_matches_only_epsilon() {
+        assert!(PathRegex::Empty.matches(&Path::empty()));
+        assert!(!PathRegex::Empty.matches(&p("car")));
+    }
+
+    #[test]
+    fn plus_matches_one_or_more() {
+        let re = cdr_plus();
+        assert!(!re.matches(&Path::empty()));
+        assert!(re.matches(&p("cdr")));
+        assert!(re.matches(&p("cdr.cdr.cdr")));
+        assert!(!re.matches(&p("cdr.car")));
+    }
+
+    #[test]
+    fn star_matches_zero_or_more() {
+        let re = PathRegex::Star(Box::new(PathRegex::Atom(Cdr)));
+        assert!(re.matches(&Path::empty()));
+        assert!(re.matches(&p("cdr.cdr")));
+        assert!(!re.matches(&p("car")));
+    }
+
+    #[test]
+    fn alternation() {
+        let re = PathRegex::Atom(Car).or(PathRegex::Atom(Cdr));
+        assert!(re.matches(&p("car")));
+        assert!(re.matches(&p("cdr")));
+        assert!(!re.matches(&p("car.car")));
+    }
+
+    #[test]
+    fn empty_alternation_matches_nothing() {
+        let re = PathRegex::Alt(vec![]);
+        assert!(!re.matches(&Path::empty()));
+        assert!(!re.has_prefix(&Path::empty()));
+    }
+
+    #[test]
+    fn any_and_any_star() {
+        assert!(PathRegex::Any.matches(&p("car")));
+        assert!(!PathRegex::Any.matches(&Path::empty()));
+        let re = PathRegex::any_star();
+        assert!(re.matches(&Path::empty()));
+        assert!(re.matches(&p("car.cdr.car")));
+        assert!(re.has_prefix(&p("cdr.cdr")));
+    }
+
+    #[test]
+    fn paper_section_2_2_example() {
+        // §2.2: A1=cdr, A2=cdr.car (modify), A3=car; τ = cdr.
+        // "A2 does not conflict with A1 since cdr⁺.car can never be a
+        // prefix of cdr" — i.e. A2 is never a prefix of τ⁺.A1? The
+        // text: cdr.car vs τ composed with A1. Check both directions
+        // as the implementation exposes them.
+        let tau = PathRegex::Atom(Cdr);
+        let a1 = p("cdr");
+        let a2 = p("cdr.car");
+        let a3 = p("car");
+
+        // d = 1: τ¹ ∘ A3 = cdr.car; A2 ≤ that → conflict at distance 1.
+        let lang_d1 = tau.power(1).then(PathRegex::literal(&a3));
+        assert!(lang_d1.has_prefix(&a2), "A2 ⊙₁ A3");
+
+        // A2 vs A1 at any distance: τ^d ∘ A1 = cdr^{d+1}; cdr.car is
+        // never a prefix of all-cdr strings.
+        for d in 1..=8 {
+            let lang = tau.power(d).then(PathRegex::literal(&a1));
+            assert!(!lang.has_prefix(&a2), "no conflict at distance {d}");
+        }
+    }
+
+    #[test]
+    fn prefix_vs_exact() {
+        let re = PathRegex::literal(&p("cdr.car.car"));
+        assert!(re.has_prefix(&p("cdr")));
+        assert!(re.has_prefix(&p("cdr.car")));
+        assert!(re.has_prefix(&p("cdr.car.car")));
+        assert!(!re.has_prefix(&p("cdr.car.car.car")));
+        assert!(!re.has_prefix(&p("car")));
+    }
+
+    #[test]
+    fn power_composition() {
+        let tau = PathRegex::Atom(Cdr);
+        assert!(tau.power(0).matches(&Path::empty()));
+        assert!(tau.power(3).matches(&p("cdr.cdr.cdr")));
+        assert!(!tau.power(3).matches(&p("cdr.cdr")));
+    }
+
+    #[test]
+    fn plus_power_interaction() {
+        // (cdr⁺)² = cdr^{≥2}
+        let re = cdr_plus().power(2);
+        assert!(!re.matches(&p("cdr")));
+        assert!(re.matches(&p("cdr.cdr")));
+        assert!(re.matches(&p("cdr.cdr.cdr.cdr")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(cdr_plus().to_string(), "(cdr)+");
+        assert_eq!(
+            PathRegex::Atom(Car).or(PathRegex::Atom(Cdr)).to_string(),
+            "car|cdr"
+        );
+        assert_eq!(PathRegex::any_star().to_string(), "(A)*");
+        assert_eq!(PathRegex::literal(&p("cdr.car")).to_string(), "cdr.car");
+    }
+
+    #[test]
+    fn struct_field_letters() {
+        let succ = Accessor::Field { ty: 0, field: 0 };
+        let pred = Accessor::Field { ty: 0, field: 1 };
+        let re = PathRegex::Plus(Box::new(PathRegex::Atom(succ)));
+        assert!(re.matches(&Path::from([succ, succ])));
+        assert!(!re.matches(&Path::from([succ, pred])));
+    }
+
+    #[test]
+    fn prefix_of_alternation_language() {
+        // τ = car|cdr; A2 = car. L(τ.A2) = {car.car, cdr.car}.
+        let tau = PathRegex::Atom(Car).or(PathRegex::Atom(Cdr));
+        let lang = tau.then(PathRegex::literal(&p("car")));
+        assert!(lang.has_prefix(&p("car")));
+        assert!(lang.has_prefix(&p("cdr")));
+        assert!(lang.has_prefix(&p("cdr.car")));
+        assert!(!lang.has_prefix(&p("cdr.cdr")));
+    }
+}

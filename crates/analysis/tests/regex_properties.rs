@@ -1,0 +1,250 @@
+//! Property tests for the accessor-regex engine: the NFA-based
+//! matcher is cross-checked against an independent brute-force
+//! backtracking matcher on randomized regexes and paths.
+
+use curare_analysis::{Accessor, Path, PathRegex};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------
+// An independent reference implementation: backtracking match of a
+// regex against a slice of accessors.
+// ---------------------------------------------------------------
+
+/// Does `re` match some prefix split of `input`? Returns every suffix
+/// index reachable after consuming a match of `re`.
+fn match_positions(re: &PathRegex, input: &[Accessor], from: usize) -> Vec<usize> {
+    let mut out = match re {
+        PathRegex::Empty => vec![from],
+        PathRegex::Atom(a) => {
+            if input.get(from) == Some(a) {
+                vec![from + 1]
+            } else {
+                vec![]
+            }
+        }
+        PathRegex::Any => {
+            if from < input.len() {
+                vec![from + 1]
+            } else {
+                vec![]
+            }
+        }
+        PathRegex::Concat(parts) => {
+            let mut fronts = vec![from];
+            for p in parts {
+                let mut next = Vec::new();
+                for &f in &fronts {
+                    next.extend(match_positions(p, input, f));
+                }
+                next.sort_unstable();
+                next.dedup();
+                fronts = next;
+                if fronts.is_empty() {
+                    break;
+                }
+            }
+            fronts
+        }
+        PathRegex::Alt(parts) => {
+            let mut all = Vec::new();
+            for p in parts {
+                all.extend(match_positions(p, input, from));
+            }
+            all
+        }
+        PathRegex::Star(inner) => {
+            let mut seen = vec![from];
+            let mut work = vec![from];
+            while let Some(f) = work.pop() {
+                for n in match_positions(inner, input, f) {
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                        work.push(n);
+                    }
+                }
+            }
+            seen
+        }
+        PathRegex::Plus(inner) => {
+            let star = PathRegex::Star(inner.clone());
+            let mut all = Vec::new();
+            for n in match_positions(inner, input, from) {
+                all.extend(match_positions(&star, input, n));
+            }
+            all
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn brute_matches(re: &PathRegex, path: &Path) -> bool {
+    match_positions(re, path.accessors(), 0).contains(&path.len())
+}
+
+/// Prefix acceptance: can `path` be extended to a full match? True iff
+/// some string with `path` as a prefix is in the language — checked by
+/// trying every extension up to a bounded length over the alphabet
+/// that appears in the regex (plus both list letters).
+fn brute_prefix(re: &PathRegex, path: &Path, extra: usize) -> bool {
+    fn letters(re: &PathRegex, out: &mut Vec<Accessor>) {
+        match re {
+            PathRegex::Atom(a) => {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+            PathRegex::Concat(ps) | PathRegex::Alt(ps) => {
+                for p in ps {
+                    letters(p, out);
+                }
+            }
+            PathRegex::Star(p) | PathRegex::Plus(p) => letters(p, out),
+            _ => {}
+        }
+    }
+    let mut alphabet = vec![Accessor::Car, Accessor::Cdr];
+    letters(re, &mut alphabet);
+
+    fn extend(
+        re: &PathRegex,
+        base: &mut Vec<Accessor>,
+        alphabet: &[Accessor],
+        depth: usize,
+    ) -> bool {
+        if brute_matches(re, &Path::from(base.clone())) {
+            return true;
+        }
+        if depth == 0 {
+            return false;
+        }
+        for &a in alphabet {
+            base.push(a);
+            if extend(re, base, alphabet, depth - 1) {
+                base.pop();
+                return true;
+            }
+            base.pop();
+        }
+        false
+    }
+    let mut base = path.accessors().to_vec();
+    extend(re, &mut base, &alphabet, extra)
+}
+
+// ---------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------
+
+fn accessor_strategy() -> impl Strategy<Value = Accessor> {
+    prop_oneof![
+        Just(Accessor::Car),
+        Just(Accessor::Cdr),
+        Just(Accessor::Field { ty: 0, field: 0 }),
+    ]
+}
+
+fn regex_strategy() -> impl Strategy<Value = PathRegex> {
+    let leaf = prop_oneof![
+        Just(PathRegex::Empty),
+        accessor_strategy().prop_map(PathRegex::Atom),
+        Just(PathRegex::Any),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(PathRegex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(PathRegex::Alt),
+            inner.clone().prop_map(|r| PathRegex::Star(Box::new(r))),
+            inner.prop_map(|r| PathRegex::Plus(Box::new(r))),
+        ]
+    })
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    prop::collection::vec(accessor_strategy(), 0..6).prop_map(Path::from)
+}
+
+// ---------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// NFA matching agrees with the backtracking reference.
+    #[test]
+    fn nfa_agrees_with_brute_force(re in regex_strategy(), p in path_strategy()) {
+        prop_assert_eq!(re.matches(&p), brute_matches(&re, &p), "regex {} path {}", re, p);
+    }
+
+    /// Exact matches are always prefix matches.
+    #[test]
+    fn match_implies_prefix(re in regex_strategy(), p in path_strategy()) {
+        if re.matches(&p) {
+            prop_assert!(re.has_prefix(&p), "regex {} path {}", re, p);
+        }
+    }
+
+    /// Prefix acceptance agrees with bounded brute-force extension
+    /// (sound in one direction: if the brute force finds an extension,
+    /// the NFA must accept the prefix; if the NFA rejects, no
+    /// extension exists at any length, so brute force must fail too).
+    #[test]
+    fn prefix_agrees_with_bounded_extension(re in regex_strategy(), p in path_strategy()) {
+        let nfa = re.has_prefix(&p);
+        let brute = brute_prefix(&re, &p, 3);
+        if brute {
+            prop_assert!(nfa, "brute found an extension the NFA missed: {} / {}", re, p);
+        }
+        if !nfa {
+            prop_assert!(!brute, "NFA rejected a prefix with an extension: {} / {}", re, p);
+        }
+    }
+
+    /// Language-level concatenation: matching `a` then `b` on a split
+    /// path equals matching `a.then(b)` on the whole.
+    #[test]
+    fn concat_is_language_concatenation(
+        a in regex_strategy(),
+        b in regex_strategy(),
+        p in path_strategy(),
+        q in path_strategy(),
+    ) {
+        if a.matches(&p) && b.matches(&q) {
+            let combined = a.clone().then(b.clone());
+            prop_assert!(combined.matches(&p.concat(&q)), "({}).({}) on {}.{}", a, b, p, q);
+        }
+    }
+
+    /// `or` accepts exactly the union.
+    #[test]
+    fn or_is_union(a in regex_strategy(), b in regex_strategy(), p in path_strategy()) {
+        let union = a.clone().or(b.clone());
+        prop_assert_eq!(union.matches(&p), a.matches(&p) || b.matches(&p));
+    }
+
+    /// `power(n)` matches the n-fold repetition of any matched path.
+    #[test]
+    fn power_matches_repetition(re in regex_strategy(), p in path_strategy(), n in 0usize..4) {
+        if re.matches(&p) {
+            let mut repeated = Path::empty();
+            for _ in 0..n {
+                repeated = repeated.concat(&p);
+            }
+            prop_assert!(re.power(n).matches(&repeated), "{}^{} on {}", re, n, repeated);
+        }
+    }
+
+    /// The paper's τ-composition identity: prefix conflict at distance
+    /// d+1 through τ equals prefix conflict at distance d through
+    /// τ·(τ^d ∘ A) — i.e., power composes associatively.
+    #[test]
+    fn tau_powers_compose(p in path_strategy(), d in 0usize..4) {
+        let tau = PathRegex::Atom(Accessor::Cdr);
+        let left = tau.power(d + 1);
+        let right = tau.clone().then(tau.power(d));
+        prop_assert_eq!(left.matches(&p), right.matches(&p));
+        prop_assert_eq!(left.has_prefix(&p), right.has_prefix(&p));
+    }
+}

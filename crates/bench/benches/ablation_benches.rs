@@ -1,0 +1,150 @@
+//! Ablations of this reproduction's own design choices (DESIGN.md):
+//! the ordered central queue vs a work-stealing scheduler, the striped
+//! concurrent hash table vs a single-mutex map, and the lock-free
+//! chunked arena vs a mutex-guarded vector.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use curare::lisp::arena::AtomicArena;
+use curare::lisp::chash::LispHash;
+use curare::prelude::*;
+use curare_bench::{int_list, transformed_interp, SUM_WALK};
+
+/// Scheduler ablation: the paper's ordered server pool vs rayon's
+/// work-stealing pool on the same transformed program.
+fn scheduler_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_ablation");
+    g.sample_size(10);
+    let n = 5_000i64;
+
+    g.bench_function("ordered_pool", |b| {
+        let (interp, _) = transformed_interp(SUM_WALK);
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 4);
+        b.iter(|| {
+            let l = int_list(&interp, n);
+            rt.run("walk", &[l]).expect("run");
+        })
+    });
+
+    g.bench_function("rayon_work_stealing", |b| {
+        let (interp, _) = transformed_interp(SUM_WALK);
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = curare::runtime::RayonRuntime::new(Arc::clone(&interp), 4);
+        b.iter(|| {
+            let l = int_list(&interp, n);
+            rt.run("walk", &[l]).expect("run");
+        })
+    });
+    g.finish();
+}
+
+/// Hash ablation: the striped LispHash vs a single global mutex map,
+/// hammered by 4 threads.
+fn hash_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_ablation");
+    g.sample_size(10);
+    const OPS: i64 = 20_000;
+    const THREADS: i64 = 4;
+
+    g.bench_function("striped_lisp_hash", |b| {
+        b.iter(|| {
+            let h = Arc::new(LispHash::new());
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let h = Arc::clone(&h);
+                    s.spawn(move || {
+                        for i in 0..OPS / THREADS {
+                            let k = Value::int(i * THREADS + t);
+                            h.insert(k, Value::int(i));
+                            std::hint::black_box(h.get(k));
+                        }
+                    });
+                }
+            });
+            assert_eq!(h.len() as i64, OPS);
+        })
+    });
+
+    g.bench_function("single_mutex_map", |b| {
+        b.iter(|| {
+            let h: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let h = Arc::clone(&h);
+                    s.spawn(move || {
+                        for i in 0..OPS / THREADS {
+                            let k = Value::int(i * THREADS + t).bits();
+                            h.lock().unwrap().insert(k, i as u64);
+                            std::hint::black_box(h.lock().unwrap().get(&k).copied());
+                        }
+                    });
+                }
+            });
+            assert_eq!(h.lock().unwrap().len() as i64, OPS);
+        })
+    });
+    g.finish();
+}
+
+/// Arena ablation: lock-free chunked allocation vs a mutex-guarded
+/// vector, 4 allocating threads.
+fn arena_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arena_ablation");
+    g.sample_size(10);
+    const ALLOCS: u64 = 20_000;
+    const THREADS: u64 = 4;
+
+    for threads in [1u64, THREADS] {
+        g.bench_with_input(
+            BenchmarkId::new("atomic_arena", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let a: Arc<AtomicArena<AtomicU64>> = Arc::new(AtomicArena::new());
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let a = Arc::clone(&a);
+                            s.spawn(move || {
+                                for i in 0..ALLOCS / threads {
+                                    let idx = a.alloc();
+                                    a.get(idx).store(i, Ordering::Release);
+                                }
+                            });
+                        }
+                    });
+                    std::hint::black_box(a.len())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mutex_vec", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let v: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let v = Arc::clone(&v);
+                            s.spawn(move || {
+                                for i in 0..ALLOCS / threads {
+                                    v.lock().unwrap().push(i);
+                                }
+                            });
+                        }
+                    });
+                    let len = v.lock().unwrap().len();
+                    std::hint::black_box(len)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_ablation, hash_ablation, arena_ablation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches of the CRI runtime itself: server sweep (E3),
+//! queue-grain throughput (E8), and spawn-vs-pool (E10).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use curare::prelude::*;
+use curare_bench::{int_list, padded_walker, transformed_interp};
+
+/// E3: one pool run at several server counts.
+fn servers_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("servers_sweep");
+    g.sample_size(10);
+    for servers in [1usize, 2, 4] {
+        let (interp, _) = transformed_interp(&padded_walker(16));
+        let rt = CriRuntime::new(Arc::clone(&interp), servers);
+        g.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, _| {
+            b.iter(|| {
+                let l = int_list(&interp, 2_000);
+                rt.run("padded", &[l]).expect("run");
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E8: pool throughput as invocation grain changes.
+fn queue_bottleneck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_bottleneck");
+    g.sample_size(10);
+    for pad in [0usize, 16, 64] {
+        let (interp, _) = transformed_interp(&padded_walker(pad));
+        let rt = CriRuntime::new(Arc::clone(&interp), 4);
+        g.bench_with_input(BenchmarkId::from_parameter(pad), &pad, |b, _| {
+            b.iter(|| {
+                let l = int_list(&interp, 2_000);
+                rt.run("padded", &[l]).expect("run");
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E10: the §1.2 cost imbalance — pool vs thread-per-invocation.
+fn spawn_vs_server(c: &mut Criterion) {
+    const SRC: &str = "
+(curare-declare (reorderable +))
+(defun walk (l)
+  (when l
+    (setq *n* (+ *n* 1))
+    (walk (cdr l))))";
+    let mut g = c.benchmark_group("spawn_vs_server");
+    g.sample_size(10);
+
+    g.bench_function("pool_4", |b| {
+        let (interp, _) = transformed_interp(SRC);
+        interp.load_str("(defparameter *n* 0)").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 4);
+        b.iter(|| {
+            let l = int_list(&interp, 500);
+            rt.run("walk", &[l]).expect("run");
+        })
+    });
+
+    g.bench_function("thread_per_invocation", |b| {
+        let (interp, _) = transformed_interp(SRC);
+        interp.load_str("(defparameter *n* 0)").unwrap();
+        let rt = SpawnRuntime::new(Arc::clone(&interp));
+        b.iter(|| {
+            let l = int_list(&interp, 500);
+            rt.run("walk", &[l]).expect("run");
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, servers_sweep, queue_bottleneck, spawn_vs_server);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches over the deterministic simulator: the cost of
+//! regenerating the paper's analytic figures (E2, E4-sim, E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use curare::prelude::*;
+use curare::sim::formula;
+
+/// E7: the T(S) sweep of Figure 10 at several server counts.
+fn server_optimum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_optimum");
+    g.sample_size(20);
+    for s in [1u64, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let r = simulate(&SimConfig::new(1024, s, 1, 16));
+                std::hint::black_box(r.total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E4: lock-constrained schedules at several conflict distances.
+fn lock_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_distance");
+    g.sample_size(20);
+    for d in [1u64, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let r = simulate(&SimConfig::new(4096, 64, 1, 31).with_conflict_distance(d));
+                std::hint::black_box(r.achieved_concurrency)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E2: concurrency across head fractions; also checks the formula
+/// agreement on every iteration (a regression tripwire).
+fn cri_concurrency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cri_concurrency");
+    g.sample_size(20);
+    for (h, t) in [(1u64, 19u64), (10, 10), (19, 1)] {
+        g.bench_with_input(BenchmarkId::new("ht", format!("{h}_{t}")), &(h, t), |b, &(h, t)| {
+            b.iter(|| {
+                let r = simulate(&SimConfig::new(4096, 64, h, t));
+                let bound = formula::concurrency(h as f64, t as f64);
+                assert!(r.achieved_concurrency <= bound + 1e-9);
+                std::hint::black_box(r.achieved_concurrency)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, server_optimum, lock_distance, cri_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of Curare itself: how fast the analysis and the
+//! whole transformation pipeline run on the paper's programs (E1's
+//! machinery under the clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use curare::prelude::*;
+use curare_bench::{FIGURE_12_REMQ, FIGURE_3, FIGURE_5};
+
+fn analysis_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(30);
+    for (name, src) in [("figure3", FIGURE_3), ("figure5", FIGURE_5), ("remq", FIGURE_12_REMQ)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            let heap = Heap::new();
+            let mut lw = curare::lisp::Lowerer::new(&heap);
+            let prog = lw.lower_program(&parse_all(src).unwrap()).unwrap();
+            let decls = DeclDb::new();
+            b.iter(|| std::hint::black_box(analyze_function(&prog.funcs[0], &decls)))
+        });
+    }
+    g.finish();
+}
+
+fn pipeline_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(30);
+    for (name, src) in [("figure3", FIGURE_3), ("figure5", FIGURE_5), ("remq", FIGURE_12_REMQ)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| {
+                let out = Curare::new().transform_source(src).expect("transforms");
+                std::hint::black_box(out.source())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn reader_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reader");
+    g.sample_size(30);
+    // A synthetic ~40 KB program.
+    let mut big = String::new();
+    for i in 0..500 {
+        big.push_str(&format!(
+            "(defun f{i} (l) (when l (setf (cadr l) (+ (car l) (cadr l))) (f{i} (cdr l))))\n"
+        ));
+    }
+    g.bench_function("parse_40kb", |b| {
+        b.iter(|| std::hint::black_box(parse_all(&big).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, analysis_speed, pipeline_speed, reader_speed);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches of the transformed workloads: DPS remq (E9),
+//! reordered accumulation (E6), and a rayon baseline for the same
+//! data-parallel sum — the external comparison point the repro brief
+//! calls for (rayon is on the "multiprocessor Lisp system" side of
+//! the comparison, not part of Curare).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+
+use curare::prelude::*;
+use curare_bench::{int_list, sym_list, transformed_interp, FIGURE_12_REMQ, SUM_WALK};
+
+/// E9: sequential remq vs pooled remq-d.
+fn dps_remq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dps_remq");
+    g.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            curare::lisp::set_thread_stack_budget(6 << 20);
+            let interp = Interp::new();
+            interp.load_str(FIGURE_12_REMQ).unwrap();
+            interp.set_recursion_limit(1_000_000);
+            b.iter(|| {
+                let l = sym_list(&interp, n, &["a", "b", "c"]);
+                interp
+                    .call("remq", &[interp.heap().sym_value("a"), l])
+                    .expect("sequential remq")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pool_dps", n), &n, |b, &n| {
+            let (interp, _) = transformed_interp(FIGURE_12_REMQ);
+            let rt = CriRuntime::new(Arc::clone(&interp), 4);
+            b.iter(|| {
+                let l = sym_list(&interp, n, &["a", "b", "c"]);
+                let dest = interp.heap().cons(Value::NIL, Value::NIL);
+                rt.run("remq-d", &[dest, interp.heap().sym_value("a"), l]).expect("pool remq-d");
+                std::hint::black_box(dest)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E6: the reordered (atomic) global sum on the pool vs the original
+/// recursion run sequentially.
+fn reorder_vs_lock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder_vs_lock");
+    g.sample_size(10);
+    let n = 10_000i64;
+
+    g.bench_function("atomic_pool_4", |b| {
+        let (interp, _) = transformed_interp(SUM_WALK);
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 4);
+        b.iter(|| {
+            let l = int_list(&interp, n);
+            rt.run("walk", &[l]).expect("run");
+        })
+    });
+
+    g.bench_function("sequential", |b| {
+        let interp = Interp::new();
+        interp
+            .load_str("(defun walk (l) (when l (setq *sum* (+ *sum* (car l))) (walk (cdr l))))")
+            .unwrap();
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        interp.set_recursion_limit(10_000_000);
+        b.iter(|| {
+            let l = int_list(&interp, n);
+            interp.call("walk", &[l]).expect("run");
+        })
+    });
+
+    // External baseline: the same reduction in rayon over native ints.
+    g.bench_function("rayon_native_sum", |b| {
+        let data: Vec<i64> = (1..=n).collect();
+        b.iter(|| {
+            let s: i64 = data.par_iter().sum();
+            std::hint::black_box(s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dps_remq, reorder_vs_lock);
+criterion_main!(benches);

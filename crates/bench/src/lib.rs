@@ -1,0 +1,185 @@
+//! Shared workloads and helpers for the Curare experiment harness.
+//!
+//! Every experiment (see `src/bin/experiments.rs` and the Criterion
+//! benches) builds its inputs through this module so the binary and
+//! the benches measure the same programs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use curare::lisp::{Interp, Value};
+use curare::prelude::*;
+
+/// The paper's Figure 3: a simple recursive list walker.
+pub const FIGURE_3: &str = "(defun f (l) (when l (print (car l)) (f (cdr l))))";
+
+/// The paper's Figure 4: a walker with a distance-1 conflict.
+pub const FIGURE_4: &str =
+    "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))";
+
+/// The paper's Figure 5: the complex conflicting walker.
+pub const FIGURE_5: &str = "(defun f (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f (cdr l)))))";
+
+/// The paper's Figure 12: `remq`.
+pub const FIGURE_12_REMQ: &str = "(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))";
+
+/// An effect-style walker with a declared-commutative accumulation.
+pub const SUM_WALK: &str = "
+(curare-declare (reorderable +))
+(defun walk (l)
+  (when l
+    (setq *sum* (+ *sum* (car l)))
+    (walk (cdr l))))";
+
+/// A walker whose tail write conflicts at distance 1 (forces locks).
+pub const ROTATE: &str = "(defun rotate (l)
+  (when l
+    (rotate (cdr l))
+    (setf (cdr l) (car l))))";
+
+/// Build `(defun fK (l) ...)`-style walker that writes `k` cells ahead
+/// — its conflict distance is exactly `k` (E4's sweep parameter).
+pub fn distance_k_writer(k: usize) -> String {
+    // The write happens *after* the recursive call (so head ordering
+    // cannot resolve it and Curare must lock), touches the cell `k`
+    // links ahead (conflict distance k), and is guarded against the
+    // list end.
+    let mut place = "l".to_string();
+    for _ in 0..k {
+        place = format!("(cdr {place})");
+    }
+    format!(
+        "(defun fk (l)
+           (when l
+             (fk (cdr l))
+             (when {place}
+               (setf (car {place}) (car l)))))"
+    )
+}
+
+/// Run `f` on a thread with a large native stack (deep sequential
+/// recursion in the original, untransformed programs needs it).
+pub fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    const STACK: usize = 256 << 20;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(STACK)
+            .spawn_scoped(scope, || {
+                curare::lisp::set_thread_stack_budget(STACK - (8 << 20));
+                f()
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("big-stack thread panicked")
+    })
+}
+
+/// Build a walker with `pad` busywork operations in the head, to dial
+/// the head/tail ratio in threaded experiments.
+pub fn padded_walker(pad: usize) -> String {
+    let mut work = String::new();
+    for _ in 0..pad {
+        work.push_str("(setq x (+ x 1)) ");
+    }
+    format!(
+        "(defun padded (l)
+           (when l
+             (let ((x 0)) {work} x)
+             (padded (cdr l))))"
+    )
+}
+
+/// Build a fresh interpreter with `src` transformed by Curare and
+/// loaded.
+pub fn transformed_interp(src: &str) -> (Arc<Interp>, CurareOutput) {
+    let out = Curare::new().transform_source(src).expect("program transforms");
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).expect("transformed program loads");
+    (interp, out)
+}
+
+/// Build an integer list `n .. 1` in `interp`'s heap.
+pub fn int_list(interp: &Interp, n: i64) -> Value {
+    let mut l = Value::NIL;
+    for i in 0..n {
+        l = interp.heap().cons(Value::int(i + 1), l);
+    }
+    l
+}
+
+/// Build a list of `n` symbols drawn deterministically from `syms`.
+pub fn sym_list(interp: &Interp, n: usize, syms: &[&str]) -> Value {
+    let mut l = Value::NIL;
+    for i in 0..n {
+        let s = syms[i % syms.len()];
+        l = interp.heap().cons(interp.heap().sym_value(s), l);
+    }
+    l
+}
+
+/// Time one closure.
+pub fn time_once(f: impl FnOnce()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Median-of-`runs` timing.
+pub fn time_median(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs.max(1)).map(|_| time_once(&mut f)).collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Number of hardware threads, for experiment footers.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_programs_parse_and_transform() {
+        for src in [FIGURE_3, FIGURE_4, FIGURE_5, FIGURE_12_REMQ, SUM_WALK, ROTATE] {
+            let out = Curare::new().transform_source(src).expect(src);
+            assert!(!out.reports.is_empty());
+        }
+    }
+
+    #[test]
+    fn distance_k_writer_has_distance_k() {
+        for k in 1..=4 {
+            let src = distance_k_writer(k);
+            let heap = curare::lisp::Heap::new();
+            let mut lw = curare::lisp::Lowerer::new(&heap);
+            let prog = lw.lower_program(&parse_all(&src).unwrap()).unwrap();
+            let a = analyze_function(&prog.funcs[0], &DeclDb::new());
+            assert_eq!(a.conflicts.min_distance, Some(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn int_list_builds_correctly() {
+        let it = Interp::new();
+        let l = int_list(&it, 5);
+        assert_eq!(it.heap().display(l), "(5 4 3 2 1)");
+    }
+
+    #[test]
+    fn padded_walker_transforms() {
+        let (interp, out) = transformed_interp(&padded_walker(8));
+        assert!(out.report("padded").unwrap().converted);
+        let l = int_list(&interp, 10);
+        // Sequential hooks: still runs.
+        interp.call("padded", &[l]).unwrap();
+    }
+}

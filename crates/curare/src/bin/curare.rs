@@ -1,0 +1,187 @@
+//! The `curare` command-line tool: analyze, transform, and run Lisp
+//! programs.
+//!
+//! ```text
+//! curare analyze  FILE              # per-function §6-style feedback
+//! curare transform FILE            # transformed source on stdout
+//! curare run FILE [options]        # load + evaluate, optionally on a pool
+//! curare repl                      # interactive mini-Lisp
+//!
+//! run options:
+//!   --servers N      execute `--call` on an N-server CRI pool
+//!   --call  "(f …)"  transform the program, then run this entry
+//!   --sequential     skip transformation (plain interpreter)
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use curare::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("transform") => transform(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("repl") => repl(),
+        _ => {
+            eprintln!("usage: curare <analyze|transform|run|repl> [FILE] [options]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("curare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_file(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("missing input file")?;
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let src = read_file(args)?;
+    let heap = Heap::new();
+    let mut lw = curare::lisp::Lowerer::new(&heap);
+    let forms = parse_all(&src).map_err(|e| e.to_string())?;
+    let prog = lw.lower_program(&forms).map_err(|e| e.to_string())?;
+    let analyses = analyze_program(&prog).map_err(|e| e.to_string())?;
+    for a in analyses {
+        print!("{}", a.explain());
+    }
+    Ok(())
+}
+
+fn transform(args: &[String]) -> Result<(), String> {
+    let src = read_file(args)?;
+    let out = Curare::new().transform_source(&src).map_err(|e| e.to_string())?;
+    print!("{}", out.source());
+    for r in &out.reports {
+        eprintln!(
+            ";; {}: converted = {}, devices = {:?}",
+            r.name, r.converted, r.devices
+        );
+        if !r.converted {
+            for line in r.feedback.lines() {
+                eprintln!(";;   {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let src = read_file(args)?;
+    let mut servers = 0usize;
+    let mut call: Option<String> = None;
+    let mut sequential = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--servers" => {
+                servers = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--servers needs a number")?;
+                i += 2;
+            }
+            "--call" => {
+                call = Some(args.get(i + 1).ok_or("--call needs an expression")?.clone());
+                i += 2;
+            }
+            "--sequential" => {
+                sequential = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    curare::lisp::set_thread_stack_budget(6 << 20);
+    let interp = Arc::new(Interp::new());
+    let loaded_src = if sequential {
+        src
+    } else {
+        let out = Curare::new().transform_source(&src).map_err(|e| e.to_string())?;
+        for r in &out.reports {
+            eprintln!(";; {}: converted = {}, devices = {:?}", r.name, r.converted, r.devices);
+        }
+        out.source()
+    };
+    let v = interp.load_str(&loaded_src).map_err(|e| e.to_string())?;
+    for line in interp.take_output() {
+        println!("{line}");
+    }
+    if call.is_none() {
+        println!("{}", interp.heap().display(v));
+        return Ok(());
+    }
+
+    let call_src = call.expect("checked above");
+    let parsed = parse_one(&call_src).map_err(|e| e.to_string())?;
+    let items = parsed.as_list().ok_or("--call must be a function call")?;
+    let fname = items
+        .first()
+        .and_then(Sexpr::as_symbol)
+        .ok_or("--call head must be a symbol")?;
+    // Evaluate the arguments sequentially, then dispatch.
+    let mut argv = Vec::new();
+    for a in &items[1..] {
+        argv.push(interp.eval_str(&a.to_string()).map_err(|e| e.to_string())?);
+    }
+    if servers > 0 {
+        let rt = CriRuntime::new(Arc::clone(&interp), servers);
+        rt.run(fname, &argv).map_err(|e| e.to_string())?;
+        let stats = rt.stats();
+        eprintln!(
+            ";; pool: {} tasks, peak queue {}, {} lock acquisitions",
+            stats.tasks, stats.peak_queue, stats.lock_acquisitions
+        );
+        for line in interp.take_output() {
+            println!("{line}");
+        }
+    } else {
+        let v = interp.call(fname, &argv).map_err(|e| e.to_string())?;
+        for line in interp.take_output() {
+            println!("{line}");
+        }
+        println!("{}", interp.heap().display(v));
+    }
+    Ok(())
+}
+
+fn repl() -> Result<(), String> {
+    let interp = Interp::new();
+    curare::lisp::set_thread_stack_budget(6 << 20);
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    eprintln!("curare mini-Lisp repl — ctrl-d to exit");
+    loop {
+        eprint!("* ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match interp.load_str(&line) {
+            Ok(v) => {
+                for printed in interp.take_output() {
+                    let _ = writeln!(out, "{printed}");
+                }
+                let _ = writeln!(out, "{}", interp.heap().display(v));
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Strict builtin operations.
+//!
+//! These receive already-evaluated arguments. Control-flow forms and
+//! place-taking forms (`and`, `or`, `atomic-incf`) are handled in the
+//! evaluator itself.
+
+use crate::ast::BuiltinOp;
+use crate::error::{LispError, Result};
+use crate::eval::Evaluator;
+use crate::value::{Val, Value};
+
+/// A number during arithmetic: integer until a float appears.
+#[derive(Clone, Copy, Debug)]
+enum Num {
+    Int(i64),
+    Float(f64),
+}
+
+fn type_err(ev: &Evaluator, expected: &'static str, got: Value, op: &'static str) -> LispError {
+    LispError::Type { expected, got: ev.interp().heap().display(got), op }
+}
+
+fn as_num(ev: &Evaluator, v: Value, op: &'static str) -> Result<Num> {
+    match v.decode() {
+        Val::Int(i) => Ok(Num::Int(i)),
+        Val::Float(_) => Ok(Num::Float(ev.interp().heap().float_val(v)?)),
+        _ => Err(type_err(ev, "number", v, op)),
+    }
+}
+
+fn num_value(ev: &Evaluator, n: Num, op: &'static str) -> Result<Value> {
+    match n {
+        Num::Int(i) => Value::int_checked(i).ok_or(LispError::Overflow(op)),
+        Num::Float(x) => Ok(ev.interp().heap().float(x)),
+    }
+}
+
+fn fold_arith(
+    ev: &Evaluator,
+    vals: &[Value],
+    op: &'static str,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+    unit: i64,
+    unary_inverts: bool,
+) -> Result<Value> {
+    if vals.is_empty() {
+        return Ok(Value::int(unit));
+    }
+    let mut nums = Vec::with_capacity(vals.len());
+    for &v in vals {
+        nums.push(as_num(ev, v, op)?);
+    }
+    if nums.len() == 1 && unary_inverts {
+        // (- x) and (/ x) invert against the unit.
+        nums.insert(0, Num::Int(unit));
+    }
+    let mut acc = nums[0];
+    for &n in &nums[1..] {
+        acc = match (acc, n) {
+            (Num::Int(a), Num::Int(b)) => match int_op(a, b) {
+                Some(r) => Num::Int(r),
+                None => {
+                    if op == "/" || op == "mod" {
+                        return Err(LispError::DivideByZero);
+                    }
+                    return Err(LispError::Overflow(op));
+                }
+            },
+            (a, b) => {
+                let fa = match a {
+                    Num::Int(i) => i as f64,
+                    Num::Float(x) => x,
+                };
+                let fb = match b {
+                    Num::Int(i) => i as f64,
+                    Num::Float(x) => x,
+                };
+                Num::Float(float_op(fa, fb))
+            }
+        };
+    }
+    num_value(ev, acc, op)
+}
+
+fn compare_chain(
+    ev: &Evaluator,
+    vals: &[Value],
+    op: &'static str,
+    cmp: impl Fn(f64, f64) -> bool,
+    icmp: impl Fn(i64, i64) -> bool,
+) -> Result<Value> {
+    for pair in vals.windows(2) {
+        let a = as_num(ev, pair[0], op)?;
+        let b = as_num(ev, pair[1], op)?;
+        let ok = match (a, b) {
+            (Num::Int(x), Num::Int(y)) => icmp(x, y),
+            (x, y) => {
+                let fx = match x {
+                    Num::Int(i) => i as f64,
+                    Num::Float(f) => f,
+                };
+                let fy = match y {
+                    Num::Int(i) => i as f64,
+                    Num::Float(f) => f,
+                };
+                cmp(fx, fy)
+            }
+        };
+        if !ok {
+            return Ok(Value::NIL);
+        }
+    }
+    Ok(Value::T)
+}
+
+fn bool_val(b: bool) -> Value {
+    if b {
+        Value::T
+    } else {
+        Value::NIL
+    }
+}
+
+/// Apply builtin `op` to evaluated `vals`.
+pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) -> Result<Value> {
+    use BuiltinOp::*;
+    let interp = ev.interp();
+    let heap = interp.heap();
+    match op {
+        Car => heap.car(vals[0]),
+        Cdr => heap.cdr(vals[0]),
+        Cons => Ok(heap.cons(vals[0], vals[1])),
+        SetCar => {
+            heap.set_car(vals[0], vals[1])?;
+            Ok(vals[1])
+        }
+        SetCdr => {
+            heap.set_cdr(vals[0], vals[1])?;
+            Ok(vals[1])
+        }
+        Add => fold_arith(ev, &vals, "+", i64::checked_add, |a, b| a + b, 0, false),
+        Sub => fold_arith(ev, &vals, "-", i64::checked_sub, |a, b| a - b, 0, true),
+        Mul => fold_arith(ev, &vals, "*", i64::checked_mul, |a, b| a * b, 1, false),
+        Div => fold_arith(ev, &vals, "/", |a, b| a.checked_div(b), |a, b| a / b, 1, true),
+        Mod => {
+            let (a, b) = (as_num(ev, vals[0], "mod")?, as_num(ev, vals[1], "mod")?);
+            match (a, b) {
+                (Num::Int(_), Num::Int(0)) => Err(LispError::DivideByZero),
+                (Num::Int(x), Num::Int(y)) => Ok(Value::int(x.rem_euclid(y))),
+                _ => Err(type_err(ev, "integer", vals[0], "mod")),
+            }
+        }
+        Lt => compare_chain(ev, &vals, "<", |a, b| a < b, |a, b| a < b),
+        Gt => compare_chain(ev, &vals, ">", |a, b| a > b, |a, b| a > b),
+        Le => compare_chain(ev, &vals, "<=", |a, b| a <= b, |a, b| a <= b),
+        Ge => compare_chain(ev, &vals, ">=", |a, b| a >= b, |a, b| a >= b),
+        NumEq => compare_chain(ev, &vals, "=", |a, b| a == b, |a, b| a == b),
+        NumNe => compare_chain(ev, &vals, "/=", |a, b| a != b, |a, b| a != b),
+        Min | Max => {
+            let mut best = vals[0];
+            for &v in &vals[1..] {
+                let a = as_num(ev, best, "min/max")?;
+                let b = as_num(ev, v, "min/max")?;
+                let take_new = {
+                    let (fa, fb) = (
+                        match a {
+                            Num::Int(i) => i as f64,
+                            Num::Float(f) => f,
+                        },
+                        match b {
+                            Num::Int(i) => i as f64,
+                            Num::Float(f) => f,
+                        },
+                    );
+                    if op == Min {
+                        fb < fa
+                    } else {
+                        fb > fa
+                    }
+                };
+                if take_new {
+                    best = v;
+                }
+            }
+            Ok(best)
+        }
+        Abs => match as_num(ev, vals[0], "abs")? {
+            Num::Int(i) => Value::int_checked(i.abs()).ok_or(LispError::Overflow("abs")),
+            Num::Float(x) => Ok(heap.float(x.abs())),
+        },
+        Add1 => fold_arith(ev, &[vals[0], Value::int(1)], "+", i64::checked_add, |a, b| a + b, 0, false),
+        Sub1 => fold_arith(ev, &[vals[0], Value::int(1)], "-", i64::checked_sub, |a, b| a - b, 0, false),
+        Null => Ok(bool_val(vals[0].is_nil())),
+        Eq => Ok(bool_val(vals[0] == vals[1])),
+        Eql => Ok(bool_val(heap.eql(vals[0], vals[1]))),
+        Equal => Ok(bool_val(heap.equal(vals[0], vals[1]))),
+        Atom => Ok(bool_val(!vals[0].is_cons())),
+        Consp => Ok(bool_val(vals[0].is_cons())),
+        Symbolp => Ok(bool_val(matches!(vals[0].decode(), Val::Sym(_) | Val::Nil | Val::T))),
+        Numberp => Ok(bool_val(matches!(vals[0].decode(), Val::Int(_) | Val::Float(_)))),
+        Stringp => Ok(bool_val(matches!(vals[0].decode(), Val::Str(_)))),
+        Functionp => Ok(bool_val(matches!(vals[0].decode(), Val::Func(_)))),
+        List => Ok(heap.list(&vals)),
+        Append => {
+            let mut items = Vec::new();
+            if let Some((last, init)) = vals.split_last() {
+                for &l in init {
+                    items.extend(heap.list_to_vec(l)?);
+                }
+                // The final list is shared, not copied (CL semantics).
+                let mut out = *last;
+                for &v in items.iter().rev() {
+                    out = heap.cons(v, out);
+                }
+                return Ok(out);
+            }
+            Ok(Value::NIL)
+        }
+        Reverse => {
+            let items = heap.list_to_vec(vals[0])?;
+            let mut out = Value::NIL;
+            for &v in &items {
+                out = heap.cons(v, out);
+            }
+            Ok(out)
+        }
+        Length => Ok(Value::int(heap.list_len(vals[0])? as i64)),
+        Nth => {
+            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "nth"))?;
+            let mut l = vals[1];
+            for _ in 0..i.max(0) {
+                l = heap.cdr(l)?;
+            }
+            heap.car(l)
+        }
+        SetNth => {
+            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "setf nth"))?;
+            let mut l = vals[1];
+            for _ in 0..i.max(0) {
+                l = heap.cdr(l)?;
+            }
+            heap.set_car(l, vals[2])?;
+            Ok(vals[2])
+        }
+        Nthcdr => {
+            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "nthcdr"))?;
+            let mut l = vals[1];
+            for _ in 0..i.max(0) {
+                l = heap.cdr(l)?;
+            }
+            Ok(l)
+        }
+        Assoc => {
+            let mut l = vals[1];
+            while !l.is_nil() {
+                let pair = heap.car(l)?;
+                if pair.is_cons() && heap.eql(heap.car(pair)?, vals[0]) {
+                    return Ok(pair);
+                }
+                l = heap.cdr(l)?;
+            }
+            Ok(Value::NIL)
+        }
+        Member => {
+            let mut l = vals[1];
+            while !l.is_nil() {
+                if heap.eql(heap.car(l)?, vals[0]) {
+                    return Ok(l);
+                }
+                l = heap.cdr(l)?;
+            }
+            Ok(Value::NIL)
+        }
+        Last => {
+            let mut l = vals[0];
+            if l.is_nil() {
+                return Ok(Value::NIL);
+            }
+            while heap.cdr(l)?.is_cons() {
+                l = heap.cdr(l)?;
+            }
+            Ok(l)
+        }
+        CopyList => {
+            let items = heap.list_to_vec(vals[0])?;
+            Ok(heap.list(&items))
+        }
+        Print => {
+            interp.emit(heap.display(vals[0]));
+            Ok(vals[0])
+        }
+        Princ => {
+            let text = match vals[0].decode() {
+                Val::Str(id) => heap.str_text(id).to_string(),
+                _ => heap.display(vals[0]),
+            };
+            interp.emit(text);
+            Ok(vals[0])
+        }
+        Terpri => {
+            interp.emit(String::new());
+            Ok(Value::NIL)
+        }
+        ErrorOp => {
+            let msg = match vals[0].decode() {
+                Val::Str(id) => heap.str_text(id).to_string(),
+                _ => heap.display(vals[0]),
+            };
+            let rest: Vec<String> = vals[1..].iter().map(|&v| heap.display(v)).collect();
+            Err(LispError::User(if rest.is_empty() {
+                msg
+            } else {
+                format!("{msg} {}", rest.join(" "))
+            }))
+        }
+        MakeHash => Ok(heap.make_hash()),
+        Gethash => Ok(heap.hash_table(vals[1])?.get(vals[0]).unwrap_or(Value::NIL)),
+        Puthash => {
+            heap.hash_table(vals[2])?.insert(vals[0], vals[1]);
+            Ok(vals[1])
+        }
+        Remhash => Ok(bool_val(heap.hash_table(vals[1])?.remove(vals[0]).is_some())),
+        HashCount => Ok(Value::int(heap.hash_table(vals[0])?.len() as i64)),
+        MakeVector => {
+            let n = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "make-vector"))?;
+            if n < 0 {
+                return Err(LispError::IndexOutOfRange { index: n, len: 0 });
+            }
+            Ok(heap.make_vector(n as usize, vals[1]))
+        }
+        Aref => {
+            let i = vals[1].as_int().ok_or_else(|| type_err(ev, "integer", vals[1], "aref"))?;
+            heap.vector_ref(vals[0], i)
+        }
+        Aset => {
+            let i = vals[1].as_int().ok_or_else(|| type_err(ev, "integer", vals[1], "aset"))?;
+            heap.vector_set(vals[0], i, vals[2])?;
+            Ok(vals[2])
+        }
+        VectorLength => Ok(Value::int(heap.vector_len(vals[0])? as i64)),
+        Funcall => {
+            let f = vals.remove(0);
+            apply_function(ev, f, vals)
+        }
+        Apply => {
+            let f = vals.remove(0);
+            let spread = vals.pop().expect("arity checked at lowering");
+            let mut args = vals;
+            args.extend(ev.interp().heap().list_to_vec(spread)?);
+            apply_function(ev, f, args)
+        }
+        Mapcar => {
+            let f = vals[0];
+            let items = ev.interp().heap().list_to_vec(vals[1])?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(apply_function(ev, f, vec![item])?);
+            }
+            Ok(ev.interp().heap().list(&out))
+        }
+        Identity => Ok(vals[0]),
+        Gensym => Ok(interp.gensym()),
+        Random => {
+            let n = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "random"))?;
+            Ok(Value::int(interp.random(n)))
+        }
+        AtomicIncfGlobal => unreachable!("handled in the evaluator"),
+        AtomicIncfCell => {
+            let field = vals[1]
+                .as_int()
+                .ok_or_else(|| type_err(ev, "integer", vals[1], "atomic-incf-cell"))?;
+            let delta = vals[2]
+                .as_int()
+                .ok_or_else(|| type_err(ev, "integer", vals[2], "atomic-incf-cell"))?;
+            heap.atomic_add_field(vals[0], field as u32, delta)
+        }
+        Touch => interp.hooks().touch(interp, vals[0]),
+    }
+}
+
+/// Call a function value, symbol, or closure within the current
+/// evaluator (preserving the recursion-depth budget).
+fn apply_function(ev: &mut Evaluator, f: Value, args: Vec<Value>) -> Result<Value> {
+    match f.decode() {
+        Val::Func(id) => ev.apply(id, args),
+        Val::Sym(s) => {
+            if let Some(id) = ev.interp().lookup_func(s) {
+                return ev.apply(id, args);
+            }
+            // Builtins are callable by name too: (funcall '+ 1 2).
+            let name = ev.interp().heap().sym_name(s);
+            if let Some((op, min, max)) = crate::lower::builtin_signature(name) {
+                if args.len() < min || args.len() > max {
+                    return Err(LispError::Arity { name: name.into(), expected: min, got: args.len() });
+                }
+                return apply_builtin(ev, op, args);
+            }
+            Err(LispError::UndefinedFunction(name.to_string()))
+        }
+        _ => Err(type_err(ev, "function", f, "funcall")),
+    }
+}

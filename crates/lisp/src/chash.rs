@@ -1,0 +1,146 @@
+//! A striped concurrent hash table backing Lisp hash tables.
+//!
+//! Paper §3.2.3 singles out "operations that put a value into an
+//! unordered data-structure" (hash tables among them) as reorderable:
+//! concurrent invocations may insert in any order without affecting
+//! the final result. That only holds if the table itself tolerates
+//! concurrent inserts, so the substrate provides one: a fixed set of
+//! mutex-striped shards, each an open hash map.
+//!
+//! Keys compare with `eql` semantics, which for the word-encoded
+//! [`Value`] is bit equality.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+const SHARDS: usize = 64;
+
+/// A concurrent `eql` hash table.
+pub struct LispHash {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+}
+
+fn shard_of(key: Value) -> usize {
+    // Fibonacci hashing spreads the tag-heavy low bits.
+    let h = key.bits().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 58) as usize % SHARDS
+}
+
+impl LispHash {
+    /// An empty table.
+    pub fn new() -> Self {
+        LispHash { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn insert(&self, key: Value, value: Value) -> Option<Value> {
+        self.shards[shard_of(key)]
+            .lock()
+            .insert(key.bits(), value.bits())
+            .map(Value::from_bits)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: Value) -> Option<Value> {
+        self.shards[shard_of(key)].lock().get(&key.bits()).copied().map(Value::from_bits)
+    }
+
+    /// Remove `key`; returns the removed value if present.
+    pub fn remove(&self, key: Value) -> Option<Value> {
+        self.shards[shard_of(key)].lock().remove(&key.bits()).map(Value::from_bits)
+    }
+
+    /// Number of entries (sums shard sizes; a snapshot, not atomic).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every entry. Holds one shard lock at a time; entries
+    /// inserted concurrently may or may not be visited.
+    pub fn for_each(&self, mut f: impl FnMut(Value, Value)) {
+        for s in &self.shards {
+            for (&k, &v) in s.lock().iter() {
+                f(Value::from_bits(k), Value::from_bits(v));
+            }
+        }
+    }
+}
+
+impl Default for LispHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let h = LispHash::new();
+        assert!(h.get(Value::int(1)).is_none());
+        assert!(h.insert(Value::int(1), Value::int(10)).is_none());
+        assert_eq!(h.get(Value::int(1)), Some(Value::int(10)));
+        assert_eq!(h.insert(Value::int(1), Value::int(20)), Some(Value::int(10)));
+        assert_eq!(h.remove(Value::int(1)), Some(Value::int(20)));
+        assert!(h.get(Value::int(1)).is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn distinct_key_kinds_do_not_collide() {
+        let h = LispHash::new();
+        h.insert(Value::int(5), Value::int(1));
+        h.insert(Value::sym(5), Value::int(2));
+        h.insert(Value::cons(5), Value::int(3));
+        assert_eq!(h.get(Value::int(5)), Some(Value::int(1)));
+        assert_eq!(h.get(Value::sym(5)), Some(Value::int(2)));
+        assert_eq!(h.get(Value::cons(5)), Some(Value::int(3)));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn for_each_sees_all_entries() {
+        let h = LispHash::new();
+        for i in 0..100 {
+            h.insert(Value::int(i), Value::int(i * 2));
+        }
+        let mut sum = 0;
+        h.for_each(|_, v| sum += v.as_int().unwrap());
+        assert_eq!(sum, (0..100).map(|i| i * 2).sum::<i64>());
+    }
+
+    #[test]
+    fn concurrent_inserts_commute() {
+        use std::sync::Arc;
+        // The §3.2.3 property: the final table is independent of
+        // insertion order.
+        let h = Arc::new(LispHash::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000i64 {
+                        let k = i * 8 + t;
+                        h.insert(Value::int(k), Value::int(k * 10));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.len(), 8000);
+        for k in 0..8000i64 {
+            assert_eq!(h.get(Value::int(k)), Some(Value::int(k * 10)), "k = {k}");
+        }
+    }
+}

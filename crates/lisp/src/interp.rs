@@ -1,0 +1,435 @@
+//! The interpreter facade: function table, globals, output log, and
+//! the pluggable runtime hooks that let the CRI scheduler take over
+//! recursive calls.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::ast::{Func, Program};
+use crate::error::{LispError, Result};
+use crate::eval::Evaluator;
+use crate::heap::Heap;
+use crate::lower::Lowerer;
+use crate::value::{FuncId, SymId, Value};
+use curare_sexpr::parse_all;
+
+/// A function-table entry: the code plus any values captured when a
+/// lambda was evaluated (empty for named functions).
+#[derive(Clone)]
+pub struct FuncEntry {
+    /// The function body and metadata.
+    pub func: Arc<Func>,
+    /// Captured values, prepended to the frame.
+    pub captured: Arc<[Value]>,
+}
+
+#[derive(Default)]
+struct FuncTable {
+    entries: Vec<FuncEntry>,
+    by_name: HashMap<SymId, FuncId>,
+}
+
+/// The hooks through which the evaluator reaches a runtime scheduler.
+///
+/// The sequential implementation ([`SequentialHooks`]) gives ordinary
+/// Lisp semantics: `future` and `cri-enqueue` call directly and locks
+/// are no-ops. The CRI runtime (crate `curare-runtime`) installs an
+/// implementation that enqueues invocations on server queues and maps
+/// lock operations onto its location lock table (paper §3.2.1, §4).
+pub trait RuntimeHooks: Send + Sync {
+    /// `(cri-enqueue site f args...)`: schedule the next invocation.
+    fn enqueue(&self, interp: &Interp, site: usize, fname: SymId, args: Vec<Value>) -> Result<()>;
+    /// `(future (f args...))`: start an asynchronous call, returning a
+    /// value that [`RuntimeHooks::touch`] can resolve.
+    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value>;
+    /// `(touch v)`: wait for a future (identity on normal values).
+    fn touch(&self, interp: &Interp, v: Value) -> Result<Value>;
+    /// `(cri-lock base field)`.
+    fn lock(&self, interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<()>;
+    /// `(cri-unlock base field)`.
+    fn unlock(&self, interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<()>;
+}
+
+/// Serial semantics: calls happen immediately, locks are no-ops.
+pub struct SequentialHooks;
+
+impl RuntimeHooks for SequentialHooks {
+    fn enqueue(&self, interp: &Interp, _site: usize, fname: SymId, args: Vec<Value>) -> Result<()> {
+        interp.call_by_sym(fname, &args)?;
+        Ok(())
+    }
+
+    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value> {
+        interp.call_by_sym(fname, &args)
+    }
+
+    fn touch(&self, _interp: &Interp, v: Value) -> Result<Value> {
+        Ok(v)
+    }
+
+    fn lock(&self, _: &Interp, _: Value, _: u32, _: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn unlock(&self, _: &Interp, _: Value, _: u32, _: bool) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A shared-heap Lisp interpreter.
+///
+/// `Interp` is `Sync`: multiple threads may evaluate functions against
+/// it concurrently, which is exactly how the CRI server pool executes
+/// transformed programs.
+pub struct Interp {
+    heap: Heap,
+    funcs: RwLock<FuncTable>,
+    globals: RwLock<HashMap<SymId, Arc<AtomicU64>>>,
+    output: Mutex<Vec<String>>,
+    hooks: RwLock<Arc<dyn RuntimeHooks>>,
+    gensym: AtomicU64,
+    rng: Mutex<u64>,
+    max_depth: AtomicU64,
+}
+
+impl Interp {
+    /// A fresh interpreter with sequential hooks.
+    pub fn new() -> Self {
+        Interp {
+            heap: Heap::new(),
+            funcs: RwLock::new(FuncTable::default()),
+            globals: RwLock::new(HashMap::new()),
+            output: Mutex::new(Vec::new()),
+            hooks: RwLock::new(Arc::new(SequentialHooks)),
+            gensym: AtomicU64::new(0),
+            rng: Mutex::new(0x853C_49E6_748F_EA9B),
+            max_depth: AtomicU64::new(10_000),
+        }
+    }
+
+    /// The shared heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Install runtime hooks (returns the previous ones).
+    pub fn set_hooks(&self, hooks: Arc<dyn RuntimeHooks>) -> Arc<dyn RuntimeHooks> {
+        std::mem::replace(&mut *self.hooks.write(), hooks)
+    }
+
+    /// The currently installed hooks.
+    pub fn hooks(&self) -> Arc<dyn RuntimeHooks> {
+        Arc::clone(&self.hooks.read())
+    }
+
+    /// Change the evaluator recursion limit.
+    pub fn set_recursion_limit(&self, n: usize) {
+        self.max_depth.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Current recursion limit.
+    pub fn recursion_limit(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed) as usize
+    }
+
+    // ----- functions ------------------------------------------------
+
+    /// Define (or redefine) a named function; returns its id.
+    pub fn define_func(&self, func: Arc<Func>) -> FuncId {
+        let mut table = self.funcs.write();
+        let id = table.entries.len() as FuncId;
+        table.entries.push(FuncEntry { func: Arc::clone(&func), captured: Arc::from([]) });
+        table.by_name.insert(func.name_sym, id);
+        id
+    }
+
+    /// Register a closure instance; returns its id.
+    pub fn define_closure(&self, func: Arc<Func>, captured: Vec<Value>) -> FuncId {
+        let mut table = self.funcs.write();
+        let id = table.entries.len() as FuncId;
+        table.entries.push(FuncEntry { func, captured: captured.into() });
+        id
+    }
+
+    /// Resolve a function by name symbol.
+    pub fn lookup_func(&self, name: SymId) -> Option<FuncId> {
+        self.funcs.read().by_name.get(&name).copied()
+    }
+
+    /// Resolve a function by its source name.
+    pub fn lookup_func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.lookup_func(self.heap.intern(name))
+    }
+
+    /// The entry for `id`.
+    pub fn func_entry(&self, id: FuncId) -> FuncEntry {
+        self.funcs.read().entries[id as usize].clone()
+    }
+
+    /// All currently defined named functions (for analysis passes).
+    pub fn named_funcs(&self) -> Vec<Arc<Func>> {
+        let table = self.funcs.read();
+        table.by_name.values().map(|&id| Arc::clone(&table.entries[id as usize].func)).collect()
+    }
+
+    // ----- globals ---------------------------------------------------
+
+    /// The cell backing global `sym`, creating it unbound if missing.
+    pub fn global_cell(&self, sym: SymId) -> Arc<AtomicU64> {
+        if let Some(c) = self.globals.read().get(&sym) {
+            return Arc::clone(c);
+        }
+        let mut g = self.globals.write();
+        Arc::clone(
+            g.entry(sym).or_insert_with(|| Arc::new(AtomicU64::new(Value::UNBOUND.bits()))),
+        )
+    }
+
+    /// Read global `sym`.
+    pub fn get_global(&self, sym: SymId) -> Result<Value> {
+        let v = Value::from_bits(self.global_cell(sym).load(Ordering::Acquire));
+        if v == Value::UNBOUND {
+            return Err(LispError::Unbound(self.heap.sym_name(sym).to_string()));
+        }
+        Ok(v)
+    }
+
+    /// Write global `sym`.
+    pub fn set_global(&self, sym: SymId, v: Value) {
+        self.global_cell(sym).store(v.bits(), Ordering::Release);
+    }
+
+    /// Atomically add `delta` to integer global `sym` (the §3.2.3
+    /// reordering device); returns the new value.
+    pub fn atomic_incf_global(&self, sym: SymId, delta: i64) -> Result<Value> {
+        let cell = self.global_cell(sym);
+        loop {
+            let old_bits = cell.load(Ordering::Acquire);
+            let old = Value::from_bits(old_bits);
+            if old == Value::UNBOUND {
+                return Err(LispError::Unbound(self.heap.sym_name(sym).to_string()));
+            }
+            let Some(cur) = old.as_int() else {
+                return Err(LispError::Type {
+                    expected: "integer",
+                    got: self.heap.display(old),
+                    op: "atomic-incf",
+                });
+            };
+            let Some(new) = cur.checked_add(delta).and_then(Value::int_checked) else {
+                return Err(LispError::Overflow("atomic-incf"));
+            };
+            if cell
+                .compare_exchange(old_bits, new.bits(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(new);
+            }
+        }
+    }
+
+    // ----- misc services ---------------------------------------------
+
+    /// Append a printed line to the output log.
+    pub fn emit(&self, line: String) {
+        self.output.lock().push(line);
+    }
+
+    /// Take (and clear) the output log.
+    pub fn take_output(&self) -> Vec<String> {
+        std::mem::take(&mut *self.output.lock())
+    }
+
+    /// Fresh `#:gN` symbol value.
+    pub fn gensym(&self) -> Value {
+        let n = self.gensym.fetch_add(1, Ordering::Relaxed);
+        self.heap.sym_value(&format!("#:g{n}"))
+    }
+
+    /// Deterministic PRNG for `(random n)` (splitmix64).
+    pub fn random(&self, n: i64) -> i64 {
+        let mut state = self.rng.lock();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if n <= 0 {
+            0
+        } else {
+            (z % n as u64) as i64
+        }
+    }
+
+    /// Reseed the PRNG (for reproducible workloads).
+    pub fn seed_random(&self, seed: u64) {
+        *self.rng.lock() = seed;
+    }
+
+    // ----- loading and calling ----------------------------------------
+
+    /// Parse, lower, define, and evaluate top-level forms from source.
+    /// Returns the value of the last top-level expression (nil if the
+    /// source holds only definitions).
+    pub fn load_str(&self, src: &str) -> Result<Value> {
+        let forms = parse_all(src).map_err(|e| LispError::Syntax(e.to_string()))?;
+        let mut lw = Lowerer::new(&self.heap);
+        let prog = lw.lower_program(&forms)?;
+        self.load_program(&prog)
+    }
+
+    /// Define and evaluate an already-lowered program.
+    pub fn load_program(&self, prog: &Program) -> Result<Value> {
+        for f in &prog.funcs {
+            self.define_func(Arc::clone(f));
+        }
+        let mut last = Value::NIL;
+        for e in &prog.toplevel {
+            last = self.eval_in_fresh_frame(e)?;
+        }
+        Ok(last)
+    }
+
+    /// Evaluate a single expression string in an empty frame.
+    pub fn eval_str(&self, src: &str) -> Result<Value> {
+        let forms = parse_all(src).map_err(|e| LispError::Syntax(e.to_string()))?;
+        let mut lw = Lowerer::new(&self.heap);
+        let mut last = Value::NIL;
+        for form in &forms {
+            match lw.lower_toplevel(form)? {
+                crate::lower::TopForm::Func(f) => {
+                    self.define_func(f);
+                    last = Value::NIL;
+                }
+                crate::lower::TopForm::StructDef => last = Value::NIL,
+                crate::lower::TopForm::Declaration(_) => last = Value::NIL,
+                crate::lower::TopForm::Expr(e) => last = self.eval_in_fresh_frame(&e)?,
+            }
+        }
+        Ok(last)
+    }
+
+    fn eval_in_fresh_frame(&self, e: &crate::ast::Expr) -> Result<Value> {
+        let mut ev = Evaluator::new(self);
+        ev.eval_toplevel(e)
+    }
+
+    /// Call function `id` with `args`.
+    pub fn call_fid(&self, id: FuncId, args: &[Value]) -> Result<Value> {
+        let mut ev = Evaluator::new(self);
+        ev.apply(id, args.to_vec())
+    }
+
+    /// Call a named function.
+    pub fn call_by_sym(&self, name: SymId, args: &[Value]) -> Result<Value> {
+        let id = self
+            .lookup_func(name)
+            .ok_or_else(|| LispError::UndefinedFunction(self.heap.sym_name(name).to_string()))?;
+        self.call_fid(id, args)
+    }
+
+    /// Call a function by source name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        self.call_by_sym(self.heap.intern(name), args)
+    }
+
+    /// Call a function value (named function or closure).
+    pub fn apply_value(&self, f: Value, args: &[Value]) -> Result<Value> {
+        match f.decode() {
+            crate::value::Val::Func(id) => self.call_fid(id, args),
+            crate::value::Val::Sym(s) => self.call_by_sym(s, args),
+            _ => Err(LispError::Type {
+                expected: "function",
+                got: self.heap.display(f),
+                op: "funcall",
+            }),
+        }
+    }
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_set_get() {
+        let it = Interp::new();
+        let s = it.heap().intern("*x*");
+        assert!(it.get_global(s).is_err());
+        it.set_global(s, Value::int(5));
+        assert_eq!(it.get_global(s).unwrap(), Value::int(5));
+    }
+
+    #[test]
+    fn atomic_incf_is_atomic() {
+        let it = Arc::new(Interp::new());
+        let s = it.heap().intern("*sum*");
+        it.set_global(s, Value::int(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let it = Arc::clone(&it);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        it.atomic_incf_global(s, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(it.get_global(s).unwrap(), Value::int(80_000));
+    }
+
+    #[test]
+    fn atomic_incf_type_checks() {
+        let it = Interp::new();
+        let s = it.heap().intern("*x*");
+        it.set_global(s, Value::T);
+        assert!(it.atomic_incf_global(s, 1).is_err());
+    }
+
+    #[test]
+    fn gensym_unique() {
+        let it = Interp::new();
+        assert_ne!(it.gensym(), it.gensym());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let it = Interp::new();
+        it.seed_random(42);
+        let a: Vec<i64> = (0..10).map(|_| it.random(100)).collect();
+        it.seed_random(42);
+        let b: Vec<i64> = (0..10).map(|_| it.random(100)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0..100).contains(&x)));
+        assert_eq!(it.random(0), 0);
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let it = Interp::new();
+        it.load_str("(defun f (x) x)").unwrap();
+        assert!(it.lookup_func_by_name("f").is_some());
+        assert!(it.lookup_func_by_name("g").is_none());
+        assert_eq!(it.named_funcs().len(), 1);
+    }
+
+    #[test]
+    fn redefinition_shadows() {
+        let it = Interp::new();
+        it.load_str("(defun f (x) 1)").unwrap();
+        it.load_str("(defun f (x) 2)").unwrap();
+        assert_eq!(it.call("f", &[Value::NIL]).unwrap(), Value::int(2));
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the mini-Lisp substrate: evaluation determinism,
+//! unparse/lower round trips, numeric-tower behaviour, and heap
+//! structural equality.
+
+use curare_lisp::{Heap, Interp, Lowerer, Value};
+use curare_sexpr::{parse_all, parse_one};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------
+// Random expression generator: a small, always-well-formed arithmetic
+// and list language.
+// ----------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Int(i32),
+    Add(Vec<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Mul(Vec<GenExpr>),
+    Min(Vec<GenExpr>),
+    Max(Vec<GenExpr>),
+    IfPos(Box<GenExpr>, Box<GenExpr>, Box<GenExpr>),
+    ListOf(Vec<GenExpr>),
+    CarCons(Box<GenExpr>, Box<GenExpr>),
+    LetX(Box<GenExpr>, Box<GenExpr>),
+    VarX,
+}
+
+fn gen_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![(-1000i32..1000).prop_map(GenExpr::Int), Just(GenExpr::VarX)];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(GenExpr::Add),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(GenExpr::Mul),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(GenExpr::Min),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(GenExpr::Max),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| GenExpr::IfPos(Box::new(c), Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(GenExpr::ListOf),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::CarCons(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(v, b)| GenExpr::LetX(Box::new(v), Box::new(b))),
+        ]
+    })
+}
+
+/// Render to source. `in_scope`: whether `x` is bound here.
+fn render(e: &GenExpr, in_scope: bool) -> String {
+    match e {
+        GenExpr::Int(i) => i.to_string(),
+        GenExpr::VarX => {
+            if in_scope {
+                "x".to_string()
+            } else {
+                "7".to_string()
+            }
+        }
+        GenExpr::Add(es) => {
+            format!("(+ {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+        }
+        GenExpr::Sub(a, b) => format!("(- {} {})", render(a, in_scope), render(b, in_scope)),
+        GenExpr::Mul(es) => {
+            format!("(* {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+        }
+        GenExpr::Min(es) => {
+            format!("(min {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+        }
+        GenExpr::Max(es) => {
+            format!("(max {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+        }
+        GenExpr::IfPos(c, a, b) => format!(
+            "(if (> {} 0) {} {})",
+            render(c, in_scope),
+            render(a, in_scope),
+            render(b, in_scope)
+        ),
+        GenExpr::ListOf(es) => {
+            if es.is_empty() {
+                "nil".to_string()
+            } else {
+                format!(
+                    "(length (list {}))",
+                    es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" ")
+                )
+            }
+        }
+        GenExpr::CarCons(a, b) => {
+            format!("(car (cons {} {}))", render(a, in_scope), render(b, in_scope))
+        }
+        GenExpr::LetX(v, b) => {
+            format!("(let ((x {})) {})", render(v, in_scope), render(b, true))
+        }
+    }
+}
+
+/// Evaluate the same source to a display string; `None` on error
+/// (overflow is legitimately possible with `*` chains).
+fn eval_display(src: &str) -> Option<String> {
+    let it = Interp::new();
+    it.load_str(src).ok().map(|v| it.heap().display(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two fresh interpreters always agree (evaluation is a function
+    /// of the program, not of interpreter state).
+    #[test]
+    fn evaluation_is_deterministic(e in gen_expr()) {
+        let src = render(&e, false);
+        prop_assert_eq!(eval_display(&src), eval_display(&src), "{}", src);
+    }
+
+    /// Lower → unparse → re-lower is the identity on the AST.
+    #[test]
+    fn unparse_lower_round_trip(e in gen_expr()) {
+        let src = render(&e, false);
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let ast1 = lw.lower_expr(&parse_one(&src).unwrap()).unwrap();
+        let printed = curare_lisp::unparse::unparse_expr(&heap, &ast1).to_string();
+        let mut lw2 = Lowerer::new(&heap);
+        let ast2 = lw2.lower_expr(&parse_one(&printed).unwrap()).unwrap();
+        prop_assert_eq!(ast1, ast2, "src {} printed {}", src, printed);
+    }
+
+    /// Evaluating the unparsed form gives the same value as the
+    /// original source.
+    #[test]
+    fn unparse_preserves_value(e in gen_expr()) {
+        let src = render(&e, false);
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let ast = lw.lower_expr(&parse_one(&src).unwrap()).unwrap();
+        let printed = curare_lisp::unparse::unparse_expr(&heap, &ast).to_string();
+        prop_assert_eq!(eval_display(&src), eval_display(&printed), "{} vs {}", src, printed);
+    }
+
+    /// Integer arithmetic agrees with Rust's (checked) semantics on
+    /// flat sums and products.
+    #[test]
+    fn flat_arithmetic_matches_rust(xs in prop::collection::vec(-10_000i64..10_000, 1..8)) {
+        let sum: i64 = xs.iter().sum();
+        let src = format!("(+ {})", xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" "));
+        prop_assert_eq!(eval_display(&src), Some(sum.to_string()));
+        let min = *xs.iter().min().expect("nonempty");
+        let src = format!("(min {})", xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" "));
+        prop_assert_eq!(eval_display(&src), Some(min.to_string()));
+    }
+
+    /// `(reverse (reverse l))` is `equal` to `l`; `append` length adds.
+    #[test]
+    fn list_algebra(xs in prop::collection::vec(-100i64..100, 0..12), ys in prop::collection::vec(-100i64..100, 0..12)) {
+        let it = Interp::new();
+        let lx = it.heap().list(&xs.iter().map(|&i| Value::int(i)).collect::<Vec<_>>());
+        let ly = it.heap().list(&ys.iter().map(|&i| Value::int(i)).collect::<Vec<_>>());
+        it.set_global(it.heap().intern("*x*"), lx);
+        it.set_global(it.heap().intern("*y*"), ly);
+        let rr = it.load_str("(reverse (reverse *x*))").unwrap();
+        prop_assert!(it.heap().equal(rr, lx));
+        let appended = it.load_str("(length (append *x* *y*))").unwrap();
+        prop_assert_eq!(appended, Value::int((xs.len() + ys.len()) as i64));
+        // append shares its last argument (CL semantics).
+        let shared = it.load_str("(append *x* *y*)").unwrap();
+        let mut tail = shared;
+        for _ in 0..xs.len() {
+            tail = it.heap().cdr(tail).unwrap();
+        }
+        prop_assert_eq!(tail, ly);
+    }
+
+    /// Structural equality is reflexive and copy-invariant.
+    #[test]
+    fn equal_is_reflexive_and_copy_invariant(xs in prop::collection::vec(-100i64..100, 0..10)) {
+        let it = Interp::new();
+        let l = it.heap().list(&xs.iter().map(|&i| Value::int(i)).collect::<Vec<_>>());
+        it.set_global(it.heap().intern("*l*"), l);
+        prop_assert!(it.heap().equal(l, l));
+        let copy = it.load_str("(copy-list *l*)").unwrap();
+        prop_assert!(it.heap().equal(l, copy));
+        if !xs.is_empty() {
+            prop_assert_ne!(l, copy, "copy is not eq");
+        }
+    }
+
+    /// Loading a program twice into one interpreter redefines
+    /// functions without corrupting earlier data.
+    #[test]
+    fn reloading_is_safe(n in 1i64..50) {
+        let it = Interp::new();
+        it.load_str("(defun f (k) (* k 2))").unwrap();
+        let a = it.call("f", &[Value::int(n)]).unwrap();
+        it.load_str("(defun f (k) (* k 3))").unwrap();
+        let b = it.call("f", &[Value::int(n)]).unwrap();
+        prop_assert_eq!(a, Value::int(n * 2));
+        prop_assert_eq!(b, Value::int(n * 3));
+    }
+
+    /// parse_all on arbitrary program-shaped text never panics, and
+    /// lowering rejects garbage gracefully.
+    #[test]
+    fn lowering_never_panics(s in "[ a-z0-9()'+*-]{0,80}") {
+        if let Ok(forms) = parse_all(&s) {
+            let heap = Heap::new();
+            let mut lw = Lowerer::new(&heap);
+            let _ = lw.lower_program(&forms);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Multilisp-style futures (paper §3.1).
+//!
+//! "If the spawning process is not strict in its use of the result …
+//! then a Multilisp *future* provides process creation and
+//! synchronization features that permit concurrent execution." A
+//! future is a placeholder value; `touch` blocks until the producing
+//! task resolves it.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use curare_lisp::{LispError, Value};
+
+enum FutureState {
+    Pending,
+    Done(Value),
+    Failed(LispError),
+}
+
+struct FutureSlot {
+    state: Mutex<FutureState>,
+    cv: Condvar,
+}
+
+/// The table of live futures; `Value::future(id)` indexes into it.
+#[derive(Default)]
+pub struct FutureTable {
+    slots: RwLock<Vec<std::sync::Arc<FutureSlot>>>,
+}
+
+impl FutureTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a pending future; returns its value handle.
+    pub fn create(&self) -> Value {
+        let mut slots = self.slots.write();
+        let id = slots.len() as u64;
+        slots.push(std::sync::Arc::new(FutureSlot {
+            state: Mutex::new(FutureState::Pending),
+            cv: Condvar::new(),
+        }));
+        Value::future(id)
+    }
+
+    fn slot(&self, id: u64) -> Option<std::sync::Arc<FutureSlot>> {
+        self.slots.read().get(id as usize).cloned()
+    }
+
+    /// Resolve future `id` with a value.
+    pub fn resolve(&self, id: u64, v: Value) {
+        if let Some(slot) = self.slot(id) {
+            *slot.state.lock() = FutureState::Done(v);
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Fail future `id` with an error.
+    pub fn fail(&self, id: u64, e: LispError) {
+        if let Some(slot) = self.slot(id) {
+            *slot.state.lock() = FutureState::Failed(e);
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Block until future `id` resolves; returns its value.
+    pub fn touch(&self, id: u64) -> Result<Value, LispError> {
+        let Some(slot) = self.slot(id) else {
+            return Err(LispError::User(format!("unknown future {id}")));
+        };
+        let mut st = slot.state.lock();
+        loop {
+            match &*st {
+                FutureState::Done(v) => return Ok(*v),
+                FutureState::Failed(e) => return Err(e.clone()),
+                FutureState::Pending => slot.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Non-blocking read: `Some(result)` if resolved.
+    pub fn try_get(&self, id: u64) -> Option<Result<Value, LispError>> {
+        let slot = self.slot(id)?;
+        let st = slot.state.lock();
+        match &*st {
+            FutureState::Done(v) => Some(Ok(*v)),
+            FutureState::Failed(e) => Some(Err(e.clone())),
+            FutureState::Pending => None,
+        }
+    }
+
+    /// Non-blocking probe (for tests).
+    pub fn is_resolved(&self, id: u64) -> bool {
+        self.slot(id)
+            .map(|s| !matches!(&*s.state.lock(), FutureState::Pending))
+            .unwrap_or(false)
+    }
+
+    /// Number of futures ever created.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// True when no futures were created.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_lisp::Val;
+    use std::sync::Arc;
+
+    fn id_of(v: Value) -> u64 {
+        match v.decode() {
+            Val::Future(id) => id,
+            other => panic!("not a future: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_then_touch() {
+        let t = FutureTable::new();
+        let f = t.create();
+        let id = id_of(f);
+        assert!(!t.is_resolved(id));
+        t.resolve(id, Value::int(42));
+        assert_eq!(t.touch(id).unwrap(), Value::int(42));
+        assert!(t.is_resolved(id));
+    }
+
+    #[test]
+    fn touch_blocks_until_resolution() {
+        let t = Arc::new(FutureTable::new());
+        let f = t.create();
+        let id = id_of(f);
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.touch(id).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        t.resolve(id, Value::T);
+        assert_eq!(h.join().unwrap(), Value::T);
+    }
+
+    #[test]
+    fn failure_propagates() {
+        let t = FutureTable::new();
+        let f = t.create();
+        let id = id_of(f);
+        t.fail(id, LispError::User("boom".into()));
+        assert!(matches!(t.touch(id), Err(LispError::User(m)) if m == "boom"));
+    }
+
+    #[test]
+    fn unknown_future_errors() {
+        let t = FutureTable::new();
+        assert!(t.touch(99).is_err());
+    }
+
+    #[test]
+    fn many_futures_are_independent() {
+        let t = FutureTable::new();
+        let handles: Vec<u64> = (0..10).map(|_| id_of(t.create())).collect();
+        for (i, &id) in handles.iter().enumerate() {
+            t.resolve(id, Value::int(i as i64));
+        }
+        for (i, &id) in handles.iter().enumerate() {
+            assert_eq!(t.touch(id).unwrap(), Value::int(i as i64));
+        }
+        assert_eq!(t.len(), 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! The CRI runtime (paper §4): server pools, ordered task queues,
+//! location locks, and futures over the shared-heap interpreter.
+//!
+//! - [`locktable`]: the dynamically allocated collection of location
+//!   locks behind `cri-lock`/`cri-unlock` (§3.2.1);
+//! - [`queue`]: the central, per-call-site-ordered task queues (§4.1);
+//! - [`futures`]: Multilisp-style futures with blocking `touch` (§3.1);
+//! - [`pool`]: the server pool — `S` threads repeatedly executing
+//!   invocation bodies without context switches (§4);
+//! - [`spawner`]: the thread-per-invocation baseline the paper argues
+//!   against (§1.2), kept for the cost-imbalance experiment;
+//! - [`rayon_backend`]: a work-stealing ablation of the §4 scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use curare_lisp::{Interp, Value};
+//! use curare_runtime::CriRuntime;
+//! use curare_transform::Curare;
+//! use std::sync::Arc;
+//!
+//! // Transform a recursive walker and execute it on 4 servers.
+//! let out = Curare::new()
+//!     .transform_source(
+//!         "(curare-declare (reorderable +))
+//!          (defun walk (l)
+//!            (when l (setq *sum* (+ *sum* (car l))) (walk (cdr l))))",
+//!     )
+//!     .unwrap();
+//! let interp = Arc::new(Interp::new());
+//! interp.load_str(&out.source()).unwrap();
+//! interp.load_str("(defparameter *sum* 0)").unwrap();
+//! let rt = CriRuntime::new(Arc::clone(&interp), 4);
+//! let list = interp.load_str("(list 1 2 3 4 5)").unwrap();
+//! rt.run("walk", &[list]).unwrap();
+//! assert_eq!(
+//!     interp.heap().display(interp.load_str("*sum*").unwrap()),
+//!     "15"
+//! );
+//! ```
+
+pub mod futures;
+pub mod locktable;
+pub mod pool;
+pub mod queue;
+pub mod rayon_backend;
+pub mod spawner;
+
+pub use futures::FutureTable;
+pub use locktable::{Location, LockTable};
+pub use pool::{CriHooks, CriRuntime, PoolStats};
+pub use queue::{QueueSet, Task};
+pub use rayon_backend::{RayonHooks, RayonRuntime};
+pub use spawner::{SpawnHooks, SpawnRuntime};

@@ -1,0 +1,569 @@
+//! The CRI server pool (paper §4).
+//!
+//! "Because every transaction executes an identical function body, we
+//! can have a collection of servers that repeatedly execute this piece
+//! of code. Each server only needs to obtain the arguments to an
+//! invocation to begin executing a new task. It does not need to
+//! execute a process context switch."
+//!
+//! The pool owns `S` OS threads that loop over the central queue set,
+//! executing one invocation at a time against the shared interpreter.
+//! `cri-enqueue` (installed through [`CriHooks`]) adds invocations;
+//! termination is detected with a pending-task counter — the moral
+//! equivalent of the paper's kill tokens, without the flag polling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use curare_lisp::{Interp, LispError, RuntimeHooks, SymId, Val, Value};
+
+use crate::futures::FutureTable;
+use crate::locktable::{Location, LockTable};
+use crate::queue::{QueueSet, Task};
+
+/// Counters describing one `run` (and the pool's lifetime totals).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Invocations executed.
+    pub tasks: u64,
+    /// Peak total queue length.
+    pub peak_queue: usize,
+    /// Lock acquisitions performed.
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contended: u64,
+}
+
+struct Shared {
+    sched: Mutex<QueueSet>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    pending: AtomicU64,
+    executed: AtomicU64,
+    error: Mutex<Option<LispError>>,
+    shutdown: AtomicBool,
+    aborting: AtomicBool,
+    locks: LockTable,
+    futures: FutureTable,
+}
+
+impl Shared {
+    fn submit(&self, task: Task) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let mut sched = self.sched.lock();
+        sched.push(task);
+        self.work_cv.notify_one();
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last pending task: wake run() waiters. Lock the
+            // scheduler to pair with their condvar wait.
+            let _guard = self.sched.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// The hooks a pooled interpreter runs under.
+pub struct CriHooks {
+    shared: Arc<Shared>,
+}
+
+impl RuntimeHooks for CriHooks {
+    fn enqueue(&self, interp: &Interp, site: usize, fname: SymId, args: Vec<Value>) -> Result<(), LispError> {
+        if self.shared.aborting.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        self.shared.submit(Task { fid, args, site, future: None });
+        Ok(())
+    }
+
+    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value, LispError> {
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        let fut = self.shared.futures.create();
+        let Val::Future(id) = fut.decode() else { unreachable!("create returns a future") };
+        if self.shared.aborting.load(Ordering::Acquire) {
+            self.shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
+            return Ok(fut);
+        }
+        self.shared.submit(Task { fid, args, site: 0, future: Some(id) });
+        Ok(fut)
+    }
+
+    fn touch(&self, interp: &Interp, v: Value) -> Result<Value, LispError> {
+        match v.decode() {
+            // A server blocked in touch would strand queued work (and
+            // deadlock pools shallower than the recursion), so touch
+            // *helps*: it executes queued invocations while waiting —
+            // the Multilisp discipline.
+            Val::Future(id) => loop {
+                if let Some(result) = self.shared.futures.try_get(id) {
+                    return result;
+                }
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return Err(LispError::User("pool shut down while touching".into()));
+                }
+                let task = self.shared.sched.lock().pop();
+                match task {
+                    Some(t) => execute_task(interp, &self.shared, t),
+                    None => {
+                        // The resolving task runs elsewhere; yield
+                        // briefly rather than spin.
+                        std::thread::sleep(std::time::Duration::from_micros(20));
+                    }
+                }
+            },
+            _ => Ok(v),
+        }
+    }
+
+    fn lock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        self.shared.locks.lock(Location::new(cell, field), exclusive);
+        Ok(())
+    }
+
+    fn unlock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
+            Ok(())
+        } else {
+            Err(LispError::User("cri-unlock without a matching cri-lock".into()))
+        }
+    }
+}
+
+/// The server pool. Owns its worker threads; dropping shuts them down.
+pub struct CriRuntime {
+    interp: Arc<Interp>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    servers: usize,
+}
+
+/// Per-server native stack size. Invocation bodies are shallow (the
+/// recursion became queue hops), but builtins and user helpers may
+/// still recurse.
+const SERVER_STACK: usize = 256 << 20;
+
+impl CriRuntime {
+    /// Spawn `servers` server threads over `interp` and install the
+    /// CRI hooks on it.
+    pub fn new(interp: Arc<Interp>, servers: usize) -> Self {
+        let servers = servers.max(1);
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(QueueSet::new()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            pending: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            error: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
+            locks: LockTable::new(),
+            futures: FutureTable::new(),
+        });
+        interp.set_hooks(Arc::new(CriHooks { shared: Arc::clone(&shared) }));
+
+        let workers = (0..servers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let interp = Arc::clone(&interp);
+                std::thread::Builder::new()
+                    .name(format!("cri-server-{i}"))
+                    .stack_size(SERVER_STACK)
+                    .spawn(move || server_loop(&interp, &shared))
+                    .expect("spawn server thread")
+            })
+            .collect();
+        CriRuntime { interp, shared, workers, servers }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The interpreter this pool executes against.
+    pub fn interp(&self) -> &Arc<Interp> {
+        &self.interp
+    }
+
+    /// Execute `(fname args...)` to completion across the pool:
+    /// enqueue the root invocation, then wait until every transitively
+    /// spawned invocation has finished. The function's effects are the
+    /// result; the returned value is `nil` unless an error occurred.
+    pub fn run(&self, fname: &str, args: &[Value]) -> Result<(), LispError> {
+        let sym = self.interp.heap().intern(fname);
+        let fid = self
+            .interp
+            .lookup_func(sym)
+            .ok_or_else(|| LispError::UndefinedFunction(fname.to_string()))?;
+        self.shared.aborting.store(false, Ordering::Release);
+        *self.shared.error.lock() = None;
+
+        self.shared.submit(Task { fid, args: args.to_vec(), site: 0, future: None });
+        self.wait_idle();
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Spawn `(fname args...)` as a future from the caller's thread.
+    pub fn spawn_future(&self, fname: &str, args: &[Value]) -> Result<Value, LispError> {
+        let sym = self.interp.heap().intern(fname);
+        self.interp.hooks().future(&self.interp, sym, args.to_vec())
+    }
+
+    /// Wait for a future value (identity on plain values).
+    pub fn touch(&self, v: Value) -> Result<Value, LispError> {
+        self.interp.hooks().touch(&self.interp, v)
+    }
+
+    /// Block until no invocation is pending.
+    pub fn wait_idle(&self) {
+        let mut sched = self.shared.sched.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.done_cv.wait(&mut sched);
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.shared.executed.load(Ordering::Relaxed),
+            peak_queue: self.shared.sched.lock().peak(),
+            lock_acquisitions: self.shared.locks.acquisitions(),
+            lock_contended: self.shared.locks.contended(),
+        }
+    }
+}
+
+impl Drop for CriRuntime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sched.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Restore ordinary semantics on the interpreter.
+        self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
+    }
+}
+
+fn server_loop(interp: &Interp, shared: &Shared) {
+    // Servers get a large native stack; let the evaluator use most of
+    // it for any residual non-tail recursion in task bodies.
+    curare_lisp::eval::set_thread_stack_budget(SERVER_STACK - (4 << 20));
+    loop {
+        let task = {
+            let mut sched = shared.sched.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = sched.pop() {
+                    break t;
+                }
+                shared.work_cv.wait(&mut sched);
+            }
+        };
+        execute_task(interp, shared, task);
+    }
+}
+
+/// Run one invocation to completion and settle its bookkeeping. Also
+/// used by helping `touch` calls, so it must be re-entrant.
+fn execute_task(interp: &Interp, shared: &Shared, task: Task) {
+    let result = interp.call_fid(task.fid, &task.args);
+    shared.executed.fetch_add(1, Ordering::Relaxed);
+    match result {
+        Ok(v) => {
+            if let Some(id) = task.future {
+                shared.futures.resolve(id, v);
+            }
+        }
+        Err(e) => {
+            if let Some(id) = task.future {
+                shared.futures.fail(id, e.clone());
+            }
+            shared.aborting.store(true, Ordering::Release);
+            let mut err = shared.error.lock();
+            if err.is_none() {
+                *err = Some(e);
+            }
+            // Drain queued work so the run terminates promptly; the
+            // executing task's own pending count (handled by
+            // finish_one below) keeps the counter above zero here.
+            // Dropped tasks' futures must fail, or helping touches
+            // would wait forever.
+            let dropped = {
+                let mut sched = shared.sched.lock();
+                sched.drain_all()
+            };
+            for t in &dropped {
+                if let Some(id) = t.future {
+                    shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
+                }
+            }
+            if !dropped.is_empty() {
+                shared.pending.fetch_sub(dropped.len() as u64, Ordering::AcqRel);
+            }
+        }
+    }
+    shared.finish_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_transform::Curare;
+
+    fn pooled(src: &str, servers: usize) -> (CriRuntime, String) {
+        let mut curare = Curare::new();
+        let out = curare.transform_source(src).unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        (CriRuntime::new(interp, servers), out.source())
+    }
+
+    #[test]
+    fn conflict_free_walk_runs_in_parallel() {
+        // Count list elements with an atomic accumulator.
+        let (rt, _) = pooled(
+            "(curare-declare (reorderable +))
+             (defun walk (l)
+               (when l
+                 (setq *count* (+ *count* 1))
+                 (walk (cdr l))))",
+            4,
+        );
+        let interp = Arc::clone(rt.interp());
+        interp.load_str("(defparameter *count* 0)").unwrap();
+        let list = interp.load_str("(list 1 2 3 4 5 6 7 8 9 10)").unwrap();
+        rt.run("walk", &[list]).unwrap();
+        let v = interp.load_str("*count*").unwrap();
+        assert_eq!(interp.heap().display(v), "10");
+        assert_eq!(rt.stats().tasks, 11, "one invocation per cell plus the nil case");
+    }
+
+    #[test]
+    fn figure_5_parallel_equals_sequential() {
+        let src = "(defun f (l)
+               (cond ((null l) nil)
+                     ((null (cdr l)) (f (cdr l)))
+                     (t (setf (cadr l) (+ (car l) (cadr l)))
+                        (f (cdr l)))))";
+        // Sequential reference.
+        let seq = Interp::new();
+        seq.load_str(src).unwrap();
+        let expect = {
+            let v = seq.load_str("(let ((d (list 1 1 1 1 1 1 1 1))) (f d) d)").unwrap();
+            seq.heap().display(v)
+        };
+        // Parallel run of the transformed program.
+        let (rt, _) = pooled(src, 4);
+        let interp = Arc::clone(rt.interp());
+        let data = interp.load_str("(list 1 1 1 1 1 1 1 1)").unwrap();
+        rt.run("f", &[data]).unwrap();
+        assert_eq!(interp.heap().display(data), expect);
+        assert_eq!(expect, "(1 2 3 4 5 6 7 8)");
+    }
+
+    #[test]
+    fn future_synced_tail_writer_is_sequentializable() {
+        // Post-call conflicting write: the pipeline wraps the call in
+        // (touch (future ...)) so tails run in unwind order; the
+        // parallel result must match the sequential one exactly.
+        let src = "(defun f (l)
+               (when l
+                 (f (cdr l))
+                 (setf (cdr l) (car l))))";
+        let seq = Interp::new();
+        seq.load_str(src).unwrap();
+        let expect = {
+            let v = seq.load_str("(let ((d (list 1 2 3 4 5))) (f d) d)").unwrap();
+            seq.heap().display(v)
+        };
+        let (rt, xformed) = pooled(src, 4);
+        assert!(xformed.contains("(touch (future"), "{xformed}");
+        let interp = Arc::clone(rt.interp());
+        let data = interp.load_str("(list 1 2 3 4 5)").unwrap();
+        rt.run("f", &[data]).unwrap();
+        assert_eq!(interp.heap().display(data), expect, "transformed:\n{xformed}");
+    }
+
+    #[test]
+    fn future_sync_deeper_than_pool_does_not_deadlock() {
+        // 200 nested touches on a 2-server pool: helping touch must
+        // keep executing queued work.
+        let src = "(defun f (l)
+               (when l
+                 (f (cdr l))
+                 (setf (cdr l) (car l))))";
+        let (rt, _) = pooled(src, 2);
+        let interp = Arc::clone(rt.interp());
+        let data = interp.load_str(
+            "(let ((l nil)) (dotimes (i 200) (setq l (cons i l))) l)",
+        ).unwrap();
+        rt.run("f", &[data]).unwrap();
+        // Every cell's cdr now holds its own car.
+        let first_cdr = interp.heap().cdr(data).unwrap();
+        let first_car = interp.heap().car(data).unwrap();
+        assert_eq!(first_cdr, first_car);
+    }
+
+    #[test]
+    fn atomic_cell_accumulation_runs_fully_parallel() {
+        // The §3.2.3 path: commutative cell update via CAS; no
+        // future-sync, every invocation independent.
+        let (rt, xformed) = pooled(
+            "(curare-declare (reorderable +))
+             (defun f (acc l)
+               (when l
+                 (f acc (cdr l))
+                 (setf (car acc) (+ (car acc) (car l)))))",
+            4,
+        );
+        assert!(xformed.contains("atomic-incf-cell"), "{xformed}");
+        assert!(!xformed.contains("future"), "{xformed}");
+        let interp = Arc::clone(rt.interp());
+        let acc = interp.heap().cons(Value::int(0), Value::NIL);
+        let data = interp.load_str("(let ((l nil)) (dotimes (i 1000) (setq l (cons 1 l))) l)").unwrap();
+        rt.run("f", &[acc, data]).unwrap();
+        assert_eq!(interp.heap().car(acc).unwrap(), Value::int(1000));
+    }
+
+    #[test]
+    fn dps_remq_parallel_matches_sequential() {
+        let src = "(defun remq (obj lst)
+               (cond ((null lst) nil)
+                     ((eq obj (car lst)) (remq obj (cdr lst)))
+                     (t (cons (car lst) (remq obj (cdr lst))))))";
+        let mut curare = Curare::new();
+        let out = curare.transform_source(src).unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 4);
+
+        // Drive via the -d entry so completion is pool-detected.
+        let obj = interp.heap().sym_value("a");
+        let lst = interp.load_str("(list 'a 'b 'a 'c 'a 'd 'e 'a)").unwrap();
+        let dest = interp.heap().cons(Value::NIL, Value::NIL);
+        rt.run("remq-d", &[dest, obj, lst]).unwrap();
+        let result = interp.heap().cdr(dest).unwrap();
+        assert_eq!(interp.heap().display(result), "(b c d e)");
+    }
+
+    #[test]
+    fn errors_propagate_and_stop_the_run() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str(
+                "(defun f (n)
+                   (if (= n 3)
+                       (error \"boom\")
+                       (when (< n 10) (cri-enqueue 0 f (1+ n)))))",
+            )
+            .unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 2);
+        let err = rt.run("f", &[Value::int(0)]).unwrap_err();
+        assert!(matches!(err, LispError::User(m) if m.contains("boom")));
+        // The pool stays usable afterwards.
+        interp.load_str("(defun g (n) n)").unwrap();
+        rt.run("g", &[Value::int(1)]).unwrap();
+    }
+
+    #[test]
+    fn futures_resolve_across_the_pool() {
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun work (n) (* n n))").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 2);
+        let futs: Vec<Value> =
+            (0..8).map(|i| rt.spawn_future("work", &[Value::int(i)]).unwrap()).collect();
+        for (i, f) in futs.into_iter().enumerate() {
+            assert_eq!(rt.touch(f).unwrap(), Value::int((i * i) as i64));
+        }
+    }
+
+    #[test]
+    fn future_failures_surface_at_touch() {
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun bad (n) (error \"nope\"))").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 2);
+        let f = rt.spawn_future("bad", &[Value::int(1)]).unwrap();
+        assert!(rt.touch(f).is_err());
+        rt.wait_idle();
+    }
+
+    #[test]
+    fn many_runs_reuse_servers() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str(
+                "(defun walk (l) (when l (cri-enqueue 0 walk (cdr l))))",
+            )
+            .unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 3);
+        for _ in 0..20 {
+            let l = interp.load_str("(list 1 2 3 4)").unwrap();
+            rt.run("walk", &[l]).unwrap();
+        }
+        assert_eq!(rt.stats().tasks, 20 * 5);
+    }
+
+    #[test]
+    fn run_of_undefined_function_errors() {
+        let interp = Arc::new(Interp::new());
+        let rt = CriRuntime::new(interp, 1);
+        assert!(matches!(
+            rt.run("nope", &[]),
+            Err(LispError::UndefinedFunction(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn single_server_pool_still_completes() {
+        let (rt, _) = pooled(
+            "(defun walk (l) (when l (print (car l)) (walk (cdr l))))",
+            1,
+        );
+        let interp = Arc::clone(rt.interp());
+        let l = interp.load_str("(list 1 2 3)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        assert_eq!(interp.take_output(), vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn deep_lists_do_not_blow_the_stack() {
+        // 50k invocations through the queue: constant stack per task.
+        let (rt, _) = pooled(
+            "(curare-declare (reorderable +))
+             (defun walk (l)
+               (when l
+                 (setq *n* (+ *n* 1))
+                 (walk (cdr l))))",
+            4,
+        );
+        let interp = Arc::clone(rt.interp());
+        interp.load_str("(defparameter *n* 0)").unwrap();
+        let mut l = Value::NIL;
+        for i in 0..50_000 {
+            l = interp.heap().cons(Value::int(i), l);
+        }
+        rt.run("walk", &[l]).unwrap();
+        let v = interp.load_str("*n*").unwrap();
+        assert_eq!(interp.heap().display(v), "50000");
+    }
+}

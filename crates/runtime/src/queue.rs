@@ -1,0 +1,166 @@
+//! Task queues for the CRI server pool (paper §4.1).
+//!
+//! Invocations of a function with a single self-recursive call enter a
+//! single FIFO queue "in their sequential order". A function with
+//! multiple call sites would scramble the order, so the paper keeps
+//! "an ordered set of queues, one for each call site", servers taking
+//! from the lowest-indexed non-empty queue.
+
+use std::collections::VecDeque;
+
+use curare_lisp::{FuncId, Value};
+
+/// One pending invocation: the function, its arguments, and the call
+/// site that produced it.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Function to invoke.
+    pub fid: FuncId,
+    /// Evaluated actual parameters.
+    pub args: Vec<Value>,
+    /// Call-site index (queue selector).
+    pub site: usize,
+    /// Future to resolve with the invocation's value, if any.
+    pub future: Option<u64>,
+}
+
+/// The ordered set of per-call-site queues. Not internally
+/// synchronized: the pool wraps it in its scheduler mutex.
+#[derive(Debug, Default)]
+pub struct QueueSet {
+    queues: Vec<VecDeque<Task>>,
+    /// Peak total length, for the §4.1 "queue never grows" analysis.
+    peak: usize,
+    len: usize,
+}
+
+impl QueueSet {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue `task` on its site's queue, growing the set as needed.
+    pub fn push(&mut self, task: Task) {
+        if task.site >= self.queues.len() {
+            self.queues.resize_with(task.site + 1, VecDeque::new);
+        }
+        self.queues[task.site].push_back(task);
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+    }
+
+    /// Dequeue from the lowest-indexed non-empty queue.
+    pub fn pop(&mut self) -> Option<Task> {
+        for q in &mut self.queues {
+            if let Some(t) = q.pop_front() {
+                self.len -= 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Total queued tasks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest total length ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drop all queued tasks (error shutdown).
+    pub fn clear(&mut self) {
+        self.drain_all();
+    }
+
+    /// Remove and return every queued task (error shutdown needs to
+    /// fail their futures).
+    pub fn drain_all(&mut self) -> Vec<Task> {
+        let mut out = Vec::with_capacity(self.len);
+        for q in &mut self.queues {
+            out.extend(q.drain(..));
+        }
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(site: usize, tag: i64) -> Task {
+        Task { fid: 0, args: vec![Value::int(tag)], site, future: None }
+    }
+
+    #[test]
+    fn fifo_within_a_site() {
+        let mut q = QueueSet::new();
+        q.push(task(0, 1));
+        q.push(task(0, 2));
+        q.push(task(0, 3));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(1));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(2));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lower_sites_drain_first() {
+        let mut q = QueueSet::new();
+        q.push(task(1, 10));
+        q.push(task(0, 1));
+        q.push(task(1, 11));
+        q.push(task(0, 2));
+        let order: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|t| t.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, [1, 2, 10, 11]);
+    }
+
+    #[test]
+    fn len_and_peak_track() {
+        let mut q = QueueSet::new();
+        assert!(q.is_empty());
+        q.push(task(0, 1));
+        q.push(task(3, 2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.push(task(0, 3));
+        q.push(task(0, 4));
+        assert_eq!(q.peak(), 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peak(), 3, "peak survives clear");
+    }
+
+    #[test]
+    fn single_site_queue_never_grows_under_one_in_one_out() {
+        // §4.1: "Execution of a task removes an item from the queue and
+        // that task adds at most one item, so its length never
+        // increases."
+        let mut q = QueueSet::new();
+        for i in 0..4 {
+            q.push(task(0, i));
+        }
+        let start = q.len();
+        for _ in 0..100 {
+            if let Some(t) = q.pop() {
+                // the executed task enqueues at most one successor
+                if t.args[0].as_int().unwrap() < 96 {
+                    q.push(task(0, t.args[0].as_int().unwrap() + 4));
+                }
+                assert!(q.len() <= start);
+            }
+        }
+    }
+}

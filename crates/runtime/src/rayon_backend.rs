@@ -1,0 +1,263 @@
+//! An alternative execution backend on rayon's work-stealing pool.
+//!
+//! The paper's own runtime is the ordered server pool of §4 (see
+//! [`crate::pool`]); this module is an *ablation*: the same CRI
+//! enqueue interface dispatched onto `rayon::ThreadPool::spawn`
+//! instead of the central FIFO queues. It answers two questions the
+//! benches measure:
+//!
+//! - how much does the central queue cost against a work-stealing
+//!   scheduler (§4.1's bottleneck discussion), and
+//! - does invocation order matter for the programs Curare emits
+//!   (conflict-free and atomic-update programs: no; future-synced
+//!   programs want the helping scheduler of [`crate::pool`]).
+//!
+//! Use this backend for conflict-free or reorder-converted programs;
+//! `touch` here blocks without helping, so deeply future-synced
+//! programs should use [`crate::pool::CriRuntime`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use curare_lisp::{Interp, LispError, RuntimeHooks, SymId, Val, Value};
+
+use crate::futures::FutureTable;
+use crate::locktable::{Location, LockTable};
+
+struct Shared {
+    pending: AtomicU64,
+    executed: AtomicU64,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+    error: Mutex<Option<LispError>>,
+    locks: LockTable,
+    futures: FutureTable,
+}
+
+impl Shared {
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_m.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Hooks dispatching enqueues onto a rayon pool.
+pub struct RayonHooks {
+    interp: std::sync::Weak<Interp>,
+    pool: Arc<rayon::ThreadPool>,
+    shared: Arc<Shared>,
+}
+
+impl RayonHooks {
+    fn launch(&self, fid: curare_lisp::FuncId, args: Vec<Value>, future: Option<u64>) {
+        let Some(interp) = self.interp.upgrade() else { return };
+        let shared = Arc::clone(&self.shared);
+        shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.pool.spawn(move || {
+            let result = interp.call_fid(fid, &args);
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(v) => {
+                    if let Some(id) = future {
+                        shared.futures.resolve(id, v);
+                    }
+                }
+                Err(e) => {
+                    if let Some(id) = future {
+                        shared.futures.fail(id, e.clone());
+                    }
+                    let mut err = shared.error.lock();
+                    if err.is_none() {
+                        *err = Some(e);
+                    }
+                }
+            }
+            shared.finish_one();
+        });
+    }
+}
+
+impl RuntimeHooks for RayonHooks {
+    fn enqueue(&self, interp: &Interp, _site: usize, fname: SymId, args: Vec<Value>) -> Result<(), LispError> {
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        self.launch(fid, args, None);
+        Ok(())
+    }
+
+    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value, LispError> {
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        let fut = self.shared.futures.create();
+        let Val::Future(id) = fut.decode() else { unreachable!() };
+        self.launch(fid, args, Some(id));
+        Ok(fut)
+    }
+
+    fn touch(&self, _interp: &Interp, v: Value) -> Result<Value, LispError> {
+        match v.decode() {
+            Val::Future(id) => self.shared.futures.touch(id),
+            _ => Ok(v),
+        }
+    }
+
+    fn lock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        self.shared.locks.lock(Location::new(cell, field), exclusive);
+        Ok(())
+    }
+
+    fn unlock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
+            Ok(())
+        } else {
+            Err(LispError::User("cri-unlock without a matching cri-lock".into()))
+        }
+    }
+}
+
+/// The rayon-backed CRI runtime (ablation baseline).
+pub struct RayonRuntime {
+    interp: Arc<Interp>,
+    shared: Arc<Shared>,
+}
+
+impl RayonRuntime {
+    /// Build a `threads`-wide rayon pool and install the hooks.
+    pub fn new(interp: Arc<Interp>, threads: usize) -> Self {
+        let pool = Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .stack_size(32 << 20)
+                .build()
+                .expect("build rayon pool"),
+        );
+        let shared = Arc::new(Shared {
+            pending: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+            error: Mutex::new(None),
+            locks: LockTable::new(),
+            futures: FutureTable::new(),
+        });
+        interp.set_hooks(Arc::new(RayonHooks {
+            interp: Arc::downgrade(&interp),
+            pool,
+            shared: Arc::clone(&shared),
+        }));
+        RayonRuntime { interp, shared }
+    }
+
+    /// The interpreter.
+    pub fn interp(&self) -> &Arc<Interp> {
+        &self.interp
+    }
+
+    /// Run `(fname args...)` to completion across the rayon pool.
+    pub fn run(&self, fname: &str, args: &[Value]) -> Result<(), LispError> {
+        *self.shared.error.lock() = None;
+        self.interp.call(fname, args)?;
+        self.wait_idle();
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until every spawned invocation finished.
+    pub fn wait_idle(&self) {
+        let mut g = self.shared.done_m.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.done_cv.wait(&mut g);
+        }
+    }
+
+    /// Invocations executed so far.
+    pub fn tasks(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for RayonRuntime {
+    fn drop(&mut self) {
+        self.wait_idle();
+        self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_transform::Curare;
+
+    #[test]
+    fn conflict_free_walk_runs_on_rayon() {
+        let out = Curare::new()
+            .transform_source(
+                "(curare-declare (reorderable +))
+                 (defun walk (l)
+                   (when l
+                     (setq *sum* (+ *sum* (car l)))
+                     (walk (cdr l))))",
+            )
+            .unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = RayonRuntime::new(Arc::clone(&interp), 4);
+        let l = interp.load_str("(let ((l nil)) (dotimes (i 2000) (setq l (cons 1 l))) l)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        let v = interp.load_str("*sum*").unwrap();
+        assert_eq!(v, Value::int(2000));
+        // The root invocation runs on the calling thread; the 2000
+        // recursive invocations were rayon tasks.
+        assert_eq!(rt.tasks(), 2000);
+    }
+
+    #[test]
+    fn atomic_cell_update_is_exact_on_rayon() {
+        let out = Curare::new()
+            .transform_source(
+                "(curare-declare (reorderable +))
+                 (defun f (acc l)
+                   (when l
+                     (f acc (cdr l))
+                     (setf (car acc) (+ (car acc) (car l)))))",
+            )
+            .unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        let rt = RayonRuntime::new(Arc::clone(&interp), 4);
+        let acc = interp.heap().cons(Value::int(0), Value::NIL);
+        let l = interp.load_str("(let ((l nil)) (dotimes (i 500) (setq l (cons 2 l))) l)").unwrap();
+        rt.run("f", &[acc, l]).unwrap();
+        assert_eq!(interp.heap().car(acc).unwrap(), Value::int(1000));
+    }
+
+    #[test]
+    fn errors_surface_from_rayon_tasks() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str("(defun f (n) (if (= n 5) (error \"rayon boom\") (cri-enqueue 0 f (1+ n))))")
+            .unwrap();
+        let rt = RayonRuntime::new(Arc::clone(&interp), 2);
+        let err = rt.run("f", &[Value::int(0)]).unwrap_err();
+        assert!(err.to_string().contains("rayon boom"));
+    }
+
+    #[test]
+    fn futures_resolve_on_rayon() {
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun sq (n) (* n n))").unwrap();
+        let rt = RayonRuntime::new(Arc::clone(&interp), 2);
+        let v = interp.load_str("(touch (future (sq 12)))").unwrap();
+        assert_eq!(v, Value::int(144));
+        rt.wait_idle();
+    }
+}

@@ -1,0 +1,233 @@
+//! Process-per-invocation execution — the costly alternative the
+//! paper argues against (§1.2).
+//!
+//! "Lisp process creation, deletion, and context-switching are
+//! noticeably more expensive than function invocation … programmers
+//! and program transformation systems cannot treat processes as a free
+//! and infinite resource (cf. Halstead's Multilisp)."
+//!
+//! This runtime spawns one OS thread per invocation instead of reusing
+//! servers. It is deliberately naive: experiment E10 measures the cost
+//! imbalance between this model and the server pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use curare_lisp::{Interp, LispError, RuntimeHooks, SymId, Val, Value};
+
+use crate::futures::FutureTable;
+use crate::locktable::{Location, LockTable};
+
+struct Shared {
+    pending: AtomicU64,
+    spawned: AtomicU64,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+    error: Mutex<Option<LispError>>,
+    locks: LockTable,
+    futures: FutureTable,
+}
+
+impl Shared {
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_m.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Hooks that spawn a fresh thread per enqueued invocation.
+pub struct SpawnHooks {
+    interp: std::sync::Weak<Interp>,
+    shared: Arc<Shared>,
+}
+
+/// Stack size for per-invocation threads. Stacks are lazily mapped
+/// virtual memory, so reservation size does not meaningfully affect
+/// the creation cost E10 measures.
+const TASK_STACK: usize = 64 << 20;
+
+impl SpawnHooks {
+    fn launch(&self, fid: curare_lisp::FuncId, args: Vec<Value>, future: Option<u64>) {
+        let Some(interp) = self.interp.upgrade() else { return };
+        let shared = Arc::clone(&self.shared);
+        shared.pending.fetch_add(1, Ordering::AcqRel);
+        shared.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .stack_size(TASK_STACK)
+            .spawn(move || {
+                curare_lisp::eval::set_thread_stack_budget(TASK_STACK - (4 << 20));
+                let result = interp.call_fid(fid, &args);
+                match result {
+                    Ok(v) => {
+                        if let Some(id) = future {
+                            shared.futures.resolve(id, v);
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(id) = future {
+                            shared.futures.fail(id, e.clone());
+                        }
+                        let mut err = shared.error.lock();
+                        if err.is_none() {
+                            *err = Some(e);
+                        }
+                    }
+                }
+                shared.finish_one();
+            })
+            .expect("spawn invocation thread");
+    }
+}
+
+impl RuntimeHooks for SpawnHooks {
+    fn enqueue(&self, interp: &Interp, _site: usize, fname: SymId, args: Vec<Value>) -> Result<(), LispError> {
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        self.launch(fid, args, None);
+        Ok(())
+    }
+
+    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value, LispError> {
+        let fid = interp
+            .lookup_func(fname)
+            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+        let fut = self.shared.futures.create();
+        let Val::Future(id) = fut.decode() else { unreachable!() };
+        self.launch(fid, args, Some(id));
+        Ok(fut)
+    }
+
+    fn touch(&self, _interp: &Interp, v: Value) -> Result<Value, LispError> {
+        match v.decode() {
+            Val::Future(id) => self.shared.futures.touch(id),
+            _ => Ok(v),
+        }
+    }
+
+    fn lock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        self.shared.locks.lock(Location::new(cell, field), exclusive);
+        Ok(())
+    }
+
+    fn unlock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+        if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
+            Ok(())
+        } else {
+            Err(LispError::User("cri-unlock without a matching cri-lock".into()))
+        }
+    }
+}
+
+/// The thread-per-invocation runtime (E10 baseline).
+pub struct SpawnRuntime {
+    interp: Arc<Interp>,
+    shared: Arc<Shared>,
+}
+
+impl SpawnRuntime {
+    /// Install spawn-per-invocation hooks on `interp`.
+    pub fn new(interp: Arc<Interp>) -> Self {
+        let shared = Arc::new(Shared {
+            pending: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+            error: Mutex::new(None),
+            locks: LockTable::new(),
+            futures: FutureTable::new(),
+        });
+        interp.set_hooks(Arc::new(SpawnHooks {
+            interp: Arc::downgrade(&interp),
+            shared: Arc::clone(&shared),
+        }));
+        SpawnRuntime { interp, shared }
+    }
+
+    /// The interpreter.
+    pub fn interp(&self) -> &Arc<Interp> {
+        &self.interp
+    }
+
+    /// Run `(fname args...)`: the root executes on the calling thread;
+    /// every recursive invocation gets its own thread.
+    pub fn run(&self, fname: &str, args: &[Value]) -> Result<(), LispError> {
+        *self.shared.error.lock() = None;
+        self.interp.call(fname, args)?;
+        self.wait_idle();
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until every spawned invocation finished.
+    pub fn wait_idle(&self) {
+        let mut g = self.shared.done_m.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.done_cv.wait(&mut g);
+        }
+    }
+
+    /// Threads created so far.
+    pub fn threads_spawned(&self) -> u64 {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SpawnRuntime {
+    fn drop(&mut self) {
+        self.wait_idle();
+        self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_runtime_computes_correctly() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str(
+                "(defun walk (l)
+                   (when l
+                     (atomic-incf *n* (car l))
+                     (cri-enqueue 0 walk (cdr l))))",
+            )
+            .unwrap();
+        interp.load_str("(defparameter *n* 0)").unwrap();
+        let rt = SpawnRuntime::new(Arc::clone(&interp));
+        let l = interp.load_str("(list 1 2 3 4 5)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        let v = interp.load_str("*n*").unwrap();
+        assert_eq!(interp.heap().display(v), "15");
+        assert_eq!(rt.threads_spawned(), 5, "one thread per recursive invocation");
+    }
+
+    #[test]
+    fn errors_surface() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str("(defun f (n) (if (= n 2) (error \"stop\") (cri-enqueue 0 f (1+ n))))")
+            .unwrap();
+        let rt = SpawnRuntime::new(Arc::clone(&interp));
+        let err = rt.run("f", &[Value::int(0)]).unwrap_err();
+        assert!(matches!(err, LispError::User(m) if m.contains("stop")));
+    }
+
+    #[test]
+    fn futures_work() {
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun sq (n) (* n n))").unwrap();
+        let rt = SpawnRuntime::new(Arc::clone(&interp));
+        let v = interp.load_str("(touch (future (sq 9)))").unwrap();
+        assert_eq!(v, Value::int(81));
+        rt.wait_idle();
+    }
+}

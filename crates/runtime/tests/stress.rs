@@ -1,0 +1,170 @@
+//! Stress and robustness tests for the CRI runtime: repeated runs,
+//! contention on one location, mixed devices, and rapid pool
+//! create/destroy cycles.
+
+use std::sync::Arc;
+
+use curare_lisp::{Interp, Value};
+use curare_runtime::{CriRuntime, RayonRuntime};
+use curare_transform::Curare;
+
+fn int_list(interp: &Interp, n: i64) -> Value {
+    let mut l = Value::NIL;
+    for i in 0..n {
+        l = interp.heap().cons(Value::int(i + 1), l);
+    }
+    l
+}
+
+#[test]
+fn hundred_consecutive_runs_are_all_exact() {
+    let out = Curare::new()
+        .transform_source(
+            "(curare-declare (reorderable +))
+             (defun walk (l)
+               (when l
+                 (setq *sum* (+ *sum* (car l)))
+                 (walk (cdr l))))",
+        )
+        .unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    let rt = CriRuntime::new(Arc::clone(&interp), 4);
+    for run in 0..100 {
+        interp.load_str("(setq *sum* 0)").unwrap();
+        let n = 50 + run;
+        let l = int_list(&interp, n);
+        rt.run("walk", &[l]).unwrap();
+        let v = interp.load_str("*sum*").unwrap();
+        assert_eq!(v, Value::int(n * (n + 1) / 2), "run {run}");
+    }
+}
+
+#[test]
+fn maximal_contention_single_cell() {
+    // Every invocation CASes the same cell: the total must be exact.
+    let out = Curare::new()
+        .transform_source(
+            "(curare-declare (reorderable +))
+             (defun hammer (acc l)
+               (when l
+                 (hammer acc (cdr l))
+                 (setf (car acc) (+ (car acc) 1))))",
+        )
+        .unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    let rt = CriRuntime::new(Arc::clone(&interp), 8);
+    let acc = interp.heap().cons(Value::int(0), Value::NIL);
+    let l = int_list(&interp, 10_000);
+    rt.run("hammer", &[acc, l]).unwrap();
+    assert_eq!(interp.heap().car(acc).unwrap(), Value::int(10_000));
+}
+
+#[test]
+fn pools_create_and_destroy_rapidly() {
+    let interp = Arc::new(Interp::new());
+    interp.load_str("(defun nopwalk (l) (when l (cri-enqueue 0 nopwalk (cdr l))))").unwrap();
+    for servers in [1usize, 2, 3, 4, 1, 8, 2] {
+        let rt = CriRuntime::new(Arc::clone(&interp), servers);
+        let l = int_list(&interp, 100);
+        rt.run("nopwalk", &[l]).unwrap();
+        drop(rt); // joins all servers
+    }
+    // After the last drop, sequential semantics are restored.
+    let l = int_list(&interp, 5);
+    interp.call("nopwalk", &[l]).unwrap();
+}
+
+#[test]
+fn two_functions_share_one_pool() {
+    let out = Curare::new()
+        .transform_source(
+            "(curare-declare (reorderable +))
+             (defun up (l)
+               (when l (setq *a* (+ *a* 1)) (up (cdr l))))
+             (defun down (l)
+               (when l (setq *b* (+ *b* 1)) (down (cdr l))))",
+        )
+        .unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    interp.load_str("(defparameter *a* 0) (defparameter *b* 0)").unwrap();
+    let rt = CriRuntime::new(Arc::clone(&interp), 4);
+    for _ in 0..10 {
+        let l1 = int_list(&interp, 200);
+        rt.run("up", &[l1]).unwrap();
+        let l2 = int_list(&interp, 300);
+        rt.run("down", &[l2]).unwrap();
+    }
+    assert_eq!(interp.load_str("*a*").unwrap(), Value::int(2000));
+    assert_eq!(interp.load_str("*b*").unwrap(), Value::int(3000));
+}
+
+#[test]
+fn future_sync_deep_chain_on_tiny_pool() {
+    // 1-server pool with 1000 nested touches: helping keeps it alive.
+    let out = Curare::new()
+        .transform_source(
+            "(defun rot (l)
+               (when l
+                 (rot (cdr l))
+                 (setf (cdr l) (car l))))",
+        )
+        .unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    let rt = CriRuntime::new(Arc::clone(&interp), 1);
+    let l = int_list(&interp, 1000);
+    rt.run("rot", &[l]).unwrap();
+    let car = interp.heap().car(l).unwrap();
+    let cdr = interp.heap().cdr(l).unwrap();
+    assert_eq!(car, cdr, "each cell's cdr holds its car after rotate");
+}
+
+#[test]
+fn rayon_and_pool_agree() {
+    let src = "(curare-declare (reorderable +))
+               (defun walk (l)
+                 (when l (setq *s* (+ *s* (car l))) (walk (cdr l))))";
+    let out = Curare::new().transform_source(src).unwrap();
+
+    let a = Arc::new(Interp::new());
+    a.load_str(&out.source()).unwrap();
+    a.load_str("(defparameter *s* 0)").unwrap();
+    let pool = CriRuntime::new(Arc::clone(&a), 4);
+    let l = int_list(&a, 5000);
+    pool.run("walk", &[l]).unwrap();
+    let pool_sum = a.load_str("*s*").unwrap();
+
+    let b = Arc::new(Interp::new());
+    b.load_str(&out.source()).unwrap();
+    b.load_str("(defparameter *s* 0)").unwrap();
+    let ray = RayonRuntime::new(Arc::clone(&b), 4);
+    let l2 = int_list(&b, 5000);
+    ray.run("walk", &[l2]).unwrap();
+    let ray_sum = b.load_str("*s*").unwrap();
+
+    assert_eq!(pool_sum, ray_sum);
+    assert_eq!(pool_sum, Value::int(5000 * 5001 / 2));
+}
+
+#[test]
+fn hash_workload_under_unordered_insert_declaration() {
+    let out = Curare::new()
+        .transform_source(
+            "(curare-declare (unordered-insert puthash))
+             (defun index (l h)
+               (when l
+                 (puthash (car l) (car l) h)
+                 (index (cdr l) h)))",
+        )
+        .unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    let rt = CriRuntime::new(Arc::clone(&interp), 4);
+    let h = interp.heap().make_hash();
+    let l = int_list(&interp, 3000);
+    rt.run("index", &[l, h]).unwrap();
+    assert_eq!(interp.heap().hash_table(h).unwrap().len(), 3000);
+}

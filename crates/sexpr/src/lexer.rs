@@ -1,0 +1,341 @@
+//! Tokenizer for the mini-Lisp reader.
+//!
+//! Produces a stream of [`Token`]s with byte spans. Comments (`;` to
+//! end of line) and whitespace separate tokens and are skipped.
+
+use crate::error::{ReadError, ReadErrorKind, Span};
+
+/// The kinds of token the reader distinguishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    Open,
+    /// `)`
+    Close,
+    /// `'` — quote shorthand.
+    Quote,
+    /// `#'` — function shorthand.
+    SharpQuote,
+    /// `.` — dotted-pair marker (only when it stands alone).
+    Dot,
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// A symbol (identifier, operator name, `nil`, `t`, ...).
+    Sym(String),
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// Where it was read from.
+    pub span: Span,
+}
+
+/// A hand-written lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_delimiter(b: u8) -> bool {
+    b.is_ascii_whitespace() || matches!(b, b'(' | b')' | b'\'' | b'"' | b';')
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn read_string(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ReadError> {
+        // Opening quote already consumed.
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ReadError::new(
+                        ReadErrorKind::UnterminatedString,
+                        self.span_from(start, line, col),
+                    ))
+                }
+                Some(b'"') => {
+                    return Ok(Token {
+                        kind: TokenKind::Str(out),
+                        span: self.span_from(start, line, col),
+                    })
+                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(c) => {
+                        return Err(ReadError::new(
+                            ReadErrorKind::BadEscape(c as char),
+                            self.span_from(start, line, col),
+                        ))
+                    }
+                    None => {
+                        return Err(ReadError::new(
+                            ReadErrorKind::UnterminatedString,
+                            self.span_from(start, line, col),
+                        ))
+                    }
+                },
+                Some(b) => {
+                    // Re-assemble multibyte UTF-8 sequences byte by byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let len = utf8_len(b);
+                        let from = self.pos - 1;
+                        for _ in 1..len {
+                            self.bump();
+                        }
+                        out.push_str(&self.src[from..self.pos]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_atom(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ReadError> {
+        while let Some(b) = self.peek() {
+            if is_delimiter(b) {
+                break;
+            }
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let span = self.span_from(start, line, col);
+        debug_assert!(!text.is_empty());
+        if text == "." {
+            return Ok(Token { kind: TokenKind::Dot, span });
+        }
+        // Numbers: try i64, then f64; anything else is a symbol. The
+        // special non-finite spellings are accepted for round-tripping.
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Token { kind: TokenKind::Int(i), span });
+        }
+        match text {
+            "+inf.0" => return Ok(Token { kind: TokenKind::Float(f64::INFINITY), span }),
+            "-inf.0" => return Ok(Token { kind: TokenKind::Float(f64::NEG_INFINITY), span }),
+            "+nan.0" => return Ok(Token { kind: TokenKind::Float(f64::NAN), span }),
+            _ => {}
+        }
+        if let Ok(x) = text.parse::<f64>() {
+            return Ok(Token { kind: TokenKind::Float(x), span });
+        }
+        // Anything else — including Lisp classics like `1+` — is a symbol.
+        Ok(Token { kind: TokenKind::Sym(text.to_string()), span })
+    }
+
+    /// Read the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, ReadError> {
+        self.skip_trivia();
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let Some(b) = self.peek() else { return Ok(None) };
+        match b {
+            b'(' => {
+                self.bump();
+                Ok(Some(Token { kind: TokenKind::Open, span: self.span_from(start, line, col) }))
+            }
+            b')' => {
+                self.bump();
+                Ok(Some(Token { kind: TokenKind::Close, span: self.span_from(start, line, col) }))
+            }
+            b'\'' => {
+                self.bump();
+                Ok(Some(Token { kind: TokenKind::Quote, span: self.span_from(start, line, col) }))
+            }
+            b'#' if self.bytes.get(self.pos + 1) == Some(&b'\'') => {
+                self.bump();
+                self.bump();
+                Ok(Some(Token {
+                    kind: TokenKind::SharpQuote,
+                    span: self.span_from(start, line, col),
+                }))
+            }
+            b'"' => {
+                self.bump();
+                self.read_string(start, line, col).map(Some)
+            }
+            _ => self.read_atom(start, line, col).map(Some),
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ReadError> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(f 1 2.5)"),
+            vec![
+                TokenKind::Open,
+                TokenKind::Sym("f".into()),
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Close
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("(a ; comment (ignored)\n b)"),
+            vec![
+                TokenKind::Open,
+                TokenKind::Sym("a".into()),
+                TokenKind::Sym("b".into()),
+                TokenKind::Close
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_token() {
+        assert_eq!(kinds("'x"), vec![TokenKind::Quote, TokenKind::Sym("x".into())]);
+    }
+
+    #[test]
+    fn dot_token_only_when_alone() {
+        assert_eq!(
+            kinds("(a . b)"),
+            vec![
+                TokenKind::Open,
+                TokenKind::Sym("a".into()),
+                TokenKind::Dot,
+                TokenKind::Sym("b".into()),
+                TokenKind::Close
+            ]
+        );
+        // "a.b" is a symbol, not a dotted pair.
+        assert_eq!(kinds("a.b"), vec![TokenKind::Sym("a.b".into())]);
+    }
+
+    #[test]
+    fn negative_numbers_and_symbols() {
+        assert_eq!(kinds("-5"), vec![TokenKind::Int(-5)]);
+        assert_eq!(kinds("-5.5"), vec![TokenKind::Float(-5.5)]);
+        assert_eq!(kinds("-"), vec![TokenKind::Sym("-".into())]);
+        assert_eq!(kinds("+"), vec![TokenKind::Sym("+".into())]);
+        assert_eq!(kinds("1+"), vec![TokenKind::Sym("1+".into())]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\nc""#), vec![TokenKind::Str("a\"b\nc".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::new("\"abc").tokenize().unwrap_err();
+        assert_eq!(err.kind, ReadErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn bad_escape_errors() {
+        let err = Lexer::new(r#""a\qb""#).tokenize().unwrap_err();
+        assert_eq!(err.kind, ReadErrorKind::BadEscape('q'));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = Lexer::new("a\n  bb").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+        assert_eq!(toks[1].span.start, 4);
+        assert_eq!(toks[1].span.end, 6);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"λx\""), vec![TokenKind::Str("λx".into())]);
+    }
+
+    #[test]
+    fn special_floats() {
+        assert_eq!(kinds("+inf.0"), vec![TokenKind::Float(f64::INFINITY)]);
+        match &kinds("+nan.0")[0] {
+            TokenKind::Float(x) => assert!(x.is_nan()),
+            k => panic!("expected float, got {k:?}"),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! A pretty printer for [`Sexpr`] data.
+//!
+//! Curare is a source-to-source transformer: its final stage produces
+//! Lisp text again (paper §4), so readable output matters. The printer
+//! uses a simple fits-on-one-line / break-after-head layout that
+//! renders the paper's figures in their familiar shape.
+
+use crate::datum::Sexpr;
+
+/// Default maximum line width for [`pretty`].
+pub const DEFAULT_WIDTH: usize = 72;
+
+/// Heads whose first `n` arguments stay on the head line when broken
+/// (`defun f (args)` then body lines, `let (bindings)` then body...).
+fn hang_args(head: &str) -> usize {
+    match head {
+        "defun" => 2,
+        "let" | "let*" | "lambda" | "when" | "unless" | "dolist" | "dotimes" => 1,
+        "if" | "setq" | "setf" | "while" => 1,
+        _ => 0,
+    }
+}
+
+/// Pretty-print with the default width.
+pub fn pretty(e: &Sexpr) -> String {
+    pretty_width(e, DEFAULT_WIDTH)
+}
+
+/// Pretty-print `e`, breaking lines that would exceed `width` columns.
+pub fn pretty_width(e: &Sexpr, width: usize) -> String {
+    let mut out = String::new();
+    emit(e, 0, width, &mut out);
+    out
+}
+
+fn flat_len(e: &Sexpr) -> usize {
+    let mut s = String::new();
+    e.write(&mut s);
+    s.len()
+}
+
+fn indent(out: &mut String, n: usize) {
+    out.push('\n');
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+fn emit(e: &Sexpr, col: usize, width: usize, out: &mut String) {
+    match e {
+        Sexpr::List(items) if !items.is_empty() => {
+            if col + flat_len(e) <= width {
+                e.write(out);
+                return;
+            }
+            out.push('(');
+            let mut col = col + 1;
+            // Emit the head (and any hanging args) on the first line.
+            let hang = match items[0].as_symbol() {
+                Some(h) => hang_args(h).min(items.len().saturating_sub(1)),
+                None => 0,
+            };
+            items[0].write(out);
+            col += flat_len(&items[0]);
+            for it in &items[1..=hang] {
+                out.push(' ');
+                col += 1;
+                emit(it, col, width, out);
+                col += flat_len(it);
+            }
+            let body_indent = if hang > 0 || items.len() == 1 {
+                // Body-style indent: two spaces past the open paren.
+                col_of_open(out) + 2
+            } else {
+                // Argument-style indent: align under the first argument.
+                col + 1
+            };
+            for it in &items[hang + 1..] {
+                indent(out, body_indent);
+                emit(it, body_indent, width, out);
+            }
+            out.push(')');
+        }
+        _ => e.write(out),
+    }
+}
+
+/// Column of the innermost unmatched `(` in `out`, used to compute
+/// body indentation relative to the form being printed.
+fn col_of_open(out: &str) -> usize {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    let mut col = 0usize;
+    let mut open_cols: Vec<usize> = Vec::new();
+    for c in out.chars() {
+        if esc {
+            esc = false;
+            col += 1;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '(' if !in_str => {
+                depth += 1;
+                open_cols.push(col);
+            }
+            ')' if !in_str => {
+                depth = depth.saturating_sub(1);
+                open_cols.pop();
+            }
+            '\n' => {
+                col = 0;
+                continue;
+            }
+            _ => {}
+        }
+        col += 1;
+    }
+    let _ = depth;
+    open_cols.last().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_one;
+
+    #[test]
+    fn short_forms_stay_flat() {
+        let e = parse_one("(f 1 2)").unwrap();
+        assert_eq!(pretty(&e), "(f 1 2)");
+    }
+
+    #[test]
+    fn long_forms_break() {
+        let e = parse_one(
+            "(defun f (l) (cond ((null l) nil) ((null (cdr l)) (f (cdr l))) (t (setf (cadr l) (+ (car l) (cadr l))) (f (cdr l)))))",
+        )
+        .unwrap();
+        let s = pretty_width(&e, 40);
+        assert!(s.lines().count() > 1, "{s}");
+        for line in s.lines() {
+            assert!(line.len() <= 60, "line too long: {line}");
+        }
+        // Re-reading the pretty form gives back the same datum.
+        assert_eq!(parse_one(&s).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_round_trips_paper_figures() {
+        for src in [
+            "(defun f (l) (when l (print (car l)) (f (cdr l))))",
+            "(defun remq (obj lst) (cond ((null lst) nil) ((eq obj (car lst)) (remq obj (cdr lst))) (t (cons (car lst) (remq obj (cdr lst))))))",
+        ] {
+            let e = parse_one(src).unwrap();
+            for w in [20, 40, 72, 200] {
+                let s = pretty_width(&e, w);
+                assert_eq!(parse_one(&s).unwrap(), e, "width {w}:\n{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_print_plainly() {
+        assert_eq!(pretty(&Sexpr::Int(7)), "7");
+        assert_eq!(pretty(&Sexpr::sym("x")), "x");
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's closed-form results (§3.1, §3.2.1, §4.1).
+
+/// CRI concurrency of a function with head size `h` and tail size `t`:
+/// `(|H| + |T|) / |H|` (§3.1). `h = 0` is treated as `h = 1` (the
+/// recursive call itself is always in the head).
+pub fn concurrency(h: f64, t: f64) -> f64 {
+    let h = h.max(1.0);
+    (h + t) / h
+}
+
+/// The §3.2.1 bound: locking caps concurrency at the minimum conflict
+/// distance.
+pub fn lock_bound(concurrency: f64, distances: &[u64]) -> f64 {
+    match distances.iter().min() {
+        Some(&d) => concurrency.min(d as f64),
+        None => concurrency,
+    }
+}
+
+/// Total execution time of `d` invocations on `S` servers (§4.1):
+/// `(⌈d/S⌉ − 1)(h + t) + (S·h + t)`, valid for `S ≤ d`.
+pub fn total_time(d: u64, s: u64, h: u64, t: u64) -> u64 {
+    assert!(s >= 1, "at least one server");
+    let s = s.min(d.max(1));
+    let groups = d.div_ceil(s);
+    (groups - 1) * (h + t) + (s * h + t)
+}
+
+/// The §4.1 optimum: `S* = √(d(h+t)/h)` minimizes [`total_time`]
+/// (before capping by the concurrency bound).
+pub fn optimal_servers(d: u64, h: u64, t: u64) -> f64 {
+    let h = h.max(1) as f64;
+    ((d as f64) * (h + t as f64) / h).sqrt()
+}
+
+/// Exhaustive minimizer of [`total_time`] over `1..=d` servers, used
+/// to check the calculus against the discrete reality.
+pub fn best_servers_exhaustive(d: u64, h: u64, t: u64) -> (u64, u64) {
+    (1..=d.max(1))
+        .map(|s| (s, total_time(d, s, h, t)))
+        .min_by_key(|&(s, time)| (time, s))
+        .expect("range is nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_examples() {
+        // Tail-recursive: everything in the head → no overlap.
+        assert_eq!(concurrency(10.0, 0.0), 1.0);
+        // Head-recursive: call first, 9 units of tail → 10-fold.
+        assert_eq!(concurrency(1.0, 9.0), 10.0);
+        assert_eq!(concurrency(0.0, 9.0), 10.0, "h clamps to 1");
+    }
+
+    #[test]
+    fn lock_bound_takes_minimum_distance() {
+        assert_eq!(lock_bound(8.0, &[4, 2, 16]), 2.0);
+        assert_eq!(lock_bound(8.0, &[]), 8.0);
+        assert_eq!(lock_bound(1.5, &[4]), 1.5, "already below the bound");
+    }
+
+    #[test]
+    fn total_time_degenerates_to_sequential_with_one_server() {
+        // S = 1: (d-1)(h+t) + (h+t) = d(h+t).
+        assert_eq!(total_time(10, 1, 2, 3), 10 * 5);
+    }
+
+    #[test]
+    fn total_time_with_d_servers_is_pipeline_depth() {
+        // S = d: d·h + t.
+        assert_eq!(total_time(10, 10, 2, 3), 10 * 2 + 3);
+        // More servers than invocations clamps to d.
+        assert_eq!(total_time(10, 64, 2, 3), 10 * 2 + 3);
+    }
+
+    #[test]
+    fn total_time_worked_example() {
+        // d=4, S=2, h=1, t=3: (2-1)·4 + (2+3) = 9.
+        assert_eq!(total_time(4, 2, 1, 3), 9);
+    }
+
+    #[test]
+    fn optimum_matches_exhaustive_search_shape() {
+        for &(d, h, t) in &[(64u64, 1u64, 4u64), (256, 1, 16), (1024, 2, 8), (100, 5, 5)] {
+            let s_star = optimal_servers(d, h, t);
+            let (s_best, _) = best_servers_exhaustive(d, h, t);
+            // The continuous optimum lands within a small factor of the
+            // discrete best (the function is flat near the optimum).
+            let ratio = s_star / s_best as f64;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "d={d} h={h} t={t}: S*={s_star:.1} vs best={s_best}"
+            );
+            // And the time at round(S*) is near-optimal.
+            let s_rounded = (s_star.round() as u64).clamp(1, d);
+            let t_star = total_time(d, s_rounded, h, t);
+            let (_, t_best) = best_servers_exhaustive(d, h, t);
+            assert!(
+                (t_star as f64) <= 1.15 * t_best as f64,
+                "d={d} h={h} t={t}: T(S*)={t_star} vs best={t_best}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_servers_formula_values() {
+        // d(h+t)/h = 64·5 → √320 ≈ 17.9
+        let s = optimal_servers(64, 1, 4);
+        assert!((s - 17.88).abs() < 0.1, "{s}");
+    }
+
+    #[test]
+    fn more_servers_never_help_beyond_depth() {
+        let base = total_time(16, 16, 1, 3);
+        assert_eq!(total_time(16, 100, 1, 3), base);
+    }
+}

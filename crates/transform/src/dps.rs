@@ -1,0 +1,402 @@
+//! Destination-passing style (paper §5, Figures 12–13).
+//!
+//! A function whose recursive results are consed onto a list (the
+//! `remq` shape) cannot spawn its invocations asynchronously: each
+//! caller waits for the callee's value. Rewriting it so the caller
+//! *passes the destination cell* and the callee stores into it removes
+//! the data flow through return values:
+//!
+//! ```lisp
+//! (defun remq (obj lst) ...)            ; Figure 12
+//! (defun remq-d (dest obj lst) ...)     ; Figure 13
+//! ```
+//!
+//! The transform recognizes clause results of three shapes:
+//! 1. expressions without self-calls `E` → `(setf (cdr dest) E)`;
+//! 2. tail self-calls `(f a…)` → `(f-d dest a…)`;
+//! 3. `(cons X (f a…))` → `(let ((%cell (cons X nil)))
+//!    (f-d %cell a…) (setf (cdr dest) %cell))`.
+//!
+//! The output carries the paper's *provenance* guarantee (§5): the
+//! `setf`s introduced here write each invocation's own fresh cell, so
+//! Curare may treat them as conflict-free even though a blank-slate,
+//! flow-insensitive analysis of the output could not prove it.
+
+use curare_sexpr::Sexpr;
+
+use crate::sx;
+
+/// Why the DPS transform did not apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpsError {
+    /// Not a defun.
+    NotADefun,
+    /// The function is not recursive.
+    NotRecursive,
+    /// A clause result has a shape outside the supported class.
+    UnsupportedShape(String),
+}
+
+impl std::fmt::Display for DpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpsError::NotADefun => write!(f, "not a defun form"),
+            DpsError::NotRecursive => write!(f, "function is not recursive"),
+            DpsError::UnsupportedShape(s) => write!(f, "unsupported result shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DpsError {}
+
+/// The DPS transform's output.
+#[derive(Debug, Clone)]
+pub struct DpsResult {
+    /// The `f-d` function (first parameter `%curare-dest`).
+    pub dps_form: Sexpr,
+    /// A wrapper with the original name and signature that allocates
+    /// the destination header cell and returns `(cdr dest)`.
+    pub wrapper: Sexpr,
+    /// Name of the DPS function (`<f>-d`).
+    pub dps_name: String,
+    /// Provenance guarantee: the destination writes are to unique,
+    /// per-invocation cells — downstream passes may skip conflict
+    /// synthesis for parameter 0 of `dps_form`.
+    pub provenance_safe: bool,
+}
+
+const DEST: &str = "%curare-dest";
+
+/// Apply the destination-passing-style transformation.
+pub fn dps_transform(form: &Sexpr) -> Result<DpsResult, DpsError> {
+    let parts = sx::parse_defun(form).ok_or(DpsError::NotADefun)?;
+    let whole = Sexpr::List(parts.body.iter().map(|&b| b.clone()).collect());
+    if !sx::mentions_call(&whole, parts.name) {
+        return Err(DpsError::NotRecursive);
+    }
+    let dps_name = format!("{}-d", parts.name);
+
+    // Transform the body: the last form is the result producer.
+    let (last, init) = parts.body.split_last().ok_or(DpsError::NotADefun)?;
+    let mut new_body: Vec<Sexpr> = init.iter().map(|&b| b.clone()).collect();
+    for b in init {
+        if sx::mentions_call(b, parts.name) {
+            return Err(DpsError::UnsupportedShape(format!(
+                "self-call outside the result expression: {b}"
+            )));
+        }
+    }
+    new_body.push(rewrite_result(last, parts.name, &dps_name)?);
+
+    let mut dps_params: Vec<String> = vec![DEST.to_string()];
+    dps_params.extend(parts.params.iter().map(|p| p.to_string()));
+    let dps_form = sx::make_defun(&dps_name, &dps_params, &parts.declares, new_body);
+
+    // Wrapper: (defun f (p...) (let ((%curare-dest (cons nil nil)))
+    //            (f-d %curare-dest p...) (cdr %curare-dest)))
+    let mut call_dps = vec![sx::sym(dps_name.clone()), sx::sym(DEST)];
+    call_dps.extend(parts.params.iter().map(|p| sx::sym(*p)));
+    let wrapper_body = sx::call(
+        "let",
+        vec![
+            Sexpr::List(vec![Sexpr::List(vec![
+                sx::sym(DEST),
+                sx::call("cons", vec![sx::sym("nil"), sx::sym("nil")]),
+            ])]),
+            Sexpr::List(call_dps),
+            sx::call("cdr", vec![sx::sym(DEST)]),
+        ],
+    );
+    let wrapper = sx::make_defun(parts.name, &parts.params, &[], vec![wrapper_body]);
+
+    Ok(DpsResult { dps_form, wrapper, dps_name, provenance_safe: true })
+}
+
+/// Rewrite a result-producing expression into destination stores.
+fn rewrite_result(form: &Sexpr, fname: &str, dps_name: &str) -> Result<Sexpr, DpsError> {
+    // Control forms: rewrite each branch's result.
+    if let Some(items) = form.as_list() {
+        if let Some(head) = items.first().and_then(Sexpr::as_symbol) {
+            match head {
+                "cond" => {
+                    let mut out = vec![sx::sym("cond")];
+                    for clause in &items[1..] {
+                        let Some(cl) = clause.as_list() else {
+                            return Err(DpsError::UnsupportedShape(clause.to_string()));
+                        };
+                        let Some((test, body)) = cl.split_first() else {
+                            return Err(DpsError::UnsupportedShape(clause.to_string()));
+                        };
+                        if sx::mentions_call(test, fname) {
+                            return Err(DpsError::UnsupportedShape(test.to_string()));
+                        }
+                        let mut new_cl = vec![test.clone()];
+                        if body.is_empty() {
+                            // (test) clause: its value is the test's.
+                            new_cl = vec![
+                                test.clone(),
+                                store_value(test.clone()),
+                            ];
+                        } else {
+                            let (last, init) = body.split_last().expect("nonempty");
+                            for b in init {
+                                if sx::mentions_call(b, fname) {
+                                    return Err(DpsError::UnsupportedShape(b.to_string()));
+                                }
+                                new_cl.push(b.clone());
+                            }
+                            new_cl.push(rewrite_result(last, fname, dps_name)?);
+                        }
+                        out.push(Sexpr::List(new_cl));
+                    }
+                    return Ok(Sexpr::List(out));
+                }
+                "if" => {
+                    let rest = &items[1..];
+                    if rest.len() < 2 || rest.len() > 3 {
+                        return Err(DpsError::UnsupportedShape(form.to_string()));
+                    }
+                    if sx::mentions_call(&rest[0], fname) {
+                        return Err(DpsError::UnsupportedShape(rest[0].to_string()));
+                    }
+                    let mut out = vec![sx::sym("if"), rest[0].clone()];
+                    out.push(rewrite_result(&rest[1], fname, dps_name)?);
+                    if let Some(e) = rest.get(2) {
+                        out.push(rewrite_result(e, fname, dps_name)?);
+                    } else {
+                        out.push(store_value(sx::sym("nil")));
+                    }
+                    return Ok(Sexpr::List(out));
+                }
+                "when" => {
+                    // (when test body...) ≡ (if test (progn body...) nil);
+                    // a false test must still terminate the list.
+                    let rest = &items[1..];
+                    let Some((test, body)) = rest.split_first() else {
+                        return Err(DpsError::UnsupportedShape(form.to_string()));
+                    };
+                    let equivalent = sx::call(
+                        "if",
+                        vec![test.clone(), sx::progn(body.to_vec()), sx::sym("nil")],
+                    );
+                    return rewrite_result(&equivalent, fname, dps_name);
+                }
+                "progn" => {
+                    // Rewrite only the last form; earlier forms are
+                    // effects that must not self-call.
+                    let rest = &items[1..];
+                    let Some((last, init)) = rest.split_last() else {
+                        return Ok(store_value(sx::sym("nil")));
+                    };
+                    let mut out = vec![sx::sym("progn")];
+                    for b in init {
+                        if sx::mentions_call(b, fname) {
+                            return Err(DpsError::UnsupportedShape(b.to_string()));
+                        }
+                        out.push(b.clone());
+                    }
+                    out.push(rewrite_result(last, fname, dps_name)?);
+                    return Ok(Sexpr::List(out));
+                }
+                _ => {}
+            }
+
+            // Shape 2: tail self-call (f a...) → (f-d dest a...).
+            if head == fname {
+                let mut out = vec![sx::sym(dps_name), sx::sym(DEST)];
+                for a in &items[1..] {
+                    if sx::mentions_call(a, fname) {
+                        return Err(DpsError::UnsupportedShape(a.to_string()));
+                    }
+                    out.push(a.clone());
+                }
+                return Ok(Sexpr::List(out));
+            }
+
+            // Shape 3: (cons X (f a...)).
+            if head == "cons" && items.len() == 3 {
+                let x = &items[1];
+                let r = &items[2];
+                if sx::mentions_call(x, fname) {
+                    return Err(DpsError::UnsupportedShape(x.to_string()));
+                }
+                if let Some(call) = r.as_list() {
+                    if call.first().is_some_and(|h| h.is_symbol(fname)) {
+                        for a in &call[1..] {
+                            if sx::mentions_call(a, fname) {
+                                return Err(DpsError::UnsupportedShape(a.to_string()));
+                            }
+                        }
+                        // (let ((%curare-cell (cons X nil)))
+                        //   (f-d %curare-cell a...)
+                        //   (setf (cdr dest) %curare-cell))
+                        let mut rec = vec![sx::sym(dps_name), sx::sym("%curare-cell")];
+                        rec.extend(call[1..].iter().cloned());
+                        return Ok(sx::call(
+                            "let",
+                            vec![
+                                Sexpr::List(vec![Sexpr::List(vec![
+                                    sx::sym("%curare-cell"),
+                                    sx::call("cons", vec![x.clone(), sx::sym("nil")]),
+                                ])]),
+                                Sexpr::List(rec),
+                                sx::call(
+                                    "setf",
+                                    vec![
+                                        sx::call("cdr", vec![sx::sym(DEST)]),
+                                        sx::sym("%curare-cell"),
+                                    ],
+                                ),
+                            ],
+                        ));
+                    }
+                }
+                // cons of two non-recursive things: shape 1.
+            }
+        }
+    }
+
+    // Shape 1: any expression without self-calls.
+    if sx::mentions_call(form, fname) {
+        return Err(DpsError::UnsupportedShape(form.to_string()));
+    }
+    Ok(store_value(form.clone()))
+}
+
+/// `(setf (cdr dest) E)`.
+fn store_value(e: Sexpr) -> Sexpr {
+    sx::call("setf", vec![sx::call("cdr", vec![sx::sym(DEST)]), e])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_lisp::Interp;
+    use curare_sexpr::parse_one;
+
+    const REMQ: &str = "(defun remq (obj lst)
+        (cond ((null lst) nil)
+              ((eq obj (car lst)) (remq obj (cdr lst)))
+              (t (cons (car lst) (remq obj (cdr lst))))))";
+
+    #[test]
+    fn remq_transforms_to_figure_13_shape() {
+        let r = dps_transform(&parse_one(REMQ).unwrap()).unwrap();
+        let text = r.dps_form.to_string();
+        assert!(text.starts_with("(defun remq-d (%curare-dest obj lst)"), "{text}");
+        assert!(text.contains("(setf (cdr %curare-dest) nil)"), "{text}");
+        assert!(text.contains("(remq-d %curare-dest obj (cdr lst))"), "{text}");
+        assert!(text.contains("(cons (car lst) nil)"), "{text}");
+        assert!(r.provenance_safe);
+        let w = r.wrapper.to_string();
+        assert!(w.starts_with("(defun remq (obj lst)"), "{w}");
+        assert!(w.contains("(cdr %curare-dest)"), "{w}");
+    }
+
+    #[test]
+    fn transformed_remq_is_equivalent() {
+        let r = dps_transform(&parse_one(REMQ).unwrap()).unwrap();
+        let orig = Interp::new();
+        orig.load_str(REMQ).unwrap();
+        let dps = Interp::new();
+        dps.load_str(&r.dps_form.to_string()).unwrap();
+        dps.load_str(&r.wrapper.to_string()).unwrap();
+        for call in [
+            "(remq 'a '(a b a c a d))",
+            "(remq 'a '(a a a))",
+            "(remq 'z '(a b c))",
+            "(remq 'a nil)",
+            "(remq 'a '(x))",
+        ] {
+            let a = orig.load_str(call).unwrap();
+            let b = dps.load_str(call).unwrap();
+            assert_eq!(orig.heap().display(a), dps.heap().display(b), "{call}");
+        }
+    }
+
+    #[test]
+    fn if_based_filter_transforms() {
+        let src = "(defun keep-pos (l)
+                     (if (null l)
+                         nil
+                         (if (> (car l) 0)
+                             (cons (car l) (keep-pos (cdr l)))
+                             (keep-pos (cdr l)))))";
+        let r = dps_transform(&parse_one(src).unwrap()).unwrap();
+        let orig = Interp::new();
+        orig.load_str(src).unwrap();
+        let dps = Interp::new();
+        dps.load_str(&r.dps_form.to_string()).unwrap();
+        dps.load_str(&r.wrapper.to_string()).unwrap();
+        for call in ["(keep-pos '(1 -2 3 -4 5))", "(keep-pos nil)", "(keep-pos '(-1))"] {
+            let a = orig.load_str(call).unwrap();
+            let b = dps.load_str(call).unwrap();
+            assert_eq!(orig.heap().display(a), dps.heap().display(b), "{call}");
+        }
+    }
+
+    #[test]
+    fn copy_list_shape() {
+        let src = "(defun my-copy (l)
+                     (if (null l) nil (cons (car l) (my-copy (cdr l)))))";
+        let r = dps_transform(&parse_one(src).unwrap()).unwrap();
+        let orig = Interp::new();
+        orig.load_str(src).unwrap();
+        let dps = Interp::new();
+        dps.load_str(&r.dps_form.to_string()).unwrap();
+        dps.load_str(&r.wrapper.to_string()).unwrap();
+        let a = orig.load_str("(my-copy '(1 2 3))").unwrap();
+        let b = dps.load_str("(my-copy '(1 2 3))").unwrap();
+        assert_eq!(orig.heap().display(a), dps.heap().display(b));
+    }
+
+    #[test]
+    fn dps_output_is_cri_convertible() {
+        // The recursive calls in remq-d are free or tail, so CRI
+        // conversion accepts the output (the paper's point: DPS
+        // *enables* concurrent execution).
+        let r = dps_transform(&parse_one(REMQ).unwrap()).unwrap();
+        let cri = crate::cri::cri_convert(&r.dps_form).unwrap();
+        assert_eq!(cri.sites, 2);
+    }
+
+    #[test]
+    fn non_recursive_rejected() {
+        let err = dps_transform(&parse_one("(defun f (x) (* x x))").unwrap()).unwrap_err();
+        assert_eq!(err, DpsError::NotRecursive);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        // Result used inside arithmetic: not in the DPS class.
+        let err = dps_transform(
+            &parse_one("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpsError::UnsupportedShape(_)));
+        // Self-call in an effect position before the result.
+        let err = dps_transform(
+            &parse_one("(defun f (l) (f (cdr l)) (cons 1 (f (cdr l))))").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpsError::UnsupportedShape(_)));
+    }
+
+    #[test]
+    fn when_shape_terminates_list_on_false() {
+        let src = "(defun take-while-pos (l)
+                     (when (and (consp l) (> (car l) 0))
+                       (cons (car l) (take-while-pos (cdr l)))))";
+        let r = dps_transform(&parse_one(src).unwrap()).unwrap();
+        let orig = Interp::new();
+        orig.load_str(src).unwrap();
+        let dps = Interp::new();
+        dps.load_str(&r.dps_form.to_string()).unwrap();
+        dps.load_str(&r.wrapper.to_string()).unwrap();
+        for call in ["(take-while-pos '(1 2 -1 3))", "(take-while-pos '(-1))", "(take-while-pos nil)"] {
+            let a = orig.load_str(call).unwrap();
+            let b = dps.load_str(call).unwrap();
+            assert_eq!(orig.heap().display(a), dps.heap().display(b), "{call}");
+        }
+    }
+}

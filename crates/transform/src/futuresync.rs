@@ -1,0 +1,208 @@
+//! Future synchronization for post-call statements (paper §3.1).
+//!
+//! A statement that executes *after* a recursive call is, in the
+//! sequential execution, ordered after **every** deeper invocation
+//! (the recursion unwinds innermost-first). Neither head ordering nor
+//! head-start locking can reproduce that order — but a Multilisp
+//! future can: the call becomes `(touch (future (f args…)))`, so the
+//! spawning invocation continues only after its whole subtree
+//! finishes, exactly like the sequential unwind, while the enqueue
+//! still routes every invocation through the server pool.
+//!
+//! This is the correctness backstop for conflicts the cheaper devices
+//! (reorder §3.2.3, head ordering, delay §3.2.2) cannot dissolve; its
+//! price is that tail statements serialize in unwind order, which
+//! matches the simulator's prediction that reverse-ordered distance-1
+//! conflicts admit essentially no concurrency.
+
+use curare_sexpr::Sexpr;
+
+use crate::sx;
+
+/// Result of the future-sync transform.
+#[derive(Debug, Clone)]
+pub struct FutureSyncResult {
+    /// The rewritten defun.
+    pub form: Sexpr,
+    /// Number of call sites wrapped in `(touch (future …))`.
+    pub wrapped: usize,
+}
+
+/// Wrap every self-call that has statements after it in its sequence.
+pub fn future_sync(form: &Sexpr) -> Option<FutureSyncResult> {
+    let parts = sx::parse_defun(form)?;
+    let fname = parts.name.to_string();
+    let mut wrapped = 0usize;
+    let n = parts.body.len();
+    let new_body: Vec<Sexpr> = parts
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, b)| conv(b, &fname, i + 1 < n, &mut wrapped))
+        .collect();
+    if wrapped == 0 {
+        return None;
+    }
+    Some(FutureSyncResult {
+        form: sx::make_defun(&fname, &parts.params, &parts.declares, new_body),
+        wrapped,
+    })
+}
+
+/// Rewrite `form`; `follows` is true when statements execute after it
+/// within the current invocation.
+fn conv(form: &Sexpr, fname: &str, follows: bool, wrapped: &mut usize) -> Sexpr {
+    let Some(items) = form.as_list() else { return form.clone() };
+    let Some(head) = items.first().and_then(Sexpr::as_symbol) else {
+        return form.clone();
+    };
+    let args = &items[1..];
+
+    if head == fname {
+        if follows {
+            *wrapped += 1;
+            return sx::call("touch", vec![sx::call("future", vec![form.clone()])]);
+        }
+        return form.clone();
+    }
+
+    let seq = |body: &[Sexpr], follows: bool, wrapped: &mut usize| -> Vec<Sexpr> {
+        let n = body.len();
+        body.iter()
+            .enumerate()
+            .map(|(i, s)| conv(s, fname, follows || i + 1 < n, wrapped))
+            .collect()
+    };
+
+    match head {
+        "quote" => form.clone(),
+        "progn" => {
+            let mut out = vec![items[0].clone()];
+            out.extend(seq(args, follows, wrapped));
+            Sexpr::List(out)
+        }
+        "when" | "unless" | "let" | "let*" => {
+            if args.is_empty() {
+                return form.clone();
+            }
+            let mut out = vec![items[0].clone(), args[0].clone()];
+            out.extend(seq(&args[1..], follows, wrapped));
+            Sexpr::List(out)
+        }
+        "while" => {
+            if args.is_empty() {
+                return form.clone();
+            }
+            let mut out = vec![items[0].clone(), args[0].clone()];
+            // Loop bodies repeat: a call there always has following
+            // work (the next iteration).
+            out.extend(args[1..].iter().map(|s| conv(s, fname, true, wrapped)));
+            Sexpr::List(out)
+        }
+        "if" => {
+            let mut out = vec![items[0].clone()];
+            for (i, a) in args.iter().enumerate() {
+                out.push(if i == 0 { a.clone() } else { conv(a, fname, follows, wrapped) });
+            }
+            Sexpr::List(out)
+        }
+        "cond" => {
+            let mut out = vec![items[0].clone()];
+            for clause in args {
+                match clause.as_list() {
+                    Some(cl) if !cl.is_empty() => {
+                        let mut new_cl = vec![cl[0].clone()];
+                        new_cl.extend(seq(&cl[1..], follows, wrapped));
+                        out.push(Sexpr::List(new_cl));
+                    }
+                    _ => out.push(clause.clone()),
+                }
+            }
+            Sexpr::List(out)
+        }
+        _ => form.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_sexpr::parse_one;
+
+    #[test]
+    fn post_call_statement_forces_touch() {
+        let r = future_sync(
+            &parse_one("(defun f (l) (when l (f (cdr l)) (setf (cdr l) (car l))))").unwrap(),
+        )
+        .expect("wraps");
+        assert_eq!(r.wrapped, 1);
+        assert_eq!(
+            r.form.to_string(),
+            "(defun f (l) (when l (touch (future (f (cdr l)))) (setf (cdr l) (car l))))"
+        );
+    }
+
+    #[test]
+    fn trailing_call_is_untouched() {
+        assert!(future_sync(
+            &parse_one("(defun f (l) (when l (print (car l)) (f (cdr l))))").unwrap()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn cond_branches_handled() {
+        let r = future_sync(
+            &parse_one(
+                "(defun f (l)
+                   (cond ((null l) nil)
+                         (t (f (cdr l)) (setf (car l) 1))))",
+            )
+            .unwrap(),
+        )
+        .expect("wraps");
+        assert_eq!(r.wrapped, 1);
+        assert!(r.form.to_string().contains("(touch (future (f (cdr l))))"));
+    }
+
+    #[test]
+    fn calls_in_loops_always_sync() {
+        let r = future_sync(
+            &parse_one("(defun f (l) (while (consp l) (f (car l)) (setq l (cdr l))))").unwrap(),
+        )
+        .expect("wraps");
+        assert_eq!(r.wrapped, 1);
+    }
+
+    #[test]
+    fn sequential_semantics_preserved() {
+        let src = "(defun f (l)
+                     (when l
+                       (f (cdr l))
+                       (setf (cdr l) (car l))))";
+        let r = future_sync(&parse_one(src).unwrap()).unwrap();
+        let orig = curare_lisp::Interp::new();
+        orig.load_str(src).unwrap();
+        let synced = curare_lisp::Interp::new();
+        synced.load_str(&r.form.to_string()).unwrap();
+        for init in ["(list 1 2 3 4)", "nil", "(list 9)"] {
+            let run = format!("(let ((d {init})) (f d) d)");
+            let a = orig.load_str(&run).unwrap();
+            let b = synced.load_str(&run).unwrap();
+            assert_eq!(orig.heap().display(a), synced.heap().display(b), "{run}");
+        }
+    }
+
+    #[test]
+    fn cri_conversion_accepts_synced_output() {
+        let r = future_sync(
+            &parse_one("(defun f (l) (when l (f (cdr l)) (setf (cdr l) (car l))))").unwrap(),
+        )
+        .unwrap();
+        // No direct calls remain to convert, but conversion must not
+        // reject the future form.
+        let cri = crate::cri::cri_convert(&r.form).unwrap();
+        assert_eq!(cri.sites, 0);
+        assert!(cri.form.to_string().contains("future"));
+    }
+}

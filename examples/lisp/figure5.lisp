@@ -1,0 +1,10 @@
+;; The paper's Figure 5: a recursive walker that folds each element
+;; into its successor. Curare detects the distance-1 conflict and
+;; resolves it by head ordering.
+(defun f (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f (cdr l)))))
+
+(defparameter *data* (list 1 1 1 1 1 1))

@@ -1,0 +1,7 @@
+;; The paper's Figure 12: remq copies a list dropping elements eq to
+;; the key. Curare restructures it to destination-passing style
+;; (Figure 13) so the recursion can spawn.
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))

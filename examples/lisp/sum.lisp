@@ -1,0 +1,5 @@
+;; A linear reduction. With + declared reorderable, Curare applies the
+;; Huet-Lang-style restructuring of section 5 and runs the walk
+;; concurrently with an atomic accumulator.
+(curare-declare (reorderable +))
+(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))

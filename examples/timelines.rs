@@ -1,0 +1,58 @@
+//! Reproduce the paper's Figures 6 and 7 as ASCII timelines, plus the
+//! lock-limited variant of §3.2.1, directly from the simulator.
+//!
+//! ```text
+//! cargo run --release -p curare --example timelines
+//! ```
+
+use curare::prelude::*;
+use curare::sim::timeline::{render_sequential, render_timeline};
+
+fn main() {
+    let (h, t, d) = (2u64, 6u64, 8u64);
+
+    println!("=== Figure 6: sequential execution (h={h}, t={t}, d={d}) ===");
+    println!("{}", render_sequential(h, t, d, 12, 120));
+
+    println!("=== Figure 7: CRI execution, unlimited servers ===");
+    let cfg = SimConfig::new(d, d, h, t);
+    let r = simulate(&cfg);
+    println!("{}", render_timeline(&cfg, &r, 12, 120));
+
+    println!("=== CRI with S = 2 servers ===");
+    let cfg2 = SimConfig::new(d, 2, h, t);
+    let r2 = simulate(&cfg2);
+    println!("{}", render_timeline(&cfg2, &r2, 12, 120));
+
+    println!("=== CRI with a distance-2 conflict (§3.2.1 bound) ===");
+    let cfg3 = SimConfig::new(d, d, h, t).with_conflict_distance(2);
+    let r3 = simulate(&cfg3);
+    println!("{}", render_timeline(&cfg3, &r3, 12, 120));
+
+    // And the same shapes derived from a real function's analysis.
+    println!("=== model extracted from a real head-recursive walker ===");
+    let heap = Heap::new();
+    let mut lw = curare::lisp::Lowerer::new(&heap);
+    let prog = lw
+        .lower_program(
+            &parse_all(
+                "(defun f (l)
+                   (when l
+                     (f (cdr l))
+                     (print (car l)) (print (car l)) (print (car l))))",
+            )
+            .expect("parses"),
+        )
+        .expect("lowers");
+    let analysis = analyze_function(&prog.funcs[0], &DeclDb::new());
+    let model = FunctionModel::from_analysis(&analysis);
+    println!(
+        "|H| = {}, |T| = {}, predicted concurrency = {:.2}",
+        model.head,
+        model.tail,
+        model.concurrency()
+    );
+    let cfg4 = model.config(6, 6);
+    let r4 = simulate(&cfg4);
+    println!("{}", render_timeline(&cfg4, &r4, 8, 200));
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the Curare reproduction live in
+//! `tests/`; this library is intentionally empty.
