@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here runs with zero external crates.
+# The Criterion/proptest suites are behind the off-by-default
+# `bench-ext` / `heavy-tests` features and are NOT part of this gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -100,10 +100,7 @@ pub(crate) fn chase(
     }
 }
 
-fn extend(
-    base: Option<(usize, BTreeSet<Path>)>,
-    a: Accessor,
-) -> Option<(usize, BTreeSet<Path>)> {
+fn extend(base: Option<(usize, BTreeSet<Path>)>, a: Accessor) -> Option<(usize, BTreeSet<Path>)> {
     base.map(|(root, paths)| {
         (
             root,
@@ -158,7 +155,7 @@ pub(crate) fn solve_aliases(func: &Func) -> BTreeMap<usize, SlotAlias> {
     // a stable root *unless* every reassignment is a chain over itself
     // (handled by the transfer-function analysis, not here): for
     // access collection we conservatively drop reassigned params.
-    for (&slot, _) in &assigns {
+    for &slot in assigns.keys() {
         if slot >= func.ncaptures && slot < func.ncaptures + nparams {
             aliases.insert(slot, SlotAlias::Unknown);
         }
@@ -200,10 +197,9 @@ pub(crate) fn solve_aliases(func: &Func) -> BTreeMap<usize, SlotAlias> {
                     }
                 }
             }
-            let new = if ok && root.is_some() {
-                SlotAlias::Chain { root: root.expect("checked above"), paths }
-            } else {
-                SlotAlias::Unknown
+            let new = match root {
+                Some(root) if ok => SlotAlias::Chain { root, paths },
+                _ => SlotAlias::Unknown,
             };
             if aliases.get(&slot) != Some(&new) {
                 aliases.insert(slot, new);
@@ -258,7 +254,7 @@ fn collect_expr(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>, out: &mut Access
                     descend_non_chain(&args[0], aliases, out);
                 }
                 None => {
-                    out.unknown_reads += usize::from(!is_harmless_root(&args[0])) ;
+                    out.unknown_reads += usize::from(!is_harmless_root(&args[0]));
                     collect_expr(&args[0], aliases, out);
                 }
             }
@@ -313,10 +309,7 @@ fn collect_expr(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>, out: &mut Access
 }
 
 /// For a `setf` base that is itself a bare chain root, produce it.
-fn base_chain(
-    e: &Expr,
-    aliases: &BTreeMap<usize, SlotAlias>,
-) -> Option<(usize, BTreeSet<Path>)> {
+fn base_chain(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>) -> Option<(usize, BTreeSet<Path>)> {
     chase(e, aliases)
 }
 
@@ -336,10 +329,7 @@ fn descend_non_chain(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>, out: &mut A
 /// Variables and literals at a chain root never themselves touch
 /// structure memory; only genuinely complex roots count as unknown.
 fn is_harmless_root(e: &Expr) -> bool {
-    matches!(
-        e,
-        Expr::Var(..) | Expr::Nil | Expr::T | Expr::Int(_) | Expr::Str(_) | Expr::Quote(_)
-    )
+    matches!(e, Expr::Var(..) | Expr::Nil | Expr::T | Expr::Int(_) | Expr::Str(_) | Expr::Quote(_))
 }
 
 #[cfg(test)]

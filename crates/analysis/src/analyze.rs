@@ -160,9 +160,7 @@ pub fn analyze_function_with_canon(
         reasons.push(BlockReason::UsesCallResult);
     }
     if ht.recursive_calls > 0 && !accesses.globals_written.is_empty() {
-        reasons.push(BlockReason::GlobalWrite(
-            accesses.globals_written.iter().cloned().collect(),
-        ));
+        reasons.push(BlockReason::GlobalWrite(accesses.globals_written.iter().cloned().collect()));
     }
 
     let verdict = if ht.recursive_calls == 0 {
@@ -308,10 +306,9 @@ mod tests {
                  (walk (cdr l))))",
         );
         assert_eq!(a.verdict, Verdict::Blocked);
-        assert!(a
-            .reasons
-            .iter()
-            .any(|r| matches!(r, BlockReason::GlobalWrite(gs) if gs.contains(&"*sum*".to_string()))));
+        assert!(a.reasons.iter().any(
+            |r| matches!(r, BlockReason::GlobalWrite(gs) if gs.contains(&"*sum*".to_string()))
+        ));
     }
 
     #[test]

@@ -169,8 +169,7 @@ mod tests {
         let heap = Heap::new();
         heap.define_struct_type("dl", &["succ".into(), "pred".into()]);
         let mut db = DeclDb::new();
-        db.add_toplevel(&parse_one("(curare-declare (inverse dl-succ dl-pred))").unwrap())
-            .unwrap();
+        db.add_toplevel(&parse_one("(curare-declare (inverse dl-succ dl-pred))").unwrap()).unwrap();
         let c = Canonicalizer::from_decls(&db, &heap);
         let succ = Accessor::Field { ty: 0, field: 0 };
         let pred = Accessor::Field { ty: 0, field: 1 };

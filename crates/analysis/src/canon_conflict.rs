@@ -116,8 +116,7 @@ pub fn conflicts_with_canon(
             if o.root != w.root {
                 continue;
             }
-            let kind =
-                if o.write { DependencyKind::WriteWrite } else { DependencyKind::WriteRead };
+            let kind = if o.write { DependencyKind::WriteWrite } else { DependencyKind::WriteRead };
             let b = bound(&w.path, &o.path, tau);
             for d in 1..=b {
                 let hit1 = earlier_write_hits_later_access(&w.path, tau, &o.path, d, canon)
@@ -133,15 +132,13 @@ pub fn conflicts_with_canon(
                         distance: d,
                         persistent: false,
                     };
-                    if !report
-                        .conflicts
-                        .iter()
-                        .any(|e| e.root == c.root
+                    if !report.conflicts.iter().any(|e| {
+                        e.root == c.root
                             && e.write_path == c.write_path
                             && e.other_path == c.other_path
                             && e.kind == c.kind
-                            && e.distance <= c.distance)
-                    {
+                            && e.distance <= c.distance
+                    }) {
                         report.conflicts.push(c);
                     }
                     break;
@@ -167,11 +164,7 @@ mod tests {
         let heap = Heap::new();
         let mut lw = Lowerer::new(&heap);
         let prog = lw.lower_program(&parse_all(src).unwrap()).unwrap();
-        let func = prog
-            .funcs
-            .iter()
-            .find(|f| f.is_recursive())
-            .expect("a recursive function");
+        let func = prog.funcs.iter().find(|f| f.is_recursive()).expect("a recursive function");
         let accesses = collect_accesses(func);
         let transfers = transfer_functions(func);
         let canon = if with_inverse {

@@ -111,8 +111,7 @@ pub fn conflicts_from_parts(
     let mut conflicts: Vec<Conflict> = Vec::new();
     let mut consider = |w: &AccessRecord, o: &AccessRecord, tau: &Transfer| {
         if let Some((distance, persistent)) = pair_conflict(&w.path, &o.path, tau) {
-            let kind =
-                if o.write { DependencyKind::WriteWrite } else { DependencyKind::WriteRead };
+            let kind = if o.write { DependencyKind::WriteWrite } else { DependencyKind::WriteRead };
             let c = Conflict {
                 root: w.root,
                 write_path: w.path.clone(),
@@ -193,12 +192,9 @@ mod tests {
         );
         assert_eq!(r.min_distance, Some(1));
         // The write cdr.car conflicts with read car at distance 1...
-        assert!(r
-            .conflicts
-            .iter()
-            .any(|c| c.write_path.to_string() == "cdr.car"
-                && c.other_path.to_string() == "car"
-                && c.distance == 1));
+        assert!(r.conflicts.iter().any(|c| c.write_path.to_string() == "cdr.car"
+            && c.other_path.to_string() == "car"
+            && c.distance == 1));
         // ...but never with the read of cdr (cdr⁺.car is never a
         // prefix of all-cdr strings).
         assert!(!r
@@ -276,9 +272,7 @@ mod tests {
 
     #[test]
     fn pure_reader_state_never_conflicts() {
-        let r = report_of(
-            "(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))",
-        );
+        let r = report_of("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))");
         assert!(r.is_conflict_free());
     }
 

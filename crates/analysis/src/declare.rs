@@ -115,7 +115,9 @@ impl DeclDb {
             "inverse" => {
                 let names = syms(&items[1..])?;
                 let [a, b] = names.as_slice() else {
-                    return Err(DeclError(format!("(inverse f g) expects two accessors: {clause}")));
+                    return Err(DeclError(format!(
+                        "(inverse f g) expects two accessors: {clause}"
+                    )));
                 };
                 self.inverses.push((a.clone(), b.clone()));
             }
@@ -150,9 +152,7 @@ impl DeclDb {
 
     /// Are `a` and `b` declared inverses (in either order)?
     pub fn are_inverses(&self, a: &str, b: &str) -> bool {
-        self.inverses
-            .iter()
-            .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        self.inverses.iter().any(|(x, y)| (x == a && y == b) || (x == b && y == a))
     }
 
     /// Is `op` declared atomic-commutative-associative?
@@ -273,7 +273,9 @@ mod tests {
     fn errors_on_unknown_or_malformed() {
         let mut db = DeclDb::new();
         assert!(db.add_toplevel(&parse_one("(curare-declare (frobnicate x))").unwrap()).is_err());
-        assert!(db.add_toplevel(&parse_one("(curare-declare (inverse just-one))").unwrap()).is_err());
+        assert!(db
+            .add_toplevel(&parse_one("(curare-declare (inverse just-one))").unwrap())
+            .is_err());
         assert!(db.add_toplevel(&parse_one("(curare-declare (reorderable 42))").unwrap()).is_err());
         assert!(db.add_toplevel(&parse_one("(other-form)").unwrap()).is_err());
         // no-alias at top level is rejected (needs a function scope).

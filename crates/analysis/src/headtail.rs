@@ -53,8 +53,8 @@ pub fn head_tail(func: &Func) -> HeadTail {
         if n == ENTRY || n == EXIT || idom[n] == usize::MAX {
             continue;
         }
-        let dominated = !recursive_call
-            && rec_nodes.iter().any(|&c| c != n && cfg.dominates(&idom, c, n));
+        let dominated =
+            !recursive_call && rec_nodes.iter().any(|&c| c != n && cfg.dominates(&idom, c, n));
         if dominated {
             tail_size += size;
         } else {

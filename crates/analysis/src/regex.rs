@@ -232,7 +232,7 @@ impl Nfa {
         }
     }
 
-    fn eps_closure(&self, set: &mut Vec<bool>) {
+    fn eps_closure(&self, set: &mut [bool]) {
         let mut work: Vec<usize> =
             set.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
         while let Some(s) = work.pop() {
@@ -443,10 +443,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(cdr_plus().to_string(), "(cdr)+");
-        assert_eq!(
-            PathRegex::Atom(Car).or(PathRegex::Atom(Cdr)).to_string(),
-            "car|cdr"
-        );
+        assert_eq!(PathRegex::Atom(Car).or(PathRegex::Atom(Cdr)).to_string(), "car|cdr");
         assert_eq!(PathRegex::any_star().to_string(), "(A)*");
         assert_eq!(PathRegex::literal(&p("cdr.car")).to_string(), "cdr.car");
     }

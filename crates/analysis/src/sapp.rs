@@ -59,15 +59,13 @@ pub fn check_sapp(heap: &Heap, root: Value, canon: &Canonicalizer) -> SappReport
         };
         let cpath = canon.canonicalize(&path);
         if let Some(first) = seen.get(&node_id) {
-            if *first != cpath {
-                if violations.len() < MAX_VIOLATIONS {
-                    violations.push(SappViolation {
-                        node: truncate(&heap.display(v)),
-                        first: first.clone(),
-                        cycle: first.is_prefix_of(&cpath),
-                        second: cpath,
-                    });
-                }
+            if *first != cpath && violations.len() < MAX_VIOLATIONS {
+                violations.push(SappViolation {
+                    node: truncate(&heap.display(v)),
+                    first: first.clone(),
+                    cycle: first.is_prefix_of(&cpath),
+                    second: cpath,
+                });
             }
             continue;
         }
@@ -184,10 +182,7 @@ mod tests {
 
         // With (inverse succ pred): holds.
         let mut canon = Canonicalizer::identity();
-        canon.add_pair(
-            Accessor::Field { ty, field: 0 },
-            Accessor::Field { ty, field: 1 },
-        );
+        canon.add_pair(Accessor::Field { ty, field: 0 }, Accessor::Field { ty, field: 1 });
         let r = check_sapp(&h, a, &canon);
         assert!(r.holds, "{r:?}");
     }

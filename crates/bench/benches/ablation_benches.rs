@@ -14,7 +14,7 @@ use curare::lisp::chash::LispHash;
 use curare::prelude::*;
 use curare_bench::{int_list, transformed_interp, SUM_WALK};
 
-/// Scheduler ablation: the paper's ordered server pool vs rayon's
+/// Scheduler ablation: the paper's ordered server pool vs an unordered pool's
 /// work-stealing pool on the same transformed program.
 fn scheduler_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler_ablation");
@@ -31,10 +31,10 @@ fn scheduler_ablation(c: &mut Criterion) {
         })
     });
 
-    g.bench_function("rayon_work_stealing", |b| {
+    g.bench_function("unordered_pool", |b| {
         let (interp, _) = transformed_interp(SUM_WALK);
         interp.load_str("(defparameter *sum* 0)").unwrap();
-        let rt = curare::runtime::RayonRuntime::new(Arc::clone(&interp), 4);
+        let rt = curare::runtime::UnorderedRuntime::new(Arc::clone(&interp), 4);
         b.iter(|| {
             let l = int_list(&interp, n);
             rt.run("walk", &[l]).expect("run");
@@ -100,48 +100,40 @@ fn arena_ablation(c: &mut Criterion) {
     const THREADS: u64 = 4;
 
     for threads in [1u64, THREADS] {
-        g.bench_with_input(
-            BenchmarkId::new("atomic_arena", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let a: Arc<AtomicArena<AtomicU64>> = Arc::new(AtomicArena::new());
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let a = Arc::clone(&a);
-                            s.spawn(move || {
-                                for i in 0..ALLOCS / threads {
-                                    let idx = a.alloc();
-                                    a.get(idx).store(i, Ordering::Release);
-                                }
-                            });
-                        }
-                    });
-                    std::hint::black_box(a.len())
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("mutex_vec", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let v: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let v = Arc::clone(&v);
-                            s.spawn(move || {
-                                for i in 0..ALLOCS / threads {
-                                    v.lock().unwrap().push(i);
-                                }
-                            });
-                        }
-                    });
-                    let len = v.lock().unwrap().len();
-                    std::hint::black_box(len)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("atomic_arena", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let a: Arc<AtomicArena<AtomicU64>> = Arc::new(AtomicArena::new());
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        let a = Arc::clone(&a);
+                        s.spawn(move || {
+                            for i in 0..ALLOCS / threads {
+                                let idx = a.alloc();
+                                a.get(idx).store(i, Ordering::Release);
+                            }
+                        });
+                    }
+                });
+                std::hint::black_box(a.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mutex_vec", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let v: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        let v = Arc::clone(&v);
+                        s.spawn(move || {
+                            for i in 0..ALLOCS / threads {
+                                v.lock().unwrap().push(i);
+                            }
+                        });
+                    }
+                });
+                let len = v.lock().unwrap().len();
+                std::hint::black_box(len)
+            })
+        });
     }
     g.finish();
 }

@@ -1,0 +1,69 @@
+//! Scheduler-contention benchmarks (DESIGN.md §4): the paper-faithful
+//! central single-mutex queue vs the sharded low-contention scheduler
+//! (per-site locks, batched submit, task chaining), across server
+//! counts on a tiny-grain workload, plus the TLAB allocation path.
+//!
+//! Requires the off-by-default `bench-ext` feature (the external
+//! `criterion` crate is unavailable offline).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use curare::lisp::arena::AtomicArena;
+use curare::prelude::*;
+use curare_bench::{int_list, padded_walker, transformed_interp};
+
+/// Central vs sharded scheduling on the tiniest-grain walker, where
+/// per-task submit cost dominates.
+fn sched_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_contention");
+    g.sample_size(10);
+    let n = 5_000i64;
+
+    for servers in [1usize, 2, 4, 8] {
+        for (label, mode) in [("central", SchedMode::Central), ("sharded", SchedMode::Sharded)] {
+            g.bench_with_input(BenchmarkId::new(label, servers), &servers, |b, &servers| {
+                let (interp, _) = transformed_interp(&padded_walker(0));
+                let rt = CriRuntime::with_mode(Arc::clone(&interp), servers, mode);
+                b.iter(|| {
+                    let l = int_list(&interp, n);
+                    rt.run("padded", &[l]).expect("run");
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// TLAB-buffered arena allocation vs the shared fetch-add path.
+fn tlab_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlab_allocation");
+    g.sample_size(10);
+    const ALLOCS: u64 = 50_000;
+    const THREADS: u64 = 4;
+
+    for (label, tlab) in [("tlab", true), ("shared_fetch_add", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let a: Arc<AtomicArena<u64>> = Arc::new(AtomicArena::new());
+                std::thread::scope(|s| {
+                    for _ in 0..THREADS {
+                        let a = Arc::clone(&a);
+                        s.spawn(move || {
+                            for _ in 0..ALLOCS / THREADS {
+                                let idx = if tlab { a.alloc_tlab() } else { a.alloc() };
+                                std::hint::black_box(idx);
+                            }
+                        });
+                    }
+                });
+                std::hint::black_box(a.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sched_contention, tlab_allocation);
+criterion_main!(benches);

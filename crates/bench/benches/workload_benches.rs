@@ -24,9 +24,7 @@ fn dps_remq(c: &mut Criterion) {
             interp.set_recursion_limit(1_000_000);
             b.iter(|| {
                 let l = sym_list(&interp, n, &["a", "b", "c"]);
-                interp
-                    .call("remq", &[interp.heap().sym_value("a"), l])
-                    .expect("sequential remq")
+                interp.call("remq", &[interp.heap().sym_value("a"), l]).expect("sequential remq")
             })
         });
         g.bench_with_input(BenchmarkId::new("pool_dps", n), &n, |b, &n| {

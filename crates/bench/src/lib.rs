@@ -14,8 +14,7 @@ use curare::prelude::*;
 pub const FIGURE_3: &str = "(defun f (l) (when l (print (car l)) (f (cdr l))))";
 
 /// The paper's Figure 4: a walker with a distance-1 conflict.
-pub const FIGURE_4: &str =
-    "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))";
+pub const FIGURE_4: &str = "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))";
 
 /// The paper's Figure 5: the complex conflicting walker.
 pub const FIGURE_5: &str = "(defun f (l)

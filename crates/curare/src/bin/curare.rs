@@ -63,10 +63,7 @@ fn transform(args: &[String]) -> Result<(), String> {
     let out = Curare::new().transform_source(&src).map_err(|e| e.to_string())?;
     print!("{}", out.source());
     for r in &out.reports {
-        eprintln!(
-            ";; {}: converted = {}, devices = {:?}",
-            r.name, r.converted, r.devices
-        );
+        eprintln!(";; {}: converted = {}, devices = {:?}", r.name, r.converted, r.devices);
         if !r.converted {
             for line in r.feedback.lines() {
                 eprintln!(";;   {line}");
@@ -126,10 +123,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let call_src = call.expect("checked above");
     let parsed = parse_one(&call_src).map_err(|e| e.to_string())?;
     let items = parsed.as_list().ok_or("--call must be a function call")?;
-    let fname = items
-        .first()
-        .and_then(Sexpr::as_symbol)
-        .ok_or("--call head must be a symbol")?;
+    let fname = items.first().and_then(Sexpr::as_symbol).ok_or("--call head must be a symbol")?;
     // Evaluate the arguments sequentially, then dispatch.
     let mut argv = Vec::new();
     for a in &items[1..] {

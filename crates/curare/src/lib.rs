@@ -55,7 +55,7 @@ pub mod prelude {
         analyze_function, analyze_program, DeclDb, FunctionAnalysis, Verdict,
     };
     pub use curare_lisp::{Heap, Interp, LispError, SequentialHooks, Value};
-    pub use curare_runtime::{CriRuntime, PoolStats, RayonRuntime, SpawnRuntime};
+    pub use curare_runtime::{CriRuntime, PoolStats, SchedMode, SpawnRuntime, UnorderedRuntime};
     pub use curare_sexpr::{parse_all, parse_one, pretty, Sexpr};
     pub use curare_sim::{simulate, FunctionModel, SimConfig};
     pub use curare_transform::{Curare, CurareOutput, Device, FunctionReport};

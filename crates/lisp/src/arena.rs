@@ -13,6 +13,7 @@
 //! *contents* is the element's own responsibility (the heap publishes
 //! values through release stores / acquire loads).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// Number of elements in the first chunk. Chunk `k` holds
@@ -20,11 +21,46 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 const BASE: u64 = 1024;
 const SHELVES: usize = 33;
 
+/// Slots reserved per thread-local allocation buffer refill: large
+/// enough to amortize the shared `fetch_add` and its cache-line
+/// bounce across ~64 allocations, small enough that an idle thread
+/// strands under 1 KiB of slots.
+const TLAB_CHUNK: u64 = 64;
+
+/// Thread-local buffer entries kept per thread (a thread usually
+/// allocates from the cons and float arenas of one heap, so a handful
+/// of ways covers the working set; collisions just refill early).
+const TLAB_WAYS: usize = 4;
+
+/// Source of globally unique arena ids. Ids are never reused, so a
+/// stale thread-local buffer keyed by a dropped arena's id can never
+/// be mistaken for a live arena's buffer.
+static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Clone, Copy, Default)]
+struct TlabEntry {
+    /// Owning arena's id; 0 marks an empty way.
+    arena_id: u64,
+    /// Next unconsumed reserved index.
+    next: u64,
+    /// One past the last reserved index.
+    end: u64,
+}
+
+thread_local! {
+    static TLABS: Cell<[TlabEntry; TLAB_WAYS]> =
+        const { Cell::new([TlabEntry { arena_id: 0, next: 0, end: 0 }; TLAB_WAYS]) };
+}
+
 /// Lock-free chunked arena; see module docs.
 pub struct AtomicArena<T> {
     shelves: [AtomicPtr<T>; SHELVES],
     /// Number of reserved slots (monotonic).
     len: AtomicU64,
+    /// Globally unique identity, keys this arena's TLAB entries.
+    id: u64,
+    /// Times any thread refilled a TLAB from this arena.
+    tlab_refills: AtomicU64,
 }
 
 // SAFETY: all mutation is behind atomics; elements are required to be
@@ -56,6 +92,8 @@ impl<T: Default + Send + Sync> AtomicArena<T> {
         AtomicArena {
             shelves: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
             len: AtomicU64::new(0),
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+            tlab_refills: AtomicU64::new(0),
         }
     }
 
@@ -118,6 +156,53 @@ impl<T: Default + Send + Sync> AtomicArena<T> {
     /// Reserve one slot.
     pub fn alloc(&self) -> u64 {
         self.alloc_n(1)
+    }
+
+    /// Reserve one slot through this thread's allocation buffer:
+    /// slots are claimed from the shared counter [`TLAB_CHUNK`] at a
+    /// time and bump-allocated locally, so the hot path touches no
+    /// shared cache line. Reserved-but-unconsumed slots stay
+    /// default-initialized (and count toward [`Self::len`]), exactly
+    /// like slots awaiting their first store.
+    pub fn alloc_tlab(&self) -> u64 {
+        TLABS.with(|tl| {
+            let mut ways = tl.get();
+            for e in ways.iter_mut() {
+                if e.arena_id == self.id {
+                    if e.next < e.end {
+                        let idx = e.next;
+                        e.next += 1;
+                        tl.set(ways);
+                        return idx;
+                    }
+                    let base = self.refill();
+                    e.next = base + 1;
+                    e.end = base + TLAB_CHUNK;
+                    tl.set(ways);
+                    return base;
+                }
+            }
+            // Not cached on this thread: claim a way (evicting by id
+            // keeps distinct arenas on distinct ways until WAYS
+            // arenas collide; an evicted buffer's remaining slots are
+            // stranded, bounded by TLAB_CHUNK per eviction).
+            let way = (self.id as usize) % TLAB_WAYS;
+            let base = self.refill();
+            ways[way] = TlabEntry { arena_id: self.id, next: base + 1, end: base + TLAB_CHUNK };
+            tl.set(ways);
+            base
+        })
+    }
+
+    fn refill(&self) -> u64 {
+        self.tlab_refills.fetch_add(1, Ordering::Relaxed);
+        self.alloc_n(TLAB_CHUNK)
+    }
+
+    /// Times any thread refilled a thread-local buffer from this
+    /// arena.
+    pub fn tlab_refills(&self) -> u64 {
+        self.tlab_refills.load(Ordering::Relaxed)
     }
 
     /// Access element `idx`. Panics if the slot was never reserved.
@@ -257,6 +342,67 @@ mod tests {
             }
         }
         assert_eq!(nonzero, 16_000);
+    }
+
+    #[test]
+    fn tlab_allocations_are_unique_and_refill_in_chunks() {
+        let a: AtomicArena<AtomicU64> = AtomicArena::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            assert!(seen.insert(a.alloc_tlab()), "tlab slots must be unique");
+        }
+        // 300 allocations at 64 per refill: ceil(300/64) = 5 refills.
+        assert_eq!(a.tlab_refills(), 5);
+        assert_eq!(a.len(), 5 * 64, "len counts reserved chunks");
+    }
+
+    #[test]
+    fn tlab_and_direct_alloc_interleave_disjointly() {
+        let a: AtomicArena<AtomicU64> = AtomicArena::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let idx = if i % 3 == 0 { a.alloc() } else { a.alloc_tlab() };
+            assert!(seen.insert(idx), "direct and tlab slots never collide");
+        }
+    }
+
+    #[test]
+    fn tlab_concurrent_alloc_yields_disjoint_slots() {
+        use std::sync::Arc;
+        let a = Arc::new(AtomicArena::<AtomicU64>::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..2000u64 {
+                        let idx = a.alloc_tlab();
+                        a.get(idx).store(t * 1_000_000 + i + 1, Ordering::Release);
+                        mine.push(idx);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 16_000, "every reservation must be unique");
+        assert!(a.tlab_refills() >= 8 * 2000 / 64, "each thread refills independently");
+    }
+
+    #[test]
+    fn tlabs_for_distinct_arenas_coexist() {
+        let a: AtomicArena<AtomicU64> = AtomicArena::new();
+        let b: AtomicArena<AtomicU64> = AtomicArena::new();
+        let mut seen_a = std::collections::HashSet::new();
+        let mut seen_b = std::collections::HashSet::new();
+        for _ in 0..200 {
+            assert!(seen_a.insert(a.alloc_tlab()));
+            assert!(seen_b.insert(b.alloc_tlab()));
+        }
+        assert!(a.len() >= 200);
+        assert!(b.len() >= 200);
     }
 
     #[test]

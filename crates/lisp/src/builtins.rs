@@ -189,8 +189,12 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
             Num::Int(i) => Value::int_checked(i.abs()).ok_or(LispError::Overflow("abs")),
             Num::Float(x) => Ok(heap.float(x.abs())),
         },
-        Add1 => fold_arith(ev, &[vals[0], Value::int(1)], "+", i64::checked_add, |a, b| a + b, 0, false),
-        Sub1 => fold_arith(ev, &[vals[0], Value::int(1)], "-", i64::checked_sub, |a, b| a - b, 0, false),
+        Add1 => {
+            fold_arith(ev, &[vals[0], Value::int(1)], "+", i64::checked_add, |a, b| a + b, 0, false)
+        }
+        Sub1 => {
+            fold_arith(ev, &[vals[0], Value::int(1)], "-", i64::checked_sub, |a, b| a - b, 0, false)
+        }
         Null => Ok(bool_val(vals[0].is_nil())),
         Eq => Ok(bool_val(vals[0] == vals[1])),
         Eql => Ok(bool_val(heap.eql(vals[0], vals[1]))),
@@ -323,7 +327,8 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
         Remhash => Ok(bool_val(heap.hash_table(vals[1])?.remove(vals[0]).is_some())),
         HashCount => Ok(Value::int(heap.hash_table(vals[0])?.len() as i64)),
         MakeVector => {
-            let n = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "make-vector"))?;
+            let n =
+                vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "make-vector"))?;
             if n < 0 {
                 return Err(LispError::IndexOutOfRange { index: n, len: 0 });
             }
@@ -392,7 +397,11 @@ fn apply_function(ev: &mut Evaluator, f: Value, args: Vec<Value>) -> Result<Valu
             let name = ev.interp().heap().sym_name(s);
             if let Some((op, min, max)) = crate::lower::builtin_signature(name) {
                 if args.len() < min || args.len() > max {
-                    return Err(LispError::Arity { name: name.into(), expected: min, got: args.len() });
+                    return Err(LispError::Arity {
+                        name: name.into(),
+                        expected: min,
+                        got: args.len(),
+                    });
                 }
                 return apply_builtin(ev, op, args);
             }

@@ -10,7 +10,7 @@
 //! Keys compare with `eql` semantics, which for the word-encoded
 //! [`Value`] is bit equality.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 
 use crate::value::Value;
@@ -36,10 +36,7 @@ impl LispHash {
 
     /// Insert or overwrite; returns the previous value if any.
     pub fn insert(&self, key: Value, value: Value) -> Option<Value> {
-        self.shards[shard_of(key)]
-            .lock()
-            .insert(key.bits(), value.bits())
-            .map(Value::from_bits)
+        self.shards[shard_of(key)].lock().insert(key.bits(), value.bits()).map(Value::from_bits)
     }
 
     /// Look up `key`.

@@ -40,6 +40,27 @@ thread_local! {
     /// an evaluation) must measure against the *outermost* base, or
     /// the budget would reset at each nesting level.
     static STACK_BASE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// Retired value buffers (call frames, spent argument vectors),
+    /// recycled so `apply` does not hit the allocator on every
+    /// invocation — the CRI pool calls it once per task.
+    static VALUE_BUFS: std::cell::RefCell<Vec<Vec<Value>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_value_buf() -> Vec<Value> {
+    VALUE_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn put_value_buf(mut v: Vec<Value>) {
+    if v.capacity() > 0 {
+        v.clear();
+        VALUE_BUFS.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < 16 {
+                p.push(v);
+            }
+        });
+    }
 }
 
 /// Set this thread's evaluator stack budget in bytes. Threads that
@@ -89,6 +110,10 @@ impl<'i> Evaluator<'i> {
             self.depth -= 1;
             return Err(LispError::RecursionLimit(self.depth + 1));
         }
+        // One recycled frame serves every trampoline iteration; the
+        // spent argument buffer is recycled too (it feeds the next
+        // invocation's argument collection).
+        let mut frame: Vec<Value> = take_value_buf();
         let result = loop {
             let entry = self.interp.func_entry(id);
             let func = &entry.func;
@@ -99,11 +124,12 @@ impl<'i> Evaluator<'i> {
                     got: args.len(),
                 });
             }
-            let mut frame: Vec<Value> =
-                Vec::with_capacity(func.nslots.max(entry.captured.len() + args.len()));
+            frame.clear();
+            frame.reserve(func.nslots.max(entry.captured.len() + args.len()));
             frame.extend_from_slice(&entry.captured);
             frame.append(&mut args);
             frame.resize(func.nslots.max(frame.len()), Value::UNBOUND);
+            put_value_buf(std::mem::take(&mut args));
 
             let (last, init) = match func.body.split_last() {
                 Some(x) => x,
@@ -128,6 +154,7 @@ impl<'i> Evaluator<'i> {
                 Err(e) => break Err(e),
             }
         };
+        put_value_buf(frame);
         self.depth -= 1;
         result
     }
@@ -257,7 +284,7 @@ impl<'i> Evaluator<'i> {
                 Value::NIL
             }
             Expr::Call { name, name_text, args } => {
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = take_value_buf();
                 for a in args {
                     vals.push(self.eval(a, frame)?);
                 }
@@ -347,24 +374,24 @@ impl<'i> Evaluator<'i> {
                 }
             }
             Expr::Future { name, name_text, args } => {
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = take_value_buf();
                 for a in args {
                     vals.push(self.eval(a, frame)?);
                 }
-                if interp.lookup_func(*name).is_none() {
+                let Some(fid) = interp.lookup_func(*name) else {
                     return Err(LispError::UndefinedFunction(name_text.clone()));
-                }
-                interp.hooks().future(interp, *name, vals)?
+                };
+                interp.hooks().future(interp, fid, vals)?
             }
             Expr::Enqueue { site, name, name_text, args } => {
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = take_value_buf();
                 for a in args {
                     vals.push(self.eval(a, frame)?);
                 }
-                if interp.lookup_func(*name).is_none() {
+                let Some(fid) = interp.lookup_func(*name) else {
                     return Err(LispError::UndefinedFunction(name_text.clone()));
-                }
-                interp.hooks().enqueue(interp, *site, *name, vals)?;
+                };
+                interp.hooks().enqueue(interp, *site, fid, vals)?;
                 Value::NIL
             }
             Expr::LockOp { lock, base, field, exclusive } => {
@@ -522,19 +549,13 @@ mod tests {
 
     #[test]
     fn dolist_dotimes() {
-        assert_eq!(
-            run("(let ((sum 0)) (dolist (x '(1 2 3)) (setq sum (+ sum x))) sum)"),
-            "6"
-        );
+        assert_eq!(run("(let ((sum 0)) (dolist (x '(1 2 3)) (setq sum (+ sum x))) sum)"), "6");
         assert_eq!(run("(let ((sum 0)) (dotimes (i 5) (setq sum (+ sum i))) sum)"), "10");
     }
 
     #[test]
     fn defun_and_recursion() {
-        assert_eq!(
-            run("(defun fact (n) (if (= n 0) 1 (* n (fact (1- n))))) (fact 10)"),
-            "3628800"
-        );
+        assert_eq!(run("(defun fact (n) (if (= n 0) 1 (* n (fact (1- n))))) (fact 10)"), "3628800");
         assert_eq!(
             run("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 15)"),
             "610"
@@ -565,9 +586,7 @@ mod tests {
     fn recursion_limit_enforced() {
         let it = Interp::new();
         it.set_recursion_limit(100);
-        let err = it
-            .load_str("(defun boom (n) (+ 1 (boom (1+ n)))) (boom 0)")
-            .unwrap_err();
+        let err = it.load_str("(defun boom (n) (+ 1 (boom (1+ n)))) (boom 0)").unwrap_err();
         assert!(matches!(err, LispError::RecursionLimit(_)), "{err:?}");
     }
 

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 
 use crate::arena::AtomicArena;
@@ -118,9 +118,11 @@ impl Heap {
 
     // ----- cons cells -------------------------------------------------
 
-    /// Allocate `(cons car cdr)`.
+    /// Allocate `(cons car cdr)`. Slots come from the calling
+    /// thread's allocation buffer, so concurrent servers don't bounce
+    /// the arena counter's cache line on every cons.
     pub fn cons(&self, car: Value, cdr: Value) -> Value {
-        let id = self.conses.alloc();
+        let id = self.conses.alloc_tlab();
         let cell = self.conses.get(id);
         cell.car.store(car.bits(), Ordering::Release);
         cell.cdr.store(cdr.bits(), Ordering::Release);
@@ -392,7 +394,7 @@ impl Heap {
 
     /// Box a float.
     pub fn float(&self, x: f64) -> Value {
-        let id = self.floats.alloc();
+        let id = self.floats.alloc_tlab();
         self.floats.get(id).store(x.to_bits(), Ordering::Release);
         Value::float_ref(id)
     }
@@ -444,9 +446,7 @@ impl Heap {
     /// The table behind a hash value.
     pub fn hash_table(&self, v: Value) -> Result<&LispHash> {
         match v.decode() {
-            Val::Hash(id) => {
-                Ok(self.hashes.get(id).get().expect("hash id published before init"))
-            }
+            Val::Hash(id) => Ok(self.hashes.get(id).get().expect("hash id published before init")),
             _ => Err(self.type_error("hash-table", v, "hash access")),
         }
     }
@@ -592,7 +592,11 @@ impl Heap {
                 let tyname = self.struct_type(ty).name;
                 let mut fields = vec![Sexpr::sym(tyname)];
                 for i in 0..len {
-                    fields.push(self.to_sexpr_inner(self.struct_ref(v, i).ok()?, budget, depth + 1)?);
+                    fields.push(self.to_sexpr_inner(
+                        self.struct_ref(v, i).ok()?,
+                        budget,
+                        depth + 1,
+                    )?);
                 }
                 Sexpr::List(vec![Sexpr::sym("struct"), Sexpr::List(fields)])
             }
@@ -600,7 +604,11 @@ impl Heap {
                 let len = self.vector_len(v).ok()?;
                 let mut items = vec![Sexpr::sym("vector")];
                 for i in 0..len as i64 {
-                    items.push(self.to_sexpr_inner(self.vector_ref(v, i).ok()?, budget, depth + 1)?);
+                    items.push(self.to_sexpr_inner(
+                        self.vector_ref(v, i).ok()?,
+                        budget,
+                        depth + 1,
+                    )?);
                 }
                 Sexpr::List(items)
             }
@@ -634,7 +642,10 @@ impl Heap {
     }
 
     /// Heap size counters (conses, struct slots, floats, strings), for
-    /// tests and diagnostics.
+    /// tests and diagnostics. Cons and float counts are *reserved*
+    /// slots: thread-local allocation buffers claim them 64 at a
+    /// time, so the counts can exceed live allocations by up to one
+    /// buffer per allocating thread.
     pub fn stats(&self) -> HeapStats {
         HeapStats {
             conses: self.conses.len(),
@@ -642,6 +653,13 @@ impl Heap {
             floats: self.floats.len(),
             strings: self.strings.len(),
         }
+    }
+
+    /// Thread-local allocation buffer refills across the cons and
+    /// float arenas (each covered ~64 allocations with one shared
+    /// counter update).
+    pub fn tlab_refills(&self) -> u64 {
+        self.conses.tlab_refills() + self.floats.tlab_refills()
     }
 
     fn type_error(&self, expected: &'static str, got: Value, op: &'static str) -> LispError {
@@ -862,7 +880,15 @@ mod tests {
         for t in threads {
             assert_eq!(t.join().unwrap(), 5000);
         }
-        assert_eq!(h.stats().conses, 40_000);
+        // TLABs reserve in chunks of 64, so the reserved count covers
+        // the 40 000 live cells plus at most one partial chunk per
+        // allocating thread.
+        let conses = h.stats().conses;
+        assert!(
+            (40_000..40_000 + 9 * 64).contains(&conses),
+            "reserved {conses} for 40 000 live conses"
+        );
+        assert!(h.tlab_refills() >= 40_000 / 64);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 
 use crate::ast::{Func, Program};
 use crate::error::{LispError, Result};
@@ -28,7 +28,7 @@ pub struct FuncEntry {
 
 #[derive(Default)]
 struct FuncTable {
-    entries: Vec<FuncEntry>,
+    entries: Vec<Arc<FuncEntry>>,
     by_name: HashMap<SymId, FuncId>,
 }
 
@@ -41,10 +41,12 @@ struct FuncTable {
 /// lock operations onto its location lock table (paper §3.2.1, §4).
 pub trait RuntimeHooks: Send + Sync {
     /// `(cri-enqueue site f args...)`: schedule the next invocation.
-    fn enqueue(&self, interp: &Interp, site: usize, fname: SymId, args: Vec<Value>) -> Result<()>;
+    /// The evaluator resolves `f` to its [`FuncId`] before calling, so
+    /// implementations pay no lookup on this hot path.
+    fn enqueue(&self, interp: &Interp, site: usize, fid: FuncId, args: Vec<Value>) -> Result<()>;
     /// `(future (f args...))`: start an asynchronous call, returning a
     /// value that [`RuntimeHooks::touch`] can resolve.
-    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value>;
+    fn future(&self, interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value>;
     /// `(touch v)`: wait for a future (identity on normal values).
     fn touch(&self, interp: &Interp, v: Value) -> Result<Value>;
     /// `(cri-lock base field)`.
@@ -57,13 +59,13 @@ pub trait RuntimeHooks: Send + Sync {
 pub struct SequentialHooks;
 
 impl RuntimeHooks for SequentialHooks {
-    fn enqueue(&self, interp: &Interp, _site: usize, fname: SymId, args: Vec<Value>) -> Result<()> {
-        interp.call_by_sym(fname, &args)?;
+    fn enqueue(&self, interp: &Interp, _site: usize, fid: FuncId, args: Vec<Value>) -> Result<()> {
+        interp.call_fid_owned(fid, args)?;
         Ok(())
     }
 
-    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value> {
-        interp.call_by_sym(fname, &args)
+    fn future(&self, interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value> {
+        interp.call_fid_owned(fid, args)
     }
 
     fn touch(&self, _interp: &Interp, v: Value) -> Result<Value> {
@@ -90,9 +92,29 @@ pub struct Interp {
     globals: RwLock<HashMap<SymId, Arc<AtomicU64>>>,
     output: Mutex<Vec<String>>,
     hooks: RwLock<Arc<dyn RuntimeHooks>>,
+    /// Globally unique stamp for the installed hooks; lets `hooks()`
+    /// serve repeat lookups from a thread-local cache without the
+    /// read-lock round trip.
+    hooks_gen: AtomicU64,
     gensym: AtomicU64,
     rng: Mutex<u64>,
     max_depth: AtomicU64,
+}
+
+/// Source of hook generation stamps. Process-global so a stamp is
+/// never reused, even across interpreters that happen to share an
+/// address after one is dropped.
+static NEXT_HOOKS_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// `(interp address, generation, hooks)` as last resolved by a thread.
+type HooksCacheEntry = (usize, u64, Arc<dyn RuntimeHooks>);
+
+thread_local! {
+    /// The hooks last resolved by this thread. Hooks change only when
+    /// a runtime installs or removes itself, so in steady state every
+    /// `hooks()` call hits here.
+    static HOOKS_CACHE: std::cell::RefCell<Option<HooksCacheEntry>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 impl Interp {
@@ -104,6 +126,7 @@ impl Interp {
             globals: RwLock::new(HashMap::new()),
             output: Mutex::new(Vec::new()),
             hooks: RwLock::new(Arc::new(SequentialHooks)),
+            hooks_gen: AtomicU64::new(NEXT_HOOKS_GEN.fetch_add(1, Ordering::Relaxed)),
             gensym: AtomicU64::new(0),
             rng: Mutex::new(0x853C_49E6_748F_EA9B),
             max_depth: AtomicU64::new(10_000),
@@ -117,12 +140,31 @@ impl Interp {
 
     /// Install runtime hooks (returns the previous ones).
     pub fn set_hooks(&self, hooks: Arc<dyn RuntimeHooks>) -> Arc<dyn RuntimeHooks> {
-        std::mem::replace(&mut *self.hooks.write(), hooks)
+        let mut slot = self.hooks.write();
+        self.hooks_gen.store(NEXT_HOOKS_GEN.fetch_add(1, Ordering::Relaxed), Ordering::Release);
+        std::mem::replace(&mut *slot, hooks)
     }
 
     /// The currently installed hooks.
+    ///
+    /// Fast path: a thread-local `(interp, generation)` cache, so the
+    /// per-spawn cost is two atomic loads instead of a read-lock plus
+    /// refcount round trip. A thread may observe a hook change one
+    /// call late — the same window the read lock always allowed.
     pub fn hooks(&self) -> Arc<dyn RuntimeHooks> {
-        Arc::clone(&self.hooks.read())
+        let generation = self.hooks_gen.load(Ordering::Acquire);
+        let key = self as *const Interp as usize;
+        HOOKS_CACHE.with(|c| {
+            let mut cached = c.borrow_mut();
+            if let Some((k, g, h)) = cached.as_ref() {
+                if *k == key && *g == generation {
+                    return Arc::clone(h);
+                }
+            }
+            let h = Arc::clone(&self.hooks.read());
+            *cached = Some((key, generation, Arc::clone(&h)));
+            h
+        })
     }
 
     /// Change the evaluator recursion limit.
@@ -141,7 +183,9 @@ impl Interp {
     pub fn define_func(&self, func: Arc<Func>) -> FuncId {
         let mut table = self.funcs.write();
         let id = table.entries.len() as FuncId;
-        table.entries.push(FuncEntry { func: Arc::clone(&func), captured: Arc::from([]) });
+        table
+            .entries
+            .push(Arc::new(FuncEntry { func: Arc::clone(&func), captured: Arc::from([]) }));
         table.by_name.insert(func.name_sym, id);
         id
     }
@@ -150,7 +194,7 @@ impl Interp {
     pub fn define_closure(&self, func: Arc<Func>, captured: Vec<Value>) -> FuncId {
         let mut table = self.funcs.write();
         let id = table.entries.len() as FuncId;
-        table.entries.push(FuncEntry { func, captured: captured.into() });
+        table.entries.push(Arc::new(FuncEntry { func, captured: captured.into() }));
         id
     }
 
@@ -165,8 +209,8 @@ impl Interp {
     }
 
     /// The entry for `id`.
-    pub fn func_entry(&self, id: FuncId) -> FuncEntry {
-        self.funcs.read().entries[id as usize].clone()
+    pub fn func_entry(&self, id: FuncId) -> Arc<FuncEntry> {
+        Arc::clone(&self.funcs.read().entries[id as usize])
     }
 
     /// All currently defined named functions (for analysis passes).
@@ -183,9 +227,7 @@ impl Interp {
             return Arc::clone(c);
         }
         let mut g = self.globals.write();
-        Arc::clone(
-            g.entry(sym).or_insert_with(|| Arc::new(AtomicU64::new(Value::UNBOUND.bits()))),
-        )
+        Arc::clone(g.entry(sym).or_insert_with(|| Arc::new(AtomicU64::new(Value::UNBOUND.bits()))))
     }
 
     /// Read global `sym`.
@@ -319,8 +361,14 @@ impl Interp {
 
     /// Call function `id` with `args`.
     pub fn call_fid(&self, id: FuncId, args: &[Value]) -> Result<Value> {
+        self.call_fid_owned(id, args.to_vec())
+    }
+
+    /// Call function `id`, consuming `args` (no argument copy — the
+    /// runtime's per-task fast path).
+    pub fn call_fid_owned(&self, id: FuncId, args: Vec<Value>) -> Result<Value> {
         let mut ev = Evaluator::new(self);
-        ev.apply(id, args.to_vec())
+        ev.apply(id, args)
     }
 
     /// Call a named function.

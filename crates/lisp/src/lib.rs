@@ -42,6 +42,7 @@ pub mod eval;
 pub mod heap;
 pub mod interp;
 pub mod lower;
+pub mod sync;
 pub mod unparse;
 pub mod value;
 

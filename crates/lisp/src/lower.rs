@@ -26,7 +26,12 @@ struct FnCtx {
 
 impl FnCtx {
     fn new() -> Self {
-        FnCtx { scopes: vec![HashMap::new()], nslots: 0, capture_map: HashMap::new(), captures: Vec::new() }
+        FnCtx {
+            scopes: vec![HashMap::new()],
+            nslots: 0,
+            capture_map: HashMap::new(),
+            captures: Vec::new(),
+        }
     }
 
     fn fresh_slot(&mut self) -> LocalSlot {
@@ -84,7 +89,8 @@ impl<'h> Lowerer<'h> {
     /// A lowerer over `heap`. Re-registers accessors for any struct
     /// types already defined in the heap (so multiple `load`s compose).
     pub fn new(heap: &'h Heap) -> Self {
-        let mut lw = Lowerer { heap, struct_ops: HashMap::new(), ctxs: vec![FnCtx::new()], gensym: 0 };
+        let mut lw =
+            Lowerer { heap, struct_ops: HashMap::new(), ctxs: vec![FnCtx::new()], gensym: 0 };
         for ty in 0..heap.struct_type_count() as u32 {
             lw.register_struct_ops(ty);
         }
@@ -93,7 +99,8 @@ impl<'h> Lowerer<'h> {
 
     fn register_struct_ops(&mut self, ty: u32) {
         let st = self.heap.struct_type(ty);
-        self.struct_ops.insert(format!("make-{}", st.name), StructOpKind::Make(ty, st.fields.len()));
+        self.struct_ops
+            .insert(format!("make-{}", st.name), StructOpKind::Make(ty, st.fields.len()));
         self.struct_ops.insert(format!("{}-p", st.name), StructOpKind::Pred(ty));
         for (i, f) in st.fields.iter().enumerate() {
             self.struct_ops.insert(format!("{}-{}", st.name, f), StructOpKind::Ref(ty, i));
@@ -135,7 +142,11 @@ impl<'h> Lowerer<'h> {
             };
             let sym = self.heap.intern(n);
             let init = self.lower_expr(init)?;
-            return Ok(TopForm::Expr(Expr::Setq(VarRef::Global(sym), n.to_string(), Box::new(init))));
+            return Ok(TopForm::Expr(Expr::Setq(
+                VarRef::Global(sym),
+                n.to_string(),
+                Box::new(init),
+            )));
         }
         Ok(TopForm::Expr(self.lower_expr(form)?))
     }
@@ -538,7 +549,7 @@ impl<'h> Lowerer<'h> {
         let [spec, body @ ..] = args else {
             return Err(syntax("dolist expects (dolist (var list) body...)"));
         };
-        let Some([var, list]) = spec.as_list().map(|s| s) else {
+        let Some([var, list]) = spec.as_list() else {
             return Err(syntax("dolist spec must be (var list)"));
         };
         let Some(vname) = var.as_symbol() else {
@@ -577,7 +588,7 @@ impl<'h> Lowerer<'h> {
         let [spec, body @ ..] = args else {
             return Err(syntax("dotimes expects (dotimes (var n) body...)"));
         };
-        let Some([var, n]) = spec.as_list().map(|s| s) else {
+        let Some([var, n]) = spec.as_list() else {
             return Err(syntax("dotimes spec must be (var n)"));
         };
         let Some(vname) = var.as_symbol() else {
@@ -637,7 +648,8 @@ impl<'h> Lowerer<'h> {
             if slot < np {
                 // parameter
                 slot + k
-            } else if let Some(pos) = ctx.captures.iter().position(|&p| ctx.capture_map[&p] == slot) {
+            } else if let Some(pos) = ctx.captures.iter().position(|&p| ctx.capture_map[&p] == slot)
+            {
                 pos
             } else {
                 slot + k - count_captures_below(&ctx, slot)
@@ -682,13 +694,21 @@ impl<'h> Lowerer<'h> {
                 }
                 StructOpKind::Ref(ty, field) => {
                     if lowered.len() != 1 {
-                        return Err(LispError::Arity { name: head.into(), expected: 1, got: lowered.len() });
+                        return Err(LispError::Arity {
+                            name: head.into(),
+                            expected: 1,
+                            got: lowered.len(),
+                        });
                     }
                     Ok(Expr::Struct(StructOp::Ref { ty, field }, lowered))
                 }
                 StructOpKind::Pred(ty) => {
                     if lowered.len() != 1 {
-                        return Err(LispError::Arity { name: head.into(), expected: 1, got: lowered.len() });
+                        return Err(LispError::Arity {
+                            name: head.into(),
+                            expected: 1,
+                            got: lowered.len(),
+                        });
                     }
                     Ok(Expr::Struct(StructOp::Pred { ty }, lowered))
                 }
@@ -726,8 +746,9 @@ impl<'h> Lowerer<'h> {
                 Ok(Expr::Setq(vr, name.clone(), Box::new(self.lower_expr(value)?)))
             }
             Sexpr::List(items) if !items.is_empty() => {
-                let head =
-                    items[0].as_symbol().ok_or_else(|| syntax("setf place head must be a symbol"))?;
+                let head = items[0]
+                    .as_symbol()
+                    .ok_or_else(|| syntax("setf place head must be a symbol"))?;
                 let pargs = &items[1..];
                 // Struct field place.
                 if let Some(&StructOpKind::Ref(ty, field)) = self.struct_ops.get(head) {
@@ -898,6 +919,26 @@ pub fn builtin_signature(name: &str) -> Option<(BuiltinOp, usize, usize)> {
     })
 }
 
+/// Parse the field operand of `cri-lock`: `'car`, `'cdr`, or a struct
+/// field index `k` (encoding `2 + k`).
+fn field_code(d: &Sexpr) -> Result<u32> {
+    if let Some(i) = d.as_int() {
+        if i < 0 {
+            return Err(syntax("lock field index must be non-negative"));
+        }
+        return Ok(2 + i as u32);
+    }
+    let inner = match d.call_args("quote") {
+        Some([q]) => q,
+        _ => d,
+    };
+    match inner.as_symbol() {
+        Some("car") => Ok(0),
+        Some("cdr") => Ok(1),
+        _ => Err(syntax("lock field must be 'car, 'cdr, or a field index")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,7 +1054,9 @@ mod tests {
         let heap = Heap::new();
         let mut lw = Lowerer::new(&heap);
         let prog = lw
-            .lower_program(&parse_all("(defun f (l) (when l (print (car l)) (f (cdr l))))").unwrap())
+            .lower_program(
+                &parse_all("(defun f (l) (when l (print (car l)) (f (cdr l))))").unwrap(),
+            )
             .unwrap();
         assert_eq!(prog.funcs.len(), 1);
         let f = &prog.funcs[0];
@@ -1093,9 +1136,7 @@ mod tests {
         let heap = Heap::new();
         let mut lw = Lowerer::new(&heap);
         let prog = lw
-            .lower_program(
-                &parse_all("(defun adder (n) (lambda (x) (+ x n)))").unwrap(),
-            )
+            .lower_program(&parse_all("(defun adder (n) (lambda (x) (+ x n)))").unwrap())
             .unwrap();
         let Expr::Lambda { func, captures } = &prog.funcs[0].body[0] else {
             panic!("{:?}", prog.funcs[0].body[0]);
@@ -1145,9 +1186,8 @@ mod tests {
     fn toplevel_curare_declare_collected() {
         let heap = Heap::new();
         let mut lw = Lowerer::new(&heap);
-        let prog = lw
-            .lower_program(&parse_all("(curare-declare (inverse succ pred))").unwrap())
-            .unwrap();
+        let prog =
+            lw.lower_program(&parse_all("(curare-declare (inverse succ pred))").unwrap()).unwrap();
         assert_eq!(prog.declarations.len(), 1);
     }
 
@@ -1176,25 +1216,5 @@ mod tests {
         assert_eq!(field_code(&parse_one("'cdr").unwrap()).unwrap(), 1);
         assert_eq!(field_code(&parse_one("2").unwrap()).unwrap(), 4);
         assert!(field_code(&parse_one("'bogus").unwrap()).is_err());
-    }
-}
-
-/// Parse the field operand of `cri-lock`: `'car`, `'cdr`, or a struct
-/// field index `k` (encoding `2 + k`).
-fn field_code(d: &Sexpr) -> Result<u32> {
-    if let Some(i) = d.as_int() {
-        if i < 0 {
-            return Err(syntax("lock field index must be non-negative"));
-        }
-        return Ok(2 + i as u32);
-    }
-    let inner = match d.call_args("quote") {
-        Some([q]) => q,
-        _ => d,
-    };
-    match inner.as_symbol() {
-        Some("car") => Ok(0),
-        Some("cdr") => Ok(1),
-        _ => Err(syntax("lock field must be 'car, 'cdr, or a field index")),
     }
 }

@@ -1,0 +1,169 @@
+//! Poison-free synchronization primitives over `std::sync`.
+//!
+//! The workspace builds with zero external crates (the container has
+//! no network access to a registry), so the `parking_lot` types the
+//! code was written against are provided here as thin wrappers around
+//! `std::sync` with the same guard-returning API: `lock()`, `read()`,
+//! and `write()` return guards directly, and a panicked holder
+//! (poisoned lock) is treated as an ordinary unlock — the heap and
+//! scheduler state these locks protect is either internally atomic or
+//! rebuilt per run, so poison propagation adds nothing but unwrap
+//! noise.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// The guard returned by [`Mutex::lock`]. Wraps the `std` guard in an
+/// `Option` so [`Condvar::wait`] can move it through `std`'s
+/// by-value wait and hand it back in place.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`]'s guards; `wait`
+/// takes the guard by `&mut` (parking_lot style).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and wait; reacquires before
+    /// returning. Spurious wakeups are possible, as with `std`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A reader–writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a rwlock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquire a shared read guard, recovering from poison.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the exclusive write guard, recovering from poison.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclude() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let mut g = m.lock();
+                        *g += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                cv2.wait(&mut g);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(7u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (m2, f2) = (Arc::clone(&m), Arc::clone(&flag));
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            f2.store(true, Ordering::SeqCst);
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(flag.load(Ordering::SeqCst));
+        assert_eq!(*m.lock(), 7, "lock usable after a panicked holder");
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1u64);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 2);
+        }
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+    }
+}

@@ -21,11 +21,8 @@ fn call(head: &str, mut args: Vec<Sexpr>) -> Sexpr {
 
 /// Render a whole function as `(defun name (params) decls... body...)`.
 pub fn unparse_func(heap: &Heap, f: &Func) -> Sexpr {
-    let mut items = vec![
-        sym("defun"),
-        sym(&f.name),
-        Sexpr::List(f.params.iter().map(sym).collect()),
-    ];
+    let mut items =
+        vec![sym("defun"), sym(&f.name), Sexpr::List(f.params.iter().map(sym).collect())];
     items.extend(f.declarations.iter().cloned());
     items.extend(f.body.iter().map(|e| unparse_expr(heap, e)));
     Sexpr::List(items)
@@ -57,10 +54,7 @@ pub fn unparse_expr(heap: &Heap, e: &Expr) -> Sexpr {
         Expr::Let { bindings, body, sequential } => {
             let head = if *sequential { "let*" } else { "let" };
             let binds = Sexpr::List(
-                bindings
-                    .iter()
-                    .map(|(_, n, init)| Sexpr::List(vec![sym(n), up(init)]))
-                    .collect(),
+                bindings.iter().map(|(_, n, init)| Sexpr::List(vec![sym(n), up(init)])).collect(),
             );
             let mut args = vec![binds];
             args.extend(up_all(body));
@@ -91,7 +85,10 @@ pub fn unparse_expr(heap: &Heap, e: &Expr) -> Sexpr {
                     call(
                         "setf",
                         vec![
-                            Sexpr::List(vec![sym(format!("{}-{}", st.name, st.fields[field])), obj]),
+                            Sexpr::List(vec![
+                                sym(format!("{}-{}", st.name, st.fields[field])),
+                                obj,
+                            ]),
                             v,
                         ],
                     )
@@ -105,9 +102,7 @@ pub fn unparse_expr(heap: &Heap, e: &Expr) -> Sexpr {
             Sexpr::List(items)
         }
         Expr::FuncRef(_, name) => call("function", vec![sym(name)]),
-        Expr::Future { name_text, args, .. } => {
-            call("future", vec![call(name_text, up_all(args))])
-        }
+        Expr::Future { name_text, args, .. } => call("future", vec![call(name_text, up_all(args))]),
         Expr::Enqueue { site, name_text, args, .. } => {
             let mut items = vec![Sexpr::Int(*site as i64), sym(name_text)];
             items.extend(up_all(args));
@@ -144,8 +139,11 @@ fn unparse_builtin(heap: &Heap, op: BuiltinOp, args: &[Expr]) -> Sexpr {
         }
         SetNth => {
             let mut it = ups.into_iter();
-            let (i, l, v) =
-                (it.next().expect("3 args"), it.next().expect("3 args"), it.next().expect("3 args"));
+            let (i, l, v) = (
+                it.next().expect("3 args"),
+                it.next().expect("3 args"),
+                it.next().expect("3 args"),
+            );
             call("setf", vec![Sexpr::List(vec![sym("nth"), i, l]), v])
         }
         Aset => plain("aset", ups),

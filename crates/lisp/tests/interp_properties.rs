@@ -1,6 +1,11 @@
 //! Property tests for the mini-Lisp substrate: evaluation determinism,
 //! unparse/lower round trips, numeric-tower behaviour, and heap
 //! structural equality.
+//!
+//! Requires the off-by-default `heavy-tests` feature (the external
+//! `proptest` crate is unavailable offline).
+
+#![cfg(feature = "heavy-tests")]
 
 use curare_lisp::{Heap, Interp, Lowerer, Value};
 use curare_sexpr::{parse_all, parse_one};
@@ -36,8 +41,11 @@ fn gen_expr() -> impl Strategy<Value = GenExpr> {
             prop::collection::vec(inner.clone(), 1..3).prop_map(GenExpr::Mul),
             prop::collection::vec(inner.clone(), 1..4).prop_map(GenExpr::Min),
             prop::collection::vec(inner.clone(), 1..4).prop_map(GenExpr::Max),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| GenExpr::IfPos(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| GenExpr::IfPos(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
             prop::collection::vec(inner.clone(), 0..3).prop_map(GenExpr::ListOf),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| GenExpr::CarCons(Box::new(a), Box::new(b))),
@@ -66,10 +74,16 @@ fn render(e: &GenExpr, in_scope: bool) -> String {
             format!("(* {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
         }
         GenExpr::Min(es) => {
-            format!("(min {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+            format!(
+                "(min {})",
+                es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" ")
+            )
         }
         GenExpr::Max(es) => {
-            format!("(max {})", es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" "))
+            format!(
+                "(max {})",
+                es.iter().map(|e| render(e, in_scope)).collect::<Vec<_>>().join(" ")
+            )
         }
         GenExpr::IfPos(c, a, b) => format!(
             "(if (> {} 0) {} {})",

@@ -6,7 +6,7 @@
 //! future is a placeholder value; `touch` blocks until the producing
 //! task resolves it.
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use curare_lisp::sync::{Condvar, Mutex, RwLock};
 
 use curare_lisp::{LispError, Value};
 
@@ -92,9 +92,7 @@ impl FutureTable {
 
     /// Non-blocking probe (for tests).
     pub fn is_resolved(&self, id: u64) -> bool {
-        self.slot(id)
-            .map(|s| !matches!(&*s.state.lock(), FutureState::Pending))
-            .unwrap_or(false)
+        self.slot(id).map(|s| !matches!(&*s.state.lock(), FutureState::Pending)).unwrap_or(false)
     }
 
     /// Number of futures ever created.

@@ -9,7 +9,8 @@
 //!   invocation bodies without context switches (§4);
 //! - [`spawner`]: the thread-per-invocation baseline the paper argues
 //!   against (§1.2), kept for the cost-imbalance experiment;
-//! - [`rayon_backend`]: a work-stealing ablation of the §4 scheduler.
+//! - [`unordered`]: an order-oblivious pool ablation of the §4
+//!   scheduler.
 //!
 //! # Example
 //!
@@ -43,12 +44,12 @@ pub mod futures;
 pub mod locktable;
 pub mod pool;
 pub mod queue;
-pub mod rayon_backend;
 pub mod spawner;
+pub mod unordered;
 
 pub use futures::FutureTable;
 pub use locktable::{Location, LockTable};
-pub use pool::{CriHooks, CriRuntime, PoolStats};
+pub use pool::{CriHooks, CriRuntime, PoolStats, SchedMode};
 pub use queue::{QueueSet, Task};
-pub use rayon_backend::{RayonHooks, RayonRuntime};
 pub use spawner::{SpawnHooks, SpawnRuntime};
+pub use unordered::{UnorderedHooks, UnorderedRuntime};

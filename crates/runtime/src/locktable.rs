@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
 
-use parking_lot::{Condvar, Mutex};
+use curare_lisp::sync::{Condvar, Mutex};
 
 use curare_lisp::Value;
 

@@ -6,43 +6,197 @@
 //! invocation to begin executing a new task. It does not need to
 //! execute a process context switch."
 //!
-//! The pool owns `S` OS threads that loop over the central queue set,
-//! executing one invocation at a time against the shared interpreter.
-//! `cri-enqueue` (installed through [`CriHooks`]) adds invocations;
-//! termination is detected with a pending-task counter — the moral
-//! equivalent of the paper's kill tokens, without the flag polling.
+//! The pool owns `S` OS threads that loop over the ordered site
+//! queues, executing one invocation at a time against the shared
+//! interpreter. `cri-enqueue` (installed through [`CriHooks`]) adds
+//! invocations; termination is detected with a pending-task counter —
+//! the moral equivalent of the paper's kill tokens, without the flag
+//! polling.
+//!
+//! §4.1 calls the central queue "a potential bottleneck", and the E8
+//! experiment confirms it: at tiny grain, every enqueue/dequeue is a
+//! lock round trip. The default [`SchedMode::Sharded`] scheduler
+//! removes that traffic three ways while keeping the per-call-site
+//! FIFO discipline observable behaviour:
+//!
+//! - **batched submit** — an executing invocation's enqueues collect
+//!   in a thread-local buffer and publish at invocation end under one
+//!   site-lock acquisition with one condvar notification (`touch` and
+//!   `cri-lock` publish early, so nothing waits on unpublished work);
+//! - **task chaining** — when the batch holds exactly one successor
+//!   and every site at or below its own is empty, the server runs it
+//!   directly: by the lowest-site-first rule a dequeue would have
+//!   picked that task anyway, so the queues and condvar are skipped
+//!   entirely;
+//! - **sharded site queues** — [`ShardedQueues`] gives each call site
+//!   its own lock plus a nonempty-site bitmask, so servers contend
+//!   only when touching the same site and idle `pop`s don't scan.
+//!
+//! [`SchedMode::Central`] keeps the paper-faithful single
+//! `Mutex<QueueSet>` with per-task submit/notify, as the measured
+//! baseline for the E8/E12 comparisons.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
-
-use curare_lisp::{Interp, LispError, RuntimeHooks, SymId, Val, Value};
+use curare_lisp::sync::{Condvar, Mutex};
+use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
 
 use crate::futures::FutureTable;
 use crate::locktable::{Location, LockTable};
-use crate::queue::{QueueSet, Task};
+use crate::queue::{QueueSet, ShardedQueues, Task};
 
 /// Counters describing one `run` (and the pool's lifetime totals).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PoolStats {
     /// Invocations executed.
     pub tasks: u64,
-    /// Peak total queue length.
+    /// Peak total queue length (chained tasks never enter a queue).
     pub peak_queue: usize,
     /// Lock acquisitions performed.
     pub lock_acquisitions: u64,
     /// Lock acquisitions that had to wait.
     pub lock_contended: u64,
+    /// Tasks run directly by their producing server, skipping the
+    /// queues and condvar entirely.
+    pub chained_tasks: u64,
+    /// Batch publications (each covers ≥ 1 task under one
+    /// notification).
+    pub batched_submits: u64,
+    /// Times a server found no work and blocked on the scheduler
+    /// condvar.
+    pub sched_lock_waits: u64,
+    /// Thread-local allocation buffer refills in the heap arenas.
+    pub tlab_refills: u64,
+}
+
+/// Which work-distribution structure the pool runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// The paper-faithful single mutex around the ordered
+    /// [`QueueSet`]; every submit takes the lock and signals.
+    Central,
+    /// Per-site locks, nonempty bitmask, batched submit, and task
+    /// chaining (the default).
+    Sharded,
+}
+
+enum Scheduler {
+    Central(Mutex<QueueSet>),
+    Sharded(ShardedQueues),
+}
+
+impl Scheduler {
+    fn push(&self, task: Task) {
+        match self {
+            Scheduler::Central(m) => m.lock().push(task),
+            Scheduler::Sharded(s) => s.push(task),
+        }
+    }
+
+    fn push_batch(&self, tasks: Vec<Task>) {
+        match self {
+            Scheduler::Central(m) => {
+                let mut q = m.lock();
+                for t in tasks {
+                    q.push(t);
+                }
+            }
+            Scheduler::Sharded(s) => s.push_batch(tasks),
+        }
+    }
+
+    fn pop(&self) -> Option<Task> {
+        match self {
+            Scheduler::Central(m) => m.lock().pop(),
+            Scheduler::Sharded(s) => s.pop(),
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        match self {
+            Scheduler::Central(m) => !m.lock().is_empty(),
+            Scheduler::Sharded(s) => s.has_work(),
+        }
+    }
+
+    fn drain_all(&self) -> Vec<Task> {
+        match self {
+            Scheduler::Central(m) => m.lock().drain_all(),
+            Scheduler::Sharded(s) => s.drain_all(),
+        }
+    }
+
+    fn peak(&self) -> usize {
+        match self {
+            Scheduler::Central(m) => m.lock().peak(),
+            Scheduler::Sharded(s) => s.peak(),
+        }
+    }
+
+    fn can_chain(&self, site: usize) -> bool {
+        match self {
+            Scheduler::Central(_) => false,
+            Scheduler::Sharded(s) => s.can_chain(site),
+        }
+    }
+}
+
+/// One executing invocation's unpublished successors. `key` ties the
+/// frame to a specific pool so nested pools on one thread (helping
+/// `touch` across runtimes) never mix buffers.
+struct BatchFrame {
+    key: usize,
+    tasks: Vec<Task>,
+}
+
+thread_local! {
+    static BATCH: RefCell<Vec<BatchFrame>> = const { RefCell::new(Vec::new()) };
+    /// Retired batch buffers, recycled so the per-task fast path does
+    /// not allocate a fresh `Vec` for every invocation's frame.
+    static SPARE: RefCell<Vec<Vec<Task>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_spare() -> Vec<Task> {
+    SPARE.with(|s| s.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn put_spare(v: Vec<Task>) {
+    debug_assert!(v.is_empty(), "spare buffers are returned drained");
+    if v.capacity() > 0 {
+        SPARE.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.len() < 8 {
+                s.push(v);
+            }
+        });
+    }
+}
+
+/// Statistics a server accumulates across one task chain, published
+/// to the shared counters once per chain rather than once per task.
+#[derive(Default)]
+struct Tally {
+    executed: u64,
+    chained: u64,
 }
 
 struct Shared {
-    sched: Mutex<QueueSet>,
+    sched: Scheduler,
+    mode: SchedMode,
+    /// Pairs with `work_cv`; held only to park/wake servers, never
+    /// while queues are manipulated.
+    idle: Mutex<()>,
     work_cv: Condvar,
+    done_m: Mutex<()>,
     done_cv: Condvar,
     pending: AtomicU64,
     executed: AtomicU64,
+    chained: AtomicU64,
+    batched_submits: AtomicU64,
+    sched_waits: AtomicU64,
     error: Mutex<Option<LispError>>,
     shutdown: AtomicBool,
     aborting: AtomicBool,
@@ -51,18 +205,86 @@ struct Shared {
 }
 
 impl Shared {
-    fn submit(&self, task: Task) {
+    fn key(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn notify_workers(&self, n: usize) {
+        let _g = self.idle.lock();
+        if n == 1 {
+            self.work_cv.notify_one();
+        } else {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Publish a task immediately (root submits, unbatchable paths).
+    fn submit_now(&self, task: Task) {
         self.pending.fetch_add(1, Ordering::AcqRel);
-        let mut sched = self.sched.lock();
-        sched.push(task);
-        self.work_cv.notify_one();
+        self.sched.push(task);
+        self.notify_workers(1);
+    }
+
+    /// Publish an invocation's collected successors, draining `tasks`
+    /// (its allocation stays with the caller for reuse). With
+    /// `allow_chain`, a singleton batch whose site outranks all queued
+    /// work is returned to the caller to run directly instead.
+    fn publish_batch(&self, tasks: &mut Vec<Task>, allow_chain: bool) -> Option<Task> {
+        if tasks.is_empty() {
+            return None;
+        }
+        if self.aborting.load(Ordering::Acquire) {
+            self.drop_unpublished(std::mem::take(tasks));
+            return None;
+        }
+        if allow_chain && tasks.len() == 1 && self.sched.can_chain(tasks[0].site) {
+            // The chained task inherits the producing invocation's
+            // pending count (the producer skips `finish_one`), so the
+            // fast path touches no shared counter at all; the caller
+            // tallies the chain statistic locally.
+            return tasks.pop();
+        }
+        let n = tasks.len();
+        self.pending.fetch_add(n as u64, Ordering::AcqRel);
+        self.sched.push_batch(std::mem::take(tasks));
+        self.batched_submits.fetch_add(1, Ordering::Relaxed);
+        self.notify_workers(n);
+        None
+    }
+
+    /// Put a chained task back on the queues (it carries its
+    /// producer's pending count) — used when the chaining server must
+    /// return to its caller instead of executing it.
+    fn requeue_chained(&self, task: Task) {
+        self.sched.push(task);
+        self.notify_workers(1);
+    }
+
+    /// Fail and drop tasks that never reached the pending counter.
+    fn drop_unpublished(&self, tasks: Vec<Task>) {
+        for t in tasks {
+            if let Some(id) = t.future {
+                self.futures.fail(id, LispError::User("aborted by earlier error".into()));
+            }
+        }
+    }
+
+    /// Add a chain's locally tallied counts to the shared statistics.
+    fn flush_tally(&self, tally: &mut Tally) {
+        if tally.executed > 0 {
+            self.executed.fetch_add(tally.executed, Ordering::Relaxed);
+        }
+        if tally.chained > 0 {
+            self.chained.fetch_add(tally.chained, Ordering::Relaxed);
+        }
+        *tally = Tally::default();
     }
 
     fn finish_one(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last pending task: wake run() waiters. Lock the
-            // scheduler to pair with their condvar wait.
-            let _guard = self.sched.lock();
+            // Last pending task: wake run() waiters. Lock their mutex
+            // to pair with the condvar wait.
+            let _guard = self.done_m.lock();
             self.done_cv.notify_all();
         }
     }
@@ -73,29 +295,71 @@ pub struct CriHooks {
     shared: Arc<Shared>,
 }
 
+impl CriHooks {
+    /// Append `task` to the executing invocation's batch frame, or
+    /// hand it back for immediate submission when no frame of this
+    /// pool is active (root-level calls, `Central` mode).
+    fn try_batch(&self, task: Task) -> Option<Task> {
+        if self.shared.mode != SchedMode::Sharded {
+            return Some(task);
+        }
+        let key = self.shared.key();
+        BATCH.with(|b| {
+            let mut frames = b.borrow_mut();
+            match frames.last_mut() {
+                Some(f) if f.key == key => {
+                    f.tasks.push(task);
+                    None
+                }
+                _ => Some(task),
+            }
+        })
+    }
+
+    /// Publish the executing invocation's buffered successors now.
+    /// Called before any potentially blocking wait so no other server
+    /// (or future toucher) can depend on unpublished work.
+    fn flush_batch(&self) {
+        let key = self.shared.key();
+        let mut tasks = BATCH.with(|b| {
+            let mut frames = b.borrow_mut();
+            match frames.last_mut() {
+                Some(f) if f.key == key => std::mem::take(&mut f.tasks),
+                _ => Vec::new(),
+            }
+        });
+        self.shared.publish_batch(&mut tasks, false);
+        put_spare(tasks);
+    }
+}
+
 impl RuntimeHooks for CriHooks {
-    fn enqueue(&self, interp: &Interp, site: usize, fname: SymId, args: Vec<Value>) -> Result<(), LispError> {
+    fn enqueue(
+        &self,
+        _interp: &Interp,
+        site: usize,
+        fid: FuncId,
+        args: Vec<Value>,
+    ) -> Result<(), LispError> {
         if self.shared.aborting.load(Ordering::Acquire) {
             return Ok(());
         }
-        let fid = interp
-            .lookup_func(fname)
-            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
-        self.shared.submit(Task { fid, args, site, future: None });
+        if let Some(task) = self.try_batch(Task { fid, args, site, future: None }) {
+            self.shared.submit_now(task);
+        }
         Ok(())
     }
 
-    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value, LispError> {
-        let fid = interp
-            .lookup_func(fname)
-            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+    fn future(&self, _interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value, LispError> {
         let fut = self.shared.futures.create();
         let Val::Future(id) = fut.decode() else { unreachable!("create returns a future") };
         if self.shared.aborting.load(Ordering::Acquire) {
             self.shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
             return Ok(fut);
         }
-        self.shared.submit(Task { fid, args, site: 0, future: Some(id) });
+        if let Some(task) = self.try_batch(Task { fid, args, site: 0, future: Some(id) }) {
+            self.shared.submit_now(task);
+        }
         Ok(fut)
     }
 
@@ -105,33 +369,63 @@ impl RuntimeHooks for CriHooks {
             // deadlock pools shallower than the recursion), so touch
             // *helps*: it executes queued invocations while waiting —
             // the Multilisp discipline.
-            Val::Future(id) => loop {
-                if let Some(result) = self.shared.futures.try_get(id) {
-                    return result;
-                }
-                if self.shared.shutdown.load(Ordering::Acquire) {
-                    return Err(LispError::User("pool shut down while touching".into()));
-                }
-                let task = self.shared.sched.lock().pop();
-                match task {
-                    Some(t) => execute_task(interp, &self.shared, t),
-                    None => {
-                        // The resolving task runs elsewhere; yield
-                        // briefly rather than spin.
-                        std::thread::sleep(std::time::Duration::from_micros(20));
+            Val::Future(id) => {
+                self.flush_batch();
+                loop {
+                    if let Some(result) = self.shared.futures.try_get(id) {
+                        return result;
+                    }
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        return Err(LispError::User("pool shut down while touching".into()));
+                    }
+                    match self.shared.sched.pop() {
+                        Some(t) => {
+                            let mut tally = Tally::default();
+                            let mut next = Some(t);
+                            while let Some(t) = next.take() {
+                                next = execute_task(interp, &self.shared, t, &mut tally);
+                                // Once the touched future resolves,
+                                // hand any chained successor back to
+                                // the pool and return promptly.
+                                if next.is_some() && self.shared.futures.is_resolved(id) {
+                                    self.shared.requeue_chained(next.take().expect("checked"));
+                                    self.shared.flush_tally(&mut tally);
+                                }
+                            }
+                        }
+                        None => {
+                            // The resolving task runs elsewhere; yield
+                            // briefly rather than spin.
+                            std::thread::sleep(std::time::Duration::from_micros(20));
+                        }
                     }
                 }
-            },
+            }
             _ => Ok(v),
         }
     }
 
-    fn lock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+    fn lock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
+        // Publish buffered work first: a blocking lock acquisition
+        // must never hold successors hostage in a local buffer.
+        self.flush_batch();
         self.shared.locks.lock(Location::new(cell, field), exclusive);
         Ok(())
     }
 
-    fn unlock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+    fn unlock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
         if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
             Ok(())
         } else {
@@ -154,16 +448,32 @@ pub struct CriRuntime {
 const SERVER_STACK: usize = 256 << 20;
 
 impl CriRuntime {
-    /// Spawn `servers` server threads over `interp` and install the
-    /// CRI hooks on it.
+    /// Spawn `servers` server threads over `interp` with the default
+    /// low-contention scheduler and install the CRI hooks on it.
     pub fn new(interp: Arc<Interp>, servers: usize) -> Self {
+        Self::with_mode(interp, servers, SchedMode::Sharded)
+    }
+
+    /// Spawn a pool on an explicit [`SchedMode`] (the `Central`
+    /// baseline exists for the E8/E12 scheduler measurements).
+    pub fn with_mode(interp: Arc<Interp>, servers: usize, mode: SchedMode) -> Self {
         let servers = servers.max(1);
+        let sched = match mode {
+            SchedMode::Central => Scheduler::Central(Mutex::new(QueueSet::new())),
+            SchedMode::Sharded => Scheduler::Sharded(ShardedQueues::new()),
+        };
         let shared = Arc::new(Shared {
-            sched: Mutex::new(QueueSet::new()),
+            sched,
+            mode,
+            idle: Mutex::new(()),
             work_cv: Condvar::new(),
+            done_m: Mutex::new(()),
             done_cv: Condvar::new(),
             pending: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            chained: AtomicU64::new(0),
+            batched_submits: AtomicU64::new(0),
+            sched_waits: AtomicU64::new(0),
             error: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             aborting: AtomicBool::new(false),
@@ -191,6 +501,11 @@ impl CriRuntime {
         self.servers
     }
 
+    /// The scheduler this pool runs on.
+    pub fn mode(&self) -> SchedMode {
+        self.shared.mode
+    }
+
     /// The interpreter this pool executes against.
     pub fn interp(&self) -> &Arc<Interp> {
         &self.interp
@@ -209,7 +524,7 @@ impl CriRuntime {
         self.shared.aborting.store(false, Ordering::Release);
         *self.shared.error.lock() = None;
 
-        self.shared.submit(Task { fid, args: args.to_vec(), site: 0, future: None });
+        self.shared.submit_now(Task { fid, args: args.to_vec(), site: 0, future: None });
         self.wait_idle();
         match self.shared.error.lock().take() {
             Some(e) => Err(e),
@@ -220,7 +535,11 @@ impl CriRuntime {
     /// Spawn `(fname args...)` as a future from the caller's thread.
     pub fn spawn_future(&self, fname: &str, args: &[Value]) -> Result<Value, LispError> {
         let sym = self.interp.heap().intern(fname);
-        self.interp.hooks().future(&self.interp, sym, args.to_vec())
+        let fid = self
+            .interp
+            .lookup_func(sym)
+            .ok_or_else(|| LispError::UndefinedFunction(fname.to_string()))?;
+        self.interp.hooks().future(&self.interp, fid, args.to_vec())
     }
 
     /// Wait for a future value (identity on plain values).
@@ -230,9 +549,9 @@ impl CriRuntime {
 
     /// Block until no invocation is pending.
     pub fn wait_idle(&self) {
-        let mut sched = self.shared.sched.lock();
+        let mut g = self.shared.done_m.lock();
         while self.shared.pending.load(Ordering::Acquire) > 0 {
-            self.shared.done_cv.wait(&mut sched);
+            self.shared.done_cv.wait(&mut g);
         }
     }
 
@@ -240,9 +559,13 @@ impl CriRuntime {
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             tasks: self.shared.executed.load(Ordering::Relaxed),
-            peak_queue: self.shared.sched.lock().peak(),
+            peak_queue: self.shared.sched.peak(),
             lock_acquisitions: self.shared.locks.acquisitions(),
             lock_contended: self.shared.locks.contended(),
+            chained_tasks: self.shared.chained.load(Ordering::Relaxed),
+            batched_submits: self.shared.batched_submits.load(Ordering::Relaxed),
+            sched_lock_waits: self.shared.sched_waits.load(Ordering::Relaxed),
+            tlab_refills: self.interp.heap().tlab_refills(),
         }
     }
 }
@@ -251,7 +574,7 @@ impl Drop for CriRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _guard = self.shared.sched.lock();
+            let _guard = self.shared.idle.lock();
             self.shared.work_cv.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -267,35 +590,65 @@ fn server_loop(interp: &Interp, shared: &Shared) {
     // it for any residual non-tail recursion in task bodies.
     curare_lisp::eval::set_thread_stack_budget(SERVER_STACK - (4 << 20));
     loop {
-        let task = {
-            let mut sched = shared.sched.lock();
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(t) = sched.pop() {
-                    break t;
-                }
-                shared.work_cv.wait(&mut sched);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(t) = shared.sched.pop() {
+            let mut tally = Tally::default();
+            let mut next = Some(t);
+            while let Some(t) = next.take() {
+                next = execute_task(interp, shared, t, &mut tally);
             }
-        };
-        execute_task(interp, shared, task);
+            continue;
+        }
+        // Park. The predicate re-check under the idle lock pairs with
+        // publishers notifying under the same lock: no lost wakeups.
+        let mut g = shared.idle.lock();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.sched.has_work() {
+            continue;
+        }
+        shared.sched_waits.fetch_add(1, Ordering::Relaxed);
+        shared.work_cv.wait(&mut g);
     }
 }
 
 /// Run one invocation to completion and settle its bookkeeping. Also
-/// used by helping `touch` calls, so it must be re-entrant.
-fn execute_task(interp: &Interp, shared: &Shared, task: Task) {
-    let result = interp.call_fid(task.fid, &task.args);
-    shared.executed.fetch_add(1, Ordering::Relaxed);
+/// used by helping `touch` calls, so it must be re-entrant. Returns a
+/// chained successor the caller must run (or requeue) — its pending
+/// count is already held. Statistics accumulate in `tally` and are
+/// flushed before the chain-ending `finish_one`, so they are exact by
+/// the time `run` observes zero pending tasks.
+fn execute_task(interp: &Interp, shared: &Shared, task: Task, tally: &mut Tally) -> Option<Task> {
+    let Task { fid, args, future, .. } = task;
+    let sharded = shared.mode == SchedMode::Sharded;
+    let key = shared as *const Shared as usize;
+    if sharded {
+        BATCH.with(|b| b.borrow_mut().push(BatchFrame { key, tasks: take_spare() }));
+    }
+    let result = interp.call_fid_owned(fid, args);
+    tally.executed += 1;
+    let mut chained = None;
+    if sharded {
+        let mut frame = BATCH.with(|b| b.borrow_mut().pop()).expect("balanced batch frames");
+        debug_assert_eq!(frame.key, key, "frames pop in push order");
+        if result.is_ok() {
+            chained = shared.publish_batch(&mut frame.tasks, true);
+        } else {
+            shared.drop_unpublished(std::mem::take(&mut frame.tasks));
+        }
+        put_spare(frame.tasks);
+    }
     match result {
         Ok(v) => {
-            if let Some(id) = task.future {
+            if let Some(id) = future {
                 shared.futures.resolve(id, v);
             }
         }
         Err(e) => {
-            if let Some(id) = task.future {
+            if let Some(id) = future {
                 shared.futures.fail(id, e.clone());
             }
             shared.aborting.store(true, Ordering::Release);
@@ -303,15 +656,13 @@ fn execute_task(interp: &Interp, shared: &Shared, task: Task) {
             if err.is_none() {
                 *err = Some(e);
             }
+            drop(err);
             // Drain queued work so the run terminates promptly; the
             // executing task's own pending count (handled by
             // finish_one below) keeps the counter above zero here.
             // Dropped tasks' futures must fail, or helping touches
             // would wait forever.
-            let dropped = {
-                let mut sched = shared.sched.lock();
-                sched.drain_all()
-            };
+            let dropped = shared.sched.drain_all();
             for t in &dropped {
                 if let Some(id) = t.future {
                     shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
@@ -322,7 +673,16 @@ fn execute_task(interp: &Interp, shared: &Shared, task: Task) {
             }
         }
     }
-    shared.finish_one();
+    // A chained successor inherits this invocation's pending count;
+    // only tasks with no chain release theirs (after publishing the
+    // chain's tallied statistics).
+    if chained.is_some() {
+        tally.chained += 1;
+    } else {
+        shared.flush_tally(tally);
+        shared.finish_one();
+    }
+    chained
 }
 
 #[cfg(test)]
@@ -414,9 +774,8 @@ mod tests {
                  (setf (cdr l) (car l))))";
         let (rt, _) = pooled(src, 2);
         let interp = Arc::clone(rt.interp());
-        let data = interp.load_str(
-            "(let ((l nil)) (dotimes (i 200) (setq l (cons i l))) l)",
-        ).unwrap();
+        let data =
+            interp.load_str("(let ((l nil)) (dotimes (i 200) (setq l (cons i l))) l)").unwrap();
         rt.run("f", &[data]).unwrap();
         // Every cell's cdr now holds its own car.
         let first_cdr = interp.heap().cdr(data).unwrap();
@@ -440,7 +799,8 @@ mod tests {
         assert!(!xformed.contains("future"), "{xformed}");
         let interp = Arc::clone(rt.interp());
         let acc = interp.heap().cons(Value::int(0), Value::NIL);
-        let data = interp.load_str("(let ((l nil)) (dotimes (i 1000) (setq l (cons 1 l))) l)").unwrap();
+        let data =
+            interp.load_str("(let ((l nil)) (dotimes (i 1000) (setq l (cons 1 l))) l)").unwrap();
         rt.run("f", &[acc, data]).unwrap();
         assert_eq!(interp.heap().car(acc).unwrap(), Value::int(1000));
     }
@@ -510,11 +870,7 @@ mod tests {
     #[test]
     fn many_runs_reuse_servers() {
         let interp = Arc::new(Interp::new());
-        interp
-            .load_str(
-                "(defun walk (l) (when l (cri-enqueue 0 walk (cdr l))))",
-            )
-            .unwrap();
+        interp.load_str("(defun walk (l) (when l (cri-enqueue 0 walk (cdr l))))").unwrap();
         let rt = CriRuntime::new(Arc::clone(&interp), 3);
         for _ in 0..20 {
             let l = interp.load_str("(list 1 2 3 4)").unwrap();
@@ -535,10 +891,7 @@ mod tests {
 
     #[test]
     fn single_server_pool_still_completes() {
-        let (rt, _) = pooled(
-            "(defun walk (l) (when l (print (car l)) (walk (cdr l))))",
-            1,
-        );
+        let (rt, _) = pooled("(defun walk (l) (when l (print (car l)) (walk (cdr l))))", 1);
         let interp = Arc::clone(rt.interp());
         let l = interp.load_str("(list 1 2 3)").unwrap();
         rt.run("walk", &[l]).unwrap();
@@ -565,5 +918,64 @@ mod tests {
         rt.run("walk", &[l]).unwrap();
         let v = interp.load_str("*n*").unwrap();
         assert_eq!(interp.heap().display(v), "50000");
+    }
+
+    #[test]
+    fn tail_recursive_walk_chains_instead_of_queueing() {
+        // A single-successor walk is the chaining fast path: every
+        // non-root invocation should run chained, and the queues
+        // should never hold more than the root task.
+        let (rt, _) = pooled("(defun walk (l) (when l (walk (cdr l))))", 2);
+        let interp = Arc::clone(rt.interp());
+        let l = interp.load_str("(let ((l nil)) (dotimes (i 500) (setq l (cons i l))) l)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        let stats = rt.stats();
+        assert_eq!(stats.tasks, 501);
+        assert!(
+            stats.chained_tasks >= 450,
+            "single-successor tail recursion should chain nearly always: {stats:?}"
+        );
+        assert!(stats.peak_queue <= stats.tasks as usize);
+    }
+
+    #[test]
+    fn central_mode_still_runs_everything() {
+        // The measured baseline must stay a working scheduler.
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun walk (l) (when l (cri-enqueue 0 walk (cdr l))))").unwrap();
+        let rt = CriRuntime::with_mode(Arc::clone(&interp), 2, SchedMode::Central);
+        assert_eq!(rt.mode(), SchedMode::Central);
+        let l = interp.load_str("(list 1 2 3 4 5 6)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        let stats = rt.stats();
+        assert_eq!(stats.tasks, 7);
+        assert_eq!(stats.chained_tasks, 0, "no chaining on the central path");
+        assert_eq!(stats.batched_submits, 0, "no batching on the central path");
+    }
+
+    #[test]
+    fn multi_site_batches_publish_in_site_order() {
+        // One invocation enqueueing to two sites: the batch must
+        // publish both (no chain — it is not a singleton), and site 0
+        // work must still drain before site 1 work.
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str(
+                "(defun fan (n)
+                   (when (> n 0)
+                     (cri-enqueue 0 leaf n)
+                     (cri-enqueue 1 fan (- n 1))))
+                 (defun leaf (n) (setq *hits* (cons n *hits*)))",
+            )
+            .unwrap();
+        interp.load_str("(defparameter *hits* nil)").unwrap();
+        let rt = CriRuntime::new(Arc::clone(&interp), 1);
+        rt.run("fan", &[Value::int(20)]).unwrap();
+        let stats = rt.stats();
+        // 1 root + 20 fans + 20 leaves.
+        assert_eq!(stats.tasks, 41);
+        assert!(stats.batched_submits > 0, "two-site fanout cannot chain: {stats:?}");
+        let v = interp.load_str("(length *hits*)").unwrap();
+        assert_eq!(interp.heap().display(v), "20");
     }
 }

@@ -5,9 +5,24 @@
 //! multiple call sites would scramble the order, so the paper keeps
 //! "an ordered set of queues, one for each call site", servers taking
 //! from the lowest-indexed non-empty queue.
+//!
+//! Two implementations share that discipline:
+//!
+//! - [`QueueSet`] is the paper-faithful central structure: one lock
+//!   around the whole ordered set (the pool's `SchedMode::Central`).
+//!   A nonempty-site bitmask makes `pop` skip empty queues instead of
+//!   scanning them, and `clear` drops tasks in place.
+//! - [`ShardedQueues`] is the low-contention structure
+//!   (`SchedMode::Sharded`): one lock *per call site* plus an atomic
+//!   nonempty-site bitmask, so concurrent servers contend only when
+//!   they touch the same site, and an idle `pop` reads one atomic
+//!   instead of walking every queue.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use curare_lisp::sync::{Mutex, RwLock};
 use curare_lisp::{FuncId, Value};
 
 /// One pending invocation: the function, its arguments, and the call
@@ -24,11 +39,31 @@ pub struct Task {
     pub future: Option<u64>,
 }
 
+/// Sites at or above this index share the top bitmask bit.
+const SHARED_BIT: usize = 63;
+
+fn site_bit(site: usize) -> u64 {
+    1u64 << site.min(SHARED_BIT)
+}
+
+/// Bits for every site at or below `site` (the sites a server would
+/// prefer over, or FIFO-order ahead of, a task at `site`).
+fn bits_through(site: usize) -> u64 {
+    if site >= SHARED_BIT {
+        u64::MAX
+    } else {
+        (1u64 << (site + 1)) - 1
+    }
+}
+
 /// The ordered set of per-call-site queues. Not internally
 /// synchronized: the pool wraps it in its scheduler mutex.
 #[derive(Debug, Default)]
 pub struct QueueSet {
     queues: Vec<VecDeque<Task>>,
+    /// Bit `min(site, 63)` is set when that site may be non-empty;
+    /// bit 63 covers every site at or above 63.
+    mask: u64,
     /// Peak total length, for the §4.1 "queue never grows" analysis.
     peak: usize,
     len: usize,
@@ -45,6 +80,7 @@ impl QueueSet {
         if task.site >= self.queues.len() {
             self.queues.resize_with(task.site + 1, VecDeque::new);
         }
+        self.mask |= site_bit(task.site);
         self.queues[task.site].push_back(task);
         self.len += 1;
         self.peak = self.peak.max(self.len);
@@ -52,10 +88,25 @@ impl QueueSet {
 
     /// Dequeue from the lowest-indexed non-empty queue.
     pub fn pop(&mut self) -> Option<Task> {
-        for q in &mut self.queues {
-            if let Some(t) = q.pop_front() {
-                self.len -= 1;
-                return Some(t);
+        while self.mask != 0 {
+            let site = self.mask.trailing_zeros() as usize;
+            if site < SHARED_BIT {
+                if let Some(t) = self.queues[site].pop_front() {
+                    self.len -= 1;
+                    if self.queues[site].is_empty() {
+                        self.mask &= !site_bit(site);
+                    }
+                    return Some(t);
+                }
+                self.mask &= !site_bit(site);
+            } else {
+                for q in self.queues.iter_mut().skip(SHARED_BIT) {
+                    if let Some(t) = q.pop_front() {
+                        self.len -= 1;
+                        return Some(t);
+                    }
+                }
+                self.mask &= !site_bit(SHARED_BIT);
             }
         }
         None
@@ -76,9 +127,14 @@ impl QueueSet {
         self.peak
     }
 
-    /// Drop all queued tasks (error shutdown).
+    /// Drop all queued tasks in place (error shutdown with nothing to
+    /// notify — no intermediate `Vec`).
     pub fn clear(&mut self) {
-        self.drain_all();
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.len = 0;
+        self.mask = 0;
     }
 
     /// Remove and return every queued task (error shutdown needs to
@@ -89,6 +145,187 @@ impl QueueSet {
             out.extend(q.drain(..));
         }
         self.len = 0;
+        self.mask = 0;
+        out
+    }
+}
+
+/// One call site's FIFO queue behind its own lock.
+#[derive(Debug, Default)]
+struct SiteQueue {
+    q: Mutex<VecDeque<Task>>,
+}
+
+/// The ordered set of per-call-site queues, internally synchronized
+/// with one lock per site.
+///
+/// The `mask` is a *routing hint*: bit `min(site, 63)` is set while
+/// that site may hold tasks (bit 63 is shared by every site ≥ 63, so
+/// it is re-verified by rescanning before trusting its absence). The
+/// authoritative emptiness signal is `len`, incremented *before* a
+/// task becomes visible and decremented after removal, so a reader
+/// seeing `len == 0` knows no published task is waiting.
+#[derive(Debug, Default)]
+pub struct ShardedQueues {
+    sites: RwLock<Vec<Arc<SiteQueue>>>,
+    mask: AtomicU64,
+    len: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ShardedQueues {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn site_queue(&self, site: usize) -> Arc<SiteQueue> {
+        {
+            let sites = self.sites.read();
+            if let Some(sq) = sites.get(site) {
+                return Arc::clone(sq);
+            }
+        }
+        let mut sites = self.sites.write();
+        if site >= sites.len() {
+            sites.resize_with(site + 1, Arc::default);
+        }
+        Arc::clone(&sites[site])
+    }
+
+    /// Publish a batch of tasks, preserving their order. Consecutive
+    /// tasks for the same site are pushed under one site-lock
+    /// acquisition.
+    pub fn push_batch(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let new_len = self.len.fetch_add(tasks.len() as u64, Ordering::AcqRel) + tasks.len() as u64;
+        self.peak.fetch_max(new_len, Ordering::Relaxed);
+        let mut tasks = tasks.into_iter().peekable();
+        while let Some(task) = tasks.next() {
+            let site = task.site;
+            let sq = self.site_queue(site);
+            let mut q = sq.q.lock();
+            q.push_back(task);
+            while tasks.peek().is_some_and(|t| t.site == site) {
+                q.push_back(tasks.next().expect("peeked"));
+            }
+            self.mask.fetch_or(site_bit(site), Ordering::AcqRel);
+        }
+    }
+
+    /// Publish a single task.
+    pub fn push(&self, task: Task) {
+        self.push_batch(vec![task]);
+    }
+
+    /// Dequeue from the lowest-indexed non-empty site.
+    pub fn pop(&self) -> Option<Task> {
+        loop {
+            let mask = self.mask.load(Ordering::Acquire);
+            if mask == 0 {
+                if self.len.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                // A push is mid-flight (len leads visibility) or a
+                // shared-bit clear raced: fall back to a full scan
+                // once; the caller retries while `has_work`.
+                return self.scan_from(0);
+            }
+            let site = mask.trailing_zeros() as usize;
+            if site < SHARED_BIT {
+                let sq = self.site_queue(site);
+                let mut q = sq.q.lock();
+                if let Some(t) = q.pop_front() {
+                    if q.is_empty() {
+                        self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                    }
+                    drop(q);
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return Some(t);
+                }
+                // Stale hint: clear under the site lock so a racing
+                // pusher (serialized on the same lock) re-sets it.
+                self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+            } else {
+                if let Some(t) = self.scan_from(SHARED_BIT) {
+                    return Some(t);
+                }
+                // Clear the shared bit, then rescan: a site ≥ 63 push
+                // may have landed between the scan and the clear.
+                self.mask.fetch_and(!site_bit(SHARED_BIT), Ordering::AcqRel);
+                if let Some(t) = self.scan_from(SHARED_BIT) {
+                    self.mask.fetch_or(site_bit(SHARED_BIT), Ordering::AcqRel);
+                    return Some(t);
+                }
+            }
+        }
+    }
+
+    fn scan_from(&self, start: usize) -> Option<Task> {
+        let sites: Vec<Arc<SiteQueue>> = {
+            let sites = self.sites.read();
+            sites.iter().skip(start).cloned().collect()
+        };
+        for (i, sq) in sites.iter().enumerate() {
+            let site = start + i;
+            let mut q = sq.q.lock();
+            if let Some(t) = q.pop_front() {
+                if q.is_empty() && site < SHARED_BIT {
+                    self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                }
+                drop(q);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// True when a published (or mid-publish) task exists.
+    pub fn has_work(&self) -> bool {
+        self.len.load(Ordering::Acquire) > 0
+    }
+
+    /// Total queued tasks (may briefly lead visibility during a push).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        !self.has_work()
+    }
+
+    /// Highest total length ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when a freshly produced task for `site` could run
+    /// immediately without violating the lowest-site-first, FIFO-
+    /// within-site discipline: every site at or below it is empty.
+    pub fn can_chain(&self, site: usize) -> bool {
+        self.mask.load(Ordering::Acquire) & bits_through(site) == 0
+    }
+
+    /// Remove and return every queued task (error shutdown needs to
+    /// fail their futures).
+    pub fn drain_all(&self) -> Vec<Task> {
+        let sites: Vec<Arc<SiteQueue>> = {
+            let sites = self.sites.read();
+            sites.iter().cloned().collect()
+        };
+        let mut out = Vec::new();
+        for sq in sites {
+            let mut q = sq.q.lock();
+            out.extend(q.drain(..));
+        }
+        self.mask.store(0, Ordering::Release);
+        if !out.is_empty() {
+            self.len.fetch_sub(out.len() as u64, Ordering::AcqRel);
+        }
         out
     }
 }
@@ -162,5 +399,124 @@ mod tests {
                 assert!(q.len() <= start);
             }
         }
+    }
+
+    #[test]
+    fn queue_set_sites_beyond_the_mask_still_order() {
+        let mut q = QueueSet::new();
+        q.push(task(100, 3));
+        q.push(task(64, 1));
+        q.push(task(70, 2));
+        q.push(task(2, 0));
+        let order: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|t| t.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_fifo_within_a_site() {
+        let q = ShardedQueues::new();
+        q.push(task(0, 1));
+        q.push(task(0, 2));
+        q.push(task(0, 3));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(1));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(2));
+        assert_eq!(q.pop().unwrap().args[0], Value::int(3));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_lower_sites_drain_first() {
+        let q = ShardedQueues::new();
+        q.push(task(1, 10));
+        q.push(task(0, 1));
+        q.push(task(1, 11));
+        q.push(task(0, 2));
+        let order: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|t| t.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, [1, 2, 10, 11]);
+    }
+
+    #[test]
+    fn sharded_batch_preserves_program_order() {
+        let q = ShardedQueues::new();
+        q.push_batch(vec![task(0, 1), task(0, 2), task(1, 10), task(0, 3)]);
+        let order: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|t| t.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, [1, 2, 3, 10]);
+        assert_eq!(q.peak(), 4);
+    }
+
+    #[test]
+    fn sharded_high_sites_share_the_top_bit() {
+        let q = ShardedQueues::new();
+        q.push(task(200, 3));
+        q.push(task(63, 1));
+        q.push(task(64, 2));
+        q.push(task(5, 0));
+        let order: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|t| t.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, [0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_can_chain_respects_site_priority() {
+        let q = ShardedQueues::new();
+        assert!(q.can_chain(0), "empty set chains anywhere");
+        assert!(q.can_chain(500));
+        q.push(task(2, 1));
+        assert!(q.can_chain(0), "site 0 outranks the queued site 2");
+        assert!(q.can_chain(1));
+        assert!(!q.can_chain(2), "FIFO: queued site-2 work goes first");
+        assert!(!q.can_chain(3), "site 2 outranks a new site-3 task");
+        q.pop();
+        assert!(q.can_chain(2));
+    }
+
+    #[test]
+    fn sharded_drain_all_empties_and_returns_everything() {
+        let q = ShardedQueues::new();
+        q.push_batch(vec![task(0, 1), task(3, 2), task(0, 3)]);
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 3);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert_eq!(q.peak(), 3, "peak survives drain");
+    }
+
+    #[test]
+    fn sharded_concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(ShardedQueues::new());
+        let produced: u64 = 4 * 500;
+        let consumed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        q.push_batch(vec![task((p % 3) as usize, (p * 1000 + i) as i64)]);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || loop {
+                    if q.pop().is_some() {
+                        if consumed.fetch_add(1, Ordering::AcqRel) + 1 == produced {
+                            return;
+                        }
+                    } else if consumed.load(Ordering::Acquire) == produced {
+                        return;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(Ordering::Acquire), produced);
+        assert!(q.is_empty());
     }
 }

@@ -13,9 +13,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use curare_lisp::sync::{Condvar, Mutex};
 
-use curare_lisp::{Interp, LispError, RuntimeHooks, SymId, Val, Value};
+use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
 
 use crate::futures::FutureTable;
 use crate::locktable::{Location, LockTable};
@@ -84,18 +84,18 @@ impl SpawnHooks {
 }
 
 impl RuntimeHooks for SpawnHooks {
-    fn enqueue(&self, interp: &Interp, _site: usize, fname: SymId, args: Vec<Value>) -> Result<(), LispError> {
-        let fid = interp
-            .lookup_func(fname)
-            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+    fn enqueue(
+        &self,
+        _interp: &Interp,
+        _site: usize,
+        fid: FuncId,
+        args: Vec<Value>,
+    ) -> Result<(), LispError> {
         self.launch(fid, args, None);
         Ok(())
     }
 
-    fn future(&self, interp: &Interp, fname: SymId, args: Vec<Value>) -> Result<Value, LispError> {
-        let fid = interp
-            .lookup_func(fname)
-            .ok_or_else(|| LispError::UndefinedFunction(interp.heap().sym_name(fname).into()))?;
+    fn future(&self, _interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value, LispError> {
         let fut = self.shared.futures.create();
         let Val::Future(id) = fut.decode() else { unreachable!() };
         self.launch(fid, args, Some(id));
@@ -109,12 +109,24 @@ impl RuntimeHooks for SpawnHooks {
         }
     }
 
-    fn lock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+    fn lock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
         self.shared.locks.lock(Location::new(cell, field), exclusive);
         Ok(())
     }
 
-    fn unlock(&self, _interp: &Interp, cell: Value, field: u32, exclusive: bool) -> Result<(), LispError> {
+    fn unlock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
         if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
             Ok(())
         } else {

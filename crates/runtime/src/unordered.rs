@@ -1,0 +1,321 @@
+//! An alternative execution backend on an unordered task pool.
+//!
+//! The paper's own runtime is the ordered server pool of §4 (see
+//! [`crate::pool`]); this module is an *ablation*: the same CRI
+//! enqueue interface dispatched onto a plain shared-injector thread
+//! pool with **no per-call-site ordering** and **no helping touch**.
+//! It answers two questions the benches measure:
+//!
+//! - how much does the ordered central queue cost against an
+//!   order-oblivious scheduler (§4.1's bottleneck discussion), and
+//! - does invocation order matter for the programs Curare emits
+//!   (conflict-free and atomic-update programs: no; future-synced
+//!   programs want the helping scheduler of [`crate::pool`]).
+//!
+//! Use this backend for conflict-free or reorder-converted programs;
+//! `touch` here blocks without helping, so deeply future-synced
+//! programs should use [`crate::pool::CriRuntime`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use curare_lisp::sync::{Condvar, Mutex};
+use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
+
+use crate::futures::FutureTable;
+use crate::locktable::{Location, LockTable};
+
+/// One spawned invocation, order-oblivious.
+struct Job {
+    fid: FuncId,
+    args: Vec<Value>,
+    future: Option<u64>,
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    pending: AtomicU64,
+    executed: AtomicU64,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+    error: Mutex<Option<LispError>>,
+    locks: LockTable,
+    futures: FutureTable,
+}
+
+impl Shared {
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_m.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Worker stack size; the evaluator budget leaves headroom below it.
+const WORKER_STACK: usize = 32 << 20;
+
+fn worker_loop(interp: Weak<Interp>, shared: &Shared) {
+    curare_lisp::eval::set_thread_stack_budget(WORKER_STACK - (4 << 20));
+    loop {
+        let job = {
+            let mut inj = shared.injector.lock();
+            loop {
+                if let Some(j) = inj.pop_front() {
+                    break j;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.work_cv.wait(&mut inj);
+            }
+        };
+        let Some(interp) = interp.upgrade() else {
+            shared.finish_one();
+            continue;
+        };
+        let result = interp.call_fid(job.fid, &job.args);
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(v) => {
+                if let Some(id) = job.future {
+                    shared.futures.resolve(id, v);
+                }
+            }
+            Err(e) => {
+                if let Some(id) = job.future {
+                    shared.futures.fail(id, e.clone());
+                }
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(e);
+                }
+            }
+        }
+        shared.finish_one();
+    }
+}
+
+/// Hooks dispatching enqueues onto the unordered pool.
+pub struct UnorderedHooks {
+    shared: Arc<Shared>,
+}
+
+impl UnorderedHooks {
+    fn launch(&self, fid: FuncId, args: Vec<Value>, future: Option<u64>) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        let mut inj = self.shared.injector.lock();
+        inj.push_back(Job { fid, args, future });
+        self.shared.work_cv.notify_one();
+    }
+}
+
+impl RuntimeHooks for UnorderedHooks {
+    fn enqueue(
+        &self,
+        _interp: &Interp,
+        _site: usize,
+        fid: FuncId,
+        args: Vec<Value>,
+    ) -> Result<(), LispError> {
+        self.launch(fid, args, None);
+        Ok(())
+    }
+
+    fn future(&self, _interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value, LispError> {
+        let fut = self.shared.futures.create();
+        let Val::Future(id) = fut.decode() else { unreachable!() };
+        self.launch(fid, args, Some(id));
+        Ok(fut)
+    }
+
+    fn touch(&self, _interp: &Interp, v: Value) -> Result<Value, LispError> {
+        match v.decode() {
+            Val::Future(id) => self.shared.futures.touch(id),
+            _ => Ok(v),
+        }
+    }
+
+    fn lock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
+        self.shared.locks.lock(Location::new(cell, field), exclusive);
+        Ok(())
+    }
+
+    fn unlock(
+        &self,
+        _interp: &Interp,
+        cell: Value,
+        field: u32,
+        exclusive: bool,
+    ) -> Result<(), LispError> {
+        if self.shared.locks.unlock(Location::new(cell, field), exclusive) {
+            Ok(())
+        } else {
+            Err(LispError::User("cri-unlock without a matching cri-lock".into()))
+        }
+    }
+}
+
+/// The unordered-pool CRI runtime (ablation baseline).
+pub struct UnorderedRuntime {
+    interp: Arc<Interp>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl UnorderedRuntime {
+    /// Build a `threads`-wide pool and install the hooks.
+    pub fn new(interp: Arc<Interp>, threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+            error: Mutex::new(None),
+            locks: LockTable::new(),
+            futures: FutureTable::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let weak = Arc::downgrade(&interp);
+                std::thread::Builder::new()
+                    .name(format!("unordered-worker-{i}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn(move || worker_loop(weak, &shared))
+                    .expect("spawn unordered worker")
+            })
+            .collect();
+        interp.set_hooks(Arc::new(UnorderedHooks { shared: Arc::clone(&shared) }));
+        UnorderedRuntime { interp, shared, workers }
+    }
+
+    /// The interpreter.
+    pub fn interp(&self) -> &Arc<Interp> {
+        &self.interp
+    }
+
+    /// Run `(fname args...)` to completion across the pool.
+    pub fn run(&self, fname: &str, args: &[Value]) -> Result<(), LispError> {
+        *self.shared.error.lock() = None;
+        self.interp.call(fname, args)?;
+        self.wait_idle();
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until every spawned invocation finished.
+    pub fn wait_idle(&self) {
+        let mut g = self.shared.done_m.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.done_cv.wait(&mut g);
+        }
+    }
+
+    /// Invocations executed so far.
+    pub fn tasks(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for UnorderedRuntime {
+    fn drop(&mut self) {
+        self.wait_idle();
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.injector.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curare_transform::Curare;
+
+    #[test]
+    fn conflict_free_walk_runs_unordered() {
+        let out = Curare::new()
+            .transform_source(
+                "(curare-declare (reorderable +))
+                 (defun walk (l)
+                   (when l
+                     (setq *sum* (+ *sum* (car l)))
+                     (walk (cdr l))))",
+            )
+            .unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = UnorderedRuntime::new(Arc::clone(&interp), 4);
+        let l =
+            interp.load_str("(let ((l nil)) (dotimes (i 2000) (setq l (cons 1 l))) l)").unwrap();
+        rt.run("walk", &[l]).unwrap();
+        let v = interp.load_str("*sum*").unwrap();
+        assert_eq!(v, Value::int(2000));
+        // The root invocation runs on the calling thread; the 2000
+        // recursive invocations were pool tasks.
+        assert_eq!(rt.tasks(), 2000);
+    }
+
+    #[test]
+    fn atomic_cell_update_is_exact_unordered() {
+        let out = Curare::new()
+            .transform_source(
+                "(curare-declare (reorderable +))
+                 (defun f (acc l)
+                   (when l
+                     (f acc (cdr l))
+                     (setf (car acc) (+ (car acc) (car l)))))",
+            )
+            .unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        let rt = UnorderedRuntime::new(Arc::clone(&interp), 4);
+        let acc = interp.heap().cons(Value::int(0), Value::NIL);
+        let l = interp.load_str("(let ((l nil)) (dotimes (i 500) (setq l (cons 2 l))) l)").unwrap();
+        rt.run("f", &[acc, l]).unwrap();
+        assert_eq!(interp.heap().car(acc).unwrap(), Value::int(1000));
+    }
+
+    #[test]
+    fn errors_surface_from_unordered_tasks() {
+        let interp = Arc::new(Interp::new());
+        interp
+            .load_str("(defun f (n) (if (= n 5) (error \"pool boom\") (cri-enqueue 0 f (1+ n))))")
+            .unwrap();
+        let rt = UnorderedRuntime::new(Arc::clone(&interp), 2);
+        let err = rt.run("f", &[Value::int(0)]).unwrap_err();
+        assert!(err.to_string().contains("pool boom"));
+    }
+
+    #[test]
+    fn futures_resolve_unordered() {
+        let interp = Arc::new(Interp::new());
+        interp.load_str("(defun sq (n) (* n n))").unwrap();
+        let rt = UnorderedRuntime::new(Arc::clone(&interp), 2);
+        let v = interp.load_str("(touch (future (sq 12)))").unwrap();
+        assert_eq!(v, Value::int(144));
+        rt.wait_idle();
+    }
+}

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use curare_lisp::{Interp, Value};
-use curare_runtime::{CriRuntime, RayonRuntime};
+use curare_runtime::{CriRuntime, SchedMode, UnorderedRuntime};
 use curare_transform::Curare;
 
 fn int_list(interp: &Interp, n: i64) -> Value {
@@ -123,7 +123,7 @@ fn future_sync_deep_chain_on_tiny_pool() {
 }
 
 #[test]
-fn rayon_and_pool_agree() {
+fn unordered_and_pool_agree() {
     let src = "(curare-declare (reorderable +))
                (defun walk (l)
                  (when l (setq *s* (+ *s* (car l))) (walk (cdr l))))";
@@ -140,13 +140,142 @@ fn rayon_and_pool_agree() {
     let b = Arc::new(Interp::new());
     b.load_str(&out.source()).unwrap();
     b.load_str("(defparameter *s* 0)").unwrap();
-    let ray = RayonRuntime::new(Arc::clone(&b), 4);
+    let ray = UnorderedRuntime::new(Arc::clone(&b), 4);
     let l2 = int_list(&b, 5000);
     ray.run("walk", &[l2]).unwrap();
     let ray_sum = b.load_str("*s*").unwrap();
 
     assert_eq!(pool_sum, ray_sum);
     assert_eq!(pool_sum, Value::int(5000 * 5001 / 2));
+}
+
+#[test]
+fn per_site_fifo_order_is_preserved_by_both_schedulers() {
+    // One server makes dequeue order observable as execution order.
+    // Each `fan` invocation publishes a batch of three tasks — two
+    // leaves at site 0 and the next fan at site 1 — so this exercises
+    // batch publication keeping within-site FIFO order, and the
+    // lowest-site-first rule draining site 0 before site 1.
+    let src = "(defun fan (n)
+                 (when (> n 0)
+                   (cri-enqueue 0 leaf (* 2 n))
+                   (cri-enqueue 0 leaf (+ (* 2 n) 1))
+                   (cri-enqueue 1 fan (- n 1))))
+               (defun leaf (v) (setq *ord* (cons v *ord*)))";
+    let rounds = 60;
+    let mut expected = Vec::new();
+    for n in (1..=rounds).rev() {
+        expected.push(2 * n);
+        expected.push(2 * n + 1);
+    }
+    for mode in [SchedMode::Central, SchedMode::Sharded] {
+        let interp = Arc::new(Interp::new());
+        interp.load_str(src).unwrap();
+        interp.load_str("(defparameter *ord* nil)").unwrap();
+        let rt = CriRuntime::with_mode(Arc::clone(&interp), 1, mode);
+        rt.run("fan", &[Value::int(rounds)]).unwrap();
+        let mut got = Vec::new();
+        let mut l = interp.load_str("*ord*").unwrap();
+        while !l.is_nil() {
+            got.push(interp.heap().car(l).unwrap().as_int().unwrap());
+            l = interp.heap().cdr(l).unwrap();
+        }
+        got.reverse();
+        assert_eq!(got, expected, "per-site FIFO order broken under {mode:?}");
+    }
+}
+
+#[test]
+fn e11_sequentializability_across_modes_and_pool_sizes() {
+    // The E11 property: a future-synced program with conflicting
+    // writes must leave the heap exactly as a sequential run does,
+    // whatever the scheduler or server count.
+    let src = "(defun f (l)
+                 (cond ((null l) nil)
+                       ((null (cdr l)) (f (cdr l)))
+                       (t (setf (cadr l) (+ (car l) (cadr l)))
+                          (f (cdr l)))))";
+    let n = 1500;
+    let build = format!("(let ((l nil)) (dotimes (i {n}) (setq l (cons 1 l))) l)");
+    let seq = Interp::new();
+    seq.load_str(src).unwrap();
+    let expect = {
+        let l = seq.load_str(&build).unwrap();
+        seq.call("f", &[l]).unwrap();
+        seq.heap().display(l)
+    };
+    let out = Curare::new().transform_source(src).unwrap();
+    for mode in [SchedMode::Central, SchedMode::Sharded] {
+        for servers in [2usize, 8] {
+            let interp = Arc::new(Interp::new());
+            interp.load_str(&out.source()).unwrap();
+            let rt = CriRuntime::with_mode(Arc::clone(&interp), servers, mode);
+            let l = interp.load_str(&build).unwrap();
+            rt.run("f", &[l]).unwrap();
+            assert_eq!(
+                interp.heap().display(l),
+                expect,
+                "heap state diverged from sequential ({mode:?}, {servers} servers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaining_fast_path_survives_a_long_walk() {
+    // A 30k single-successor walk: nearly every task should run
+    // chained on its producing server, and the effect total must
+    // still be exact.
+    let interp = Arc::new(Interp::new());
+    interp
+        .load_str(
+            "(defun walk (l)
+               (when l
+                 (atomic-incf *n* (car l))
+                 (cri-enqueue 0 walk (cdr l))))",
+        )
+        .unwrap();
+    interp.load_str("(defparameter *n* 0)").unwrap();
+    let rt = CriRuntime::with_mode(Arc::clone(&interp), 4, SchedMode::Sharded);
+    let n = 30_000;
+    let l = int_list(&interp, n);
+    rt.run("walk", &[l]).unwrap();
+    assert_eq!(interp.load_str("*n*").unwrap(), Value::int(n * (n + 1) / 2));
+    let stats = rt.stats();
+    assert_eq!(stats.tasks, n as u64 + 1);
+    assert!(
+        stats.chained_tasks >= n as u64 - 100,
+        "long single-successor walk should chain almost always: {stats:?}"
+    );
+}
+
+#[test]
+fn multi_call_site_fanout_is_exact_under_contention() {
+    // Three call sites per invocation force batch publication (a
+    // 3-task batch can never chain) while several servers drain the
+    // shards concurrently.
+    let src = "(defun tri (n)
+                 (when (> n 0)
+                   (cri-enqueue 0 bump-a 1)
+                   (cri-enqueue 1 bump-b 1)
+                   (cri-enqueue 2 tri (- n 1))))
+               (defun bump-a (k) (atomic-incf *a* k))
+               (defun bump-b (k) (atomic-incf *b* k))";
+    for mode in [SchedMode::Central, SchedMode::Sharded] {
+        let interp = Arc::new(Interp::new());
+        interp.load_str(src).unwrap();
+        interp.load_str("(defparameter *a* 0) (defparameter *b* 0)").unwrap();
+        let rt = CriRuntime::with_mode(Arc::clone(&interp), 4, mode);
+        let n = 2000;
+        rt.run("tri", &[Value::int(n)]).unwrap();
+        assert_eq!(interp.load_str("*a*").unwrap(), Value::int(n), "{mode:?}");
+        assert_eq!(interp.load_str("*b*").unwrap(), Value::int(n), "{mode:?}");
+        let stats = rt.stats();
+        assert_eq!(stats.tasks, 3 * n as u64 + 1, "{mode:?}");
+        if mode == SchedMode::Sharded {
+            assert!(stats.batched_submits > 0, "multi-site fanout must batch: {stats:?}");
+        }
+    }
 }
 
 #[test]

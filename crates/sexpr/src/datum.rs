@@ -267,11 +267,8 @@ mod tests {
 
     #[test]
     fn atom_count_and_depth() {
-        let e = Sexpr::list(vec![
-            sx("f"),
-            Sexpr::list(vec![sx("g"), Sexpr::Int(1)]),
-            Sexpr::Int(2),
-        ]);
+        let e =
+            Sexpr::list(vec![sx("f"), Sexpr::list(vec![sx("g"), Sexpr::Int(1)]), Sexpr::Int(2)]);
         assert_eq!(e.atom_count(), 4);
         assert_eq!(e.depth(), 2);
         assert_eq!(sx("x").depth(), 0);
@@ -279,11 +276,8 @@ mod tests {
 
     #[test]
     fn display_round_trip_shapes() {
-        let e = Sexpr::list(vec![
-            sx("setf"),
-            Sexpr::list(vec![sx("cadr"), sx("l")]),
-            Sexpr::Int(42),
-        ]);
+        let e =
+            Sexpr::list(vec![sx("setf"), Sexpr::list(vec![sx("cadr"), sx("l")]), Sexpr::Int(42)]);
         assert_eq!(e.to_string(), "(setf (cadr l) 42)");
     }
 

@@ -91,9 +91,7 @@ impl Parser {
                                 atom => Sexpr::Dotted(items, Box::new(atom)),
                             });
                         }
-                        Some(t) => {
-                            return Err(ReadError::new(ReadErrorKind::MalformedDot, t.span))
-                        }
+                        Some(t) => return Err(ReadError::new(ReadErrorKind::MalformedDot, t.span)),
                         None => {
                             return Err(ReadError::new(
                                 ReadErrorKind::UnexpectedEof,

@@ -1,5 +1,10 @@
 //! Property tests: printing then re-reading any datum yields the same
 //! datum, for both the flat printer and the pretty printer.
+//!
+//! Requires the off-by-default `heavy-tests` feature (the external
+//! `proptest` crate is unavailable offline).
+
+#![cfg(feature = "heavy-tests")]
 
 use curare_sexpr::{parse_all, parse_one, pretty_width, Sexpr};
 use proptest::prelude::*;

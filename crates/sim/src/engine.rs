@@ -10,6 +10,9 @@
 //!   acquire at head start, release at termination);
 //! - **spawn overhead** `q`: extra steps per enqueue, modelling the
 //!   central queue of §4.1;
+//! - **spawn batch** `b`: the queue cost is paid once every `b`
+//!   spawns, modelling batched submission (and, at the limit, task
+//!   chaining) in the runtime's low-contention scheduler;
 //! - **per-invocation head/tail vectors** for irregular workloads.
 
 /// Parameters of one simulated recursion.
@@ -27,6 +30,9 @@ pub struct SimConfig {
     pub conflict_distance: Option<u64>,
     /// Extra steps charged to the head per spawn (queue cost, §4.1).
     pub spawn_overhead: u64,
+    /// Spawns per queue publication: the overhead is charged on one
+    /// spawn in every `spawn_batch` (amortized batched submit).
+    pub spawn_batch: u64,
 }
 
 impl SimConfig {
@@ -39,6 +45,7 @@ impl SimConfig {
             tail,
             conflict_distance: None,
             spawn_overhead: 0,
+            spawn_batch: 1,
         }
     }
 
@@ -53,6 +60,14 @@ impl SimConfig {
         self.spawn_overhead = q;
         self
     }
+
+    /// Set the spawn batch size (`b ≥ 1`): the spawn overhead is paid
+    /// on one spawn in every `b`, as under batched submission.
+    pub fn with_spawn_batch(mut self, b: u64) -> Self {
+        assert!(b >= 1, "spawn batch must be at least 1");
+        self.spawn_batch = b;
+        self
+    }
 }
 
 /// The outcome of one simulation.
@@ -60,7 +75,7 @@ impl SimConfig {
 pub struct SimResult {
     /// Completion time of the last invocation.
     pub total_time: u64,
-    /// `depth × (h + t)` — the sequential execution time.
+    /// Sum of all per-invocation work — the sequential execution time.
     pub sequential_time: u64,
     /// Sequential / parallel.
     pub speedup: f64,
@@ -75,17 +90,25 @@ pub struct SimResult {
 /// Run the simulation.
 pub fn simulate(cfg: &SimConfig) -> SimResult {
     assert!(cfg.servers >= 1, "at least one server");
+    assert!(cfg.spawn_batch >= 1, "spawn batch must be at least 1");
     let d = cfg.depth as usize;
-    let step = cfg.head + cfg.spawn_overhead;
-    let work = step + cfg.tail;
 
     let mut starts = vec![0u64; d];
     let mut finishes = vec![0u64; d];
     // Earliest-free times of the servers (kept sorted ascending).
     let mut servers = vec![0u64; cfg.servers as usize];
 
+    let mut busy = 0u64;
     let mut spawn_time = 0u64; // when invocation i becomes ready
     for i in 0..d {
+        // Batched submit: one spawn in every `spawn_batch` pays the
+        // queue publication cost; the rest ride in the same batch.
+        let step = if (i as u64).is_multiple_of(cfg.spawn_batch) {
+            cfg.head + cfg.spawn_overhead
+        } else {
+            cfg.head
+        };
+        let work = step + cfg.tail;
         let mut ready = spawn_time;
         if let Some(dc) = cfg.conflict_distance {
             if let Some(pred) = i.checked_sub(dc as usize) {
@@ -101,26 +124,18 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         finishes[i] = finish;
         servers[0] = finish;
         servers.sort_unstable();
+        busy += work;
         // The next invocation spawns when this head completes.
         spawn_time = start + step;
     }
 
     let total_time = finishes.last().copied().unwrap_or(0);
-    let sequential_time = cfg.depth * work;
-    let busy: u64 = cfg.depth * work;
+    let sequential_time = busy;
     SimResult {
         total_time,
         sequential_time,
-        speedup: if total_time == 0 {
-            1.0
-        } else {
-            sequential_time as f64 / total_time as f64
-        },
-        achieved_concurrency: if total_time == 0 {
-            0.0
-        } else {
-            busy as f64 / total_time as f64
-        },
+        speedup: if total_time == 0 { 1.0 } else { sequential_time as f64 / total_time as f64 },
+        achieved_concurrency: if total_time == 0 { 0.0 } else { busy as f64 / total_time as f64 },
         starts,
         finishes,
     }
@@ -253,6 +268,43 @@ mod tests {
         let clean = simulate(&SimConfig::new(1000, 16, 1, 15));
         let loaded = simulate(&SimConfig::new(1000, 16, 1, 15).with_spawn_overhead(4));
         assert!(loaded.total_time > clean.total_time);
+    }
+
+    #[test]
+    fn spawn_batch_one_matches_unbatched_overhead() {
+        let base = SimConfig::new(1000, 16, 1, 15).with_spawn_overhead(4);
+        let unbatched = simulate(&base);
+        let batched = simulate(&base.clone().with_spawn_batch(1));
+        assert_eq!(unbatched.total_time, batched.total_time);
+        assert_eq!(unbatched.finishes, batched.finishes);
+    }
+
+    #[test]
+    fn spawn_batching_amortizes_overhead() {
+        // Larger batches charge the queue cost less often, so total
+        // time falls monotonically toward the overhead-free time.
+        let cfg = |b: u64| SimConfig::new(2000, 8, 1, 7).with_spawn_overhead(6).with_spawn_batch(b);
+        let clean = simulate(&SimConfig::new(2000, 8, 1, 7)).total_time;
+        let times: Vec<u64> =
+            [1u64, 2, 4, 16, 64, 4096].iter().map(|&b| simulate(&cfg(b)).total_time).collect();
+        for pair in times.windows(2) {
+            assert!(pair[1] <= pair[0], "{times:?}");
+        }
+        assert!(times[0] > clean, "batch=1 must pay the full overhead");
+        // With one publication per 4096 spawns the overhead is all but
+        // gone: within 1% of the clean schedule.
+        let last = *times.last().unwrap();
+        assert!(last >= clean);
+        assert!((last - clean) as f64 / (clean as f64) < 0.01, "last {last} vs clean {clean}");
+    }
+
+    #[test]
+    fn spawn_batch_charges_every_bth_spawn() {
+        // One server, batch 2: invocations 0, 2, 4 pay the overhead.
+        let r = simulate(&SimConfig::new(5, 1, 2, 3).with_spawn_overhead(4).with_spawn_batch(2));
+        // Work per invocation: 9, 5, 9, 5, 9 (sequential on 1 server).
+        assert_eq!(r.total_time, 9 + 5 + 9 + 5 + 9);
+        assert_eq!(r.sequential_time, r.total_time);
     }
 
     #[test]

@@ -11,7 +11,12 @@ use crate::engine::{SimConfig, SimResult};
 /// Render one row per invocation: spaces for idle/waiting time, `H`
 /// for head steps, `T` for tail steps. `max_rows` and `max_width`
 /// bound the picture for wide runs.
-pub fn render_timeline(cfg: &SimConfig, result: &SimResult, max_rows: usize, max_width: usize) -> String {
+pub fn render_timeline(
+    cfg: &SimConfig,
+    result: &SimResult,
+    max_rows: usize,
+    max_width: usize,
+) -> String {
     let mut out = String::new();
     let rows = result.starts.len().min(max_rows);
     let head = (cfg.head + cfg.spawn_overhead) as usize;
@@ -40,7 +45,13 @@ pub fn render_timeline(cfg: &SimConfig, result: &SimResult, max_rows: usize, max
 
 /// The sequential (Figure 6) picture for the same function shape:
 /// heads descend, tails unwind in reverse order.
-pub fn render_sequential(head: u64, tail: u64, depth: u64, max_rows: usize, max_width: usize) -> String {
+pub fn render_sequential(
+    head: u64,
+    tail: u64,
+    depth: u64,
+    max_rows: usize,
+    max_width: usize,
+) -> String {
     let mut out = String::new();
     let d = depth as usize;
     let h = head as usize;

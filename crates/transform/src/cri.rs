@@ -252,18 +252,17 @@ mod tests {
 
     #[test]
     fn value_position_call_is_rejected() {
-        let err =
-            cri_convert(&parse_one("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))").unwrap())
-                .unwrap_err();
+        let err = cri_convert(
+            &parse_one("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))").unwrap(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CriError::ValuePositionCall(_)));
     }
 
     #[test]
     fn call_in_binding_init_is_rejected() {
-        let err = cri_convert(
-            &parse_one("(defun f (l) (let ((x (f (cdr l)))) x))").unwrap(),
-        )
-        .unwrap_err();
+        let err = cri_convert(&parse_one("(defun f (l) (let ((x (f (cdr l)))) x))").unwrap())
+            .unwrap_err();
         assert!(matches!(err, CriError::ValuePositionCall(_)));
     }
 

@@ -59,9 +59,7 @@ pub fn delay_transform(heap: &Heap, form: &Sexpr, decls: &DeclDb) -> Option<Dela
             .conflicts
             .conflicts
             .iter()
-            .flat_map(|c| {
-                [(c.root, c.write_path.clone()), (c.root, c.other_path.clone())]
-            })
+            .flat_map(|c| [(c.root, c.write_path.clone()), (c.root, c.other_path.clone())])
             .collect()
     };
 
@@ -76,10 +74,7 @@ pub fn delay_transform(heap: &Heap, form: &Sexpr, decls: &DeclDb) -> Option<Dela
     if moved == 0 {
         return None;
     }
-    Some(DelayResult {
-        form: sx::make_defun(&fname, &params, &parts.declares, new_body),
-        moved,
-    })
+    Some(DelayResult { form: sx::make_defun(&fname, &params, &parts.declares, new_body), moved })
 }
 
 /// Shared context for the motion walk.
@@ -107,15 +102,9 @@ fn probe_accesses(heap: &Heap, params: &[String], forms: &[Sexpr]) -> Option<Acc
 /// one path a prefix of the other)?
 fn writes_overlap(a: &AccessSummary, b: &AccessSummary) -> bool {
     let overlap = |p: &Path, q: &Path| p.is_prefix_of(q) || q.is_prefix_of(p);
-    a.writes().any(|w| {
-        b.records
-            .iter()
-            .any(|r| r.root == w.root && overlap(&w.path, &r.path))
-    }) || b.writes().any(|w| {
-        a.records
-            .iter()
-            .any(|r| r.root == w.root && overlap(&w.path, &r.path))
-    })
+    a.writes().any(|w| b.records.iter().any(|r| r.root == w.root && overlap(&w.path, &r.path)))
+        || b.writes()
+            .any(|w| a.records.iter().any(|r| r.root == w.root && overlap(&w.path, &r.path)))
 }
 
 /// Can `stmt` move before the self-calls whose argument expressions
@@ -137,10 +126,7 @@ fn movable(heap: &Heap, ctx: &Ctx, stmt: &Sexpr, call_args: &[Sexpr]) -> bool {
     }
     // Order-sensitive writes (cross-invocation conflicts) must keep
     // their unwind-order position; future-sync will handle them.
-    if stmt_acc
-        .writes()
-        .any(|w| ctx.conflicting.contains(&(w.root, w.path.clone())))
-    {
+    if stmt_acc.writes().any(|w| ctx.conflicting.contains(&(w.root, w.path.clone()))) {
         return false;
     }
     let Some(args_acc) = probe_accesses(heap, ctx.params, call_args) else {
@@ -172,8 +158,7 @@ fn self_call_args(form: &Sexpr, fname: &str) -> Vec<Sexpr> {
 /// Reorder one statement sequence and recurse into nested sequences.
 fn reorder_seq(heap: &Heap, ctx: &Ctx, stmts: &[Sexpr], moved: &mut usize) -> Vec<Sexpr> {
     // First recurse into each statement's own nested sequences.
-    let stmts: Vec<Sexpr> =
-        stmts.iter().map(|s| reorder_inner(heap, ctx, s, moved)).collect();
+    let stmts: Vec<Sexpr> = stmts.iter().map(|s| reorder_inner(heap, ctx, s, moved)).collect();
 
     let Some(first_call) = stmts.iter().position(|s| sx::mentions_call(s, ctx.fname)) else {
         return stmts;
@@ -465,10 +450,9 @@ mod tests {
         assert!(has_tail_statements(&yes, "f"));
         let no = parse_one("(defun f (l) (when l (print l) (f (cdr l))))").unwrap();
         assert!(!has_tail_statements(&no, "f"));
-        let nested = parse_one(
-            "(defun f (l) (cond ((null l) nil) (t (f (cdr l)) (setf (car l) 1))))",
-        )
-        .unwrap();
+        let nested =
+            parse_one("(defun f (l) (cond ((null l) nil) (t (f (cdr l)) (setf (car l) 1))))")
+                .unwrap();
         assert!(has_tail_statements(&nested, "f"));
         let value_pos = parse_one("(defun f (l) (cons 1 (f (cdr l))))").unwrap();
         assert!(has_tail_statements(&value_pos, "f"));

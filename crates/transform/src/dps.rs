@@ -133,10 +133,7 @@ fn rewrite_result(form: &Sexpr, fname: &str, dps_name: &str) -> Result<Sexpr, Dp
                         let mut new_cl = vec![test.clone()];
                         if body.is_empty() {
                             // (test) clause: its value is the test's.
-                            new_cl = vec![
-                                test.clone(),
-                                store_value(test.clone()),
-                            ];
+                            new_cl = vec![test.clone(), store_value(test.clone())];
                         } else {
                             let (last, init) = body.split_last().expect("nonempty");
                             for b in init {
@@ -375,10 +372,9 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, DpsError::UnsupportedShape(_)));
         // Self-call in an effect position before the result.
-        let err = dps_transform(
-            &parse_one("(defun f (l) (f (cdr l)) (cons 1 (f (cdr l))))").unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            dps_transform(&parse_one("(defun f (l) (f (cdr l)) (cons 1 (f (cdr l))))").unwrap())
+                .unwrap_err();
         assert!(matches!(err, DpsError::UnsupportedShape(_)));
     }
 
@@ -393,7 +389,9 @@ mod tests {
         let dps = Interp::new();
         dps.load_str(&r.dps_form.to_string()).unwrap();
         dps.load_str(&r.wrapper.to_string()).unwrap();
-        for call in ["(take-while-pos '(1 2 -1 3))", "(take-while-pos '(-1))", "(take-while-pos nil)"] {
+        for call in
+            ["(take-while-pos '(1 2 -1 3))", "(take-while-pos '(-1))", "(take-while-pos nil)"]
+        {
             let a = orig.load_str(call).unwrap();
             let b = dps.load_str(call).unwrap();
             assert_eq!(orig.heap().display(a), dps.heap().display(b), "{call}");

@@ -96,9 +96,7 @@ fn recognize(fname: &str, body: &[&Sexpr]) -> Result<Reduction, FoldError> {
     let [form] = body else {
         return Err(FoldError::NotAReduction("body must be a single expression".into()));
     };
-    let items = form
-        .as_list()
-        .ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
+    let items = form.as_list().ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
     let head = items
         .first()
         .and_then(Sexpr::as_symbol)
@@ -107,8 +105,10 @@ fn recognize(fname: &str, body: &[&Sexpr]) -> Result<Reduction, FoldError> {
     let (test, init, combine) = match head {
         "if" if items.len() == 4 => (items[1].clone(), items[2].clone(), items[3].clone()),
         "cond" if items.len() == 3 => {
-            let c1 = items[1].as_list().ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
-            let c2 = items[2].as_list().ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
+            let c1 =
+                items[1].as_list().ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
+            let c2 =
+                items[2].as_list().ok_or_else(|| FoldError::NotAReduction(form.to_string()))?;
             if c1.len() != 2 || c2.len() != 2 || !c2[0].is_symbol("t") {
                 return Err(FoldError::NotAReduction(form.to_string()));
             }
@@ -119,16 +119,12 @@ fn recognize(fname: &str, body: &[&Sexpr]) -> Result<Reduction, FoldError> {
     if sx::mentions_call(&test, fname) || sx::mentions_call(&init, fname) {
         return Err(FoldError::NotAReduction("self-call in test or base case".into()));
     }
-    let comb = combine
-        .as_list()
-        .ok_or_else(|| FoldError::NotAReduction(combine.to_string()))?;
+    let comb = combine.as_list().ok_or_else(|| FoldError::NotAReduction(combine.to_string()))?;
     let [op, a, b] = comb else {
         return Err(FoldError::NotAReduction(format!("combiner must be binary: {combine}")));
     };
-    let op = op
-        .as_symbol()
-        .ok_or_else(|| FoldError::NotAReduction(combine.to_string()))?
-        .to_string();
+    let op =
+        op.as_symbol().ok_or_else(|| FoldError::NotAReduction(combine.to_string()))?.to_string();
     // One operand is the self-call, the other the element.
     let (element, rec, call_first) = if a.is_call(fname) {
         (b.clone(), a, true)
@@ -178,12 +174,7 @@ pub fn fold_to_walker(form: &Sexpr, decls: &DeclDb) -> Result<FoldResult, FoldEr
     );
     let recurse = sx::call(&walker_name, vec![sx::sym(ACC), red.step.clone()]);
     let walker_body = sx::call("unless", vec![red.test.clone(), update, recurse]);
-    let walker = sx::make_defun(
-        &walker_name,
-        &[ACC, param],
-        &parts.declares,
-        vec![walker_body],
-    );
+    let walker = sx::make_defun(&walker_name, &[ACC, param], &parts.declares, vec![walker_body]);
 
     // (defun f (l)
     //   (let ((%curare-acc (cons INIT nil)))

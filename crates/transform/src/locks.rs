@@ -216,7 +216,8 @@ pub fn insert_locks(
     outer.extend(parts.body.iter().map(|&b| b.clone()));
     outer.extend(unlock_forms);
 
-    let new_form = sx::make_defun(parts.name, &parts.params, &parts.declares, vec![Sexpr::List(outer)]);
+    let new_form =
+        sx::make_defun(parts.name, &parts.params, &parts.declares, vec![Sexpr::List(outer)]);
     Ok(LockResult { form: new_form, locks })
 }
 

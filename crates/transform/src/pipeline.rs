@@ -160,9 +160,7 @@ impl Curare {
         // order.
         {
             let mut lw = curare_lisp::Lowerer::new(&self.heap);
-            let prog = lw
-                .lower_program(forms)
-                .map_err(|e| PipelineError::Parse(e.to_string()))?;
+            let prog = lw.lower_program(forms).map_err(|e| PipelineError::Parse(e.to_string()))?;
             self.decls =
                 DeclDb::from_program(&prog).map_err(|e| PipelineError::Decl(e.to_string()))?;
         }
@@ -187,11 +185,7 @@ impl Curare {
         &mut self,
         form: &Sexpr,
     ) -> Result<(Vec<Sexpr>, FunctionReport), PipelineError> {
-        let name = form
-            .nth(1)
-            .and_then(Sexpr::as_symbol)
-            .unwrap_or("<anonymous>")
-            .to_string();
+        let name = form.nth(1).and_then(Sexpr::as_symbol).unwrap_or("<anonymous>").to_string();
         let mut devices = Vec::new();
 
         // Device: reorder (cheapest, applied first).
@@ -212,10 +206,8 @@ impl Curare {
             let prog = lw
                 .lower_program(std::slice::from_ref(&current))
                 .map_err(|e| PipelineError::Transform(e.to_string()))?;
-            let func = prog
-                .funcs
-                .first()
-                .ok_or_else(|| PipelineError::Transform("not a defun".into()))?;
+            let func =
+                prog.funcs.first().ok_or_else(|| PipelineError::Transform("not a defun".into()))?;
             analyze_function_with_canon(func, &self.decls, Some(&canon))
         };
         let verdict = analysis.verdict.clone();
@@ -375,13 +367,11 @@ mod tests {
     fn figure_5_conflicts_resolved_by_head_ordering() {
         // The setf precedes the recursive call: head execution order
         // already serializes the conflicting accesses.
-        let out = run(
-            "(defun f (l)
+        let out = run("(defun f (l)
                (cond ((null l) nil)
                      ((null (cdr l)) (f (cdr l)))
                      (t (setf (cadr l) (+ (car l) (cadr l)))
-                        (f (cdr l)))))",
-        );
+                        (f (cdr l)))))");
         let r = out.report("f").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert_eq!(r.verdict, Verdict::NeedsSynchronization { min_distance: 1 });
@@ -394,19 +384,13 @@ mod tests {
         // The stationary accumulator's post-call update conflicts at
         // every distance AND is order-sensitive (unwind order), so
         // delay must refuse and future-sync must take over.
-        let out = run(
-            "(defun f (acc l)
+        let out = run("(defun f (acc l)
                (when l
                  (f acc (cdr l))
-                 (setf (car acc) (+ (car acc) (car l)))))",
-        );
+                 (setf (car acc) (+ (car acc) (car l)))))");
         let r = out.report("f").unwrap();
         assert!(r.converted, "{}", r.feedback);
-        assert!(
-            r.devices.iter().any(|d| matches!(d, Device::FutureSync(1))),
-            "{:?}",
-            r.devices
-        );
+        assert!(r.devices.iter().any(|d| matches!(d, Device::FutureSync(1))), "{:?}", r.devices);
         assert!(!r.devices.iter().any(|d| matches!(d, Device::Delay(_))), "{:?}", r.devices);
     }
 
@@ -415,13 +399,11 @@ mod tests {
         // Mixed tail: a conflict-free write (car l) moves into the
         // head; the conflicting accumulator write stays and gets
         // future-synced.
-        let out = run(
-            "(defun f (acc l)
+        let out = run("(defun f (acc l)
                (when l
                  (f acc (cdr l))
                  (setf (car l) 0)
-                 (setf (car acc) (+ (car acc) (car l)))))",
-        );
+                 (setf (car acc) (+ (car acc) (car l)))))");
         let r = out.report("f").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.iter().any(|d| matches!(d, Device::Delay(1))), "{:?}", r.devices);
@@ -438,12 +420,10 @@ mod tests {
         // Writing (car l) after recursing on (cdr l) touches a cell no
         // other invocation touches: conflict-free, no devices beyond
         // CRI conversion.
-        let out = run(
-            "(defun f (l)
+        let out = run("(defun f (l)
                (when l
                  (f (cdr l))
-                 (setf (car l) 0)))",
-        );
+                 (setf (car l) 0)))");
         let r = out.report("f").unwrap();
         assert!(r.converted);
         assert_eq!(r.verdict, Verdict::ConflictFree);
@@ -454,12 +434,10 @@ mod tests {
     fn unmovable_post_call_write_gets_future_sync() {
         // The write overlaps the call argument, so delay refuses;
         // unwind order must be reproduced with future + touch.
-        let out = run(
-            "(defun f (l)
+        let out = run("(defun f (l)
                (when l
                  (f (cdr l))
-                 (setf (cdr l) (car l))))",
-        );
+                 (setf (cdr l) (car l))))");
         let r = out.report("f").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.iter().any(|d| matches!(d, Device::FutureSync(1))), "{:?}", r.devices);
@@ -472,13 +450,11 @@ mod tests {
         // A post-call commutative accumulation into a shared cell:
         // the declaration dissolves the conflict entirely (§3.2.3) —
         // no future-sync, full CRI concurrency.
-        let out = run(
-            "(curare-declare (reorderable +))
+        let out = run("(curare-declare (reorderable +))
              (defun f (acc l)
                (when l
                  (f acc (cdr l))
-                 (setf (car acc) (+ (car acc) (car l)))))",
-        );
+                 (setf (car acc) (+ (car acc) (car l)))))");
         let r = out.report("f").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.iter().any(|d| matches!(d, Device::Reorder(1))), "{:?}", r.devices);
@@ -494,12 +470,10 @@ mod tests {
 
     #[test]
     fn remq_goes_through_dps() {
-        let out = run(
-            "(defun remq (obj lst)
+        let out = run("(defun remq (obj lst)
                (cond ((null lst) nil)
                      ((eq obj (car lst)) (remq obj (cdr lst)))
-                     (t (cons (car lst) (remq obj (cdr lst))))))",
-        );
+                     (t (cons (car lst) (remq obj (cdr lst))))))");
         let r = out.report("remq").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.contains(&Device::Dps));
@@ -523,13 +497,11 @@ mod tests {
 
     #[test]
     fn reorderable_global_sum_converts() {
-        let out = run(
-            "(curare-declare (reorderable +))
+        let out = run("(curare-declare (reorderable +))
              (defun walk (l)
                (when l
                  (setq *sum* (+ *sum* (car l)))
-                 (walk (cdr l))))",
-        );
+                 (walk (cdr l))))");
         let r = out.report("walk").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.iter().any(|d| matches!(d, Device::Reorder(1))), "{:?}", r.devices);
@@ -538,12 +510,10 @@ mod tests {
 
     #[test]
     fn without_declaration_global_sum_blocked() {
-        let out = run(
-            "(defun walk (l)
+        let out = run("(defun walk (l)
                (when l
                  (setq *sum* (+ *sum* (car l)))
-                 (walk (cdr l))))",
-        );
+                 (walk (cdr l))))");
         let r = out.report("walk").unwrap();
         assert!(!r.converted);
         assert!(r.feedback.contains("*sum*"), "{}", r.feedback);
@@ -551,10 +521,8 @@ mod tests {
 
     #[test]
     fn dont_transform_respected() {
-        let out = run(
-            "(curare-declare (dont-transform f))
-             (defun f (l) (when l (print (car l)) (f (cdr l))))",
-        );
+        let out = run("(curare-declare (dont-transform f))
+             (defun f (l) (when l (print (car l)) (f (cdr l))))");
         let r = out.report("f").unwrap();
         assert!(!r.converted);
         assert!(!out.source().contains("cri-enqueue"));
@@ -562,12 +530,10 @@ mod tests {
 
     #[test]
     fn non_defun_forms_pass_through() {
-        let out = run(
-            "(defparameter *x* 5)
+        let out = run("(defparameter *x* 5)
              (defstruct node next value)
              (curare-declare (reorderable +))
-             (defun g (x) (* x x))",
-        );
+             (defun g (x) (* x x))");
         assert_eq!(out.forms.len(), 4);
         assert!(out.source().contains("defparameter"));
         assert!(out.source().contains("defstruct"));
@@ -595,13 +561,11 @@ mod tests {
 
     #[test]
     fn struct_program_transforms() {
-        let out = run(
-            "(defstruct node next value)
+        let out = run("(defstruct node next value)
              (defun bump-all (n)
                (when n
                  (setf (node-value n) (1+ (node-value n)))
-                 (bump-all (node-next n))))",
-        );
+                 (bump-all (node-next n))))");
         let r = out.report("bump-all").unwrap();
         assert!(r.converted, "{}", r.feedback);
         assert!(out.source().contains("cri-enqueue"));

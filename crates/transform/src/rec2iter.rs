@@ -68,8 +68,7 @@ pub fn recursion_to_iteration(form: &Sexpr) -> Result<Sexpr, Rec2IterError> {
     {
         return Err(Rec2IterError::NotRecursive);
     }
-    let mut ctx =
-        Ctx { fname: parts.name, params: &parts.params, replaced: 0, temp_counter: 0 };
+    let mut ctx = Ctx { fname: parts.name, params: &parts.params, replaced: 0, temp_counter: 0 };
 
     // The body's last form is in tail position; earlier forms are not.
     let n = parts.body.len();
@@ -158,10 +157,9 @@ fn rewrite(form: &Sexpr, tail: bool, ctx: &mut Ctx) -> Result<Sexpr, Rec2IterErr
                     let mut v = Vec::with_capacity(bs.len());
                     for b in bs {
                         match b.as_list() {
-                            Some([name, init]) => v.push(Sexpr::List(vec![
-                                name.clone(),
-                                rewrite(init, false, ctx)?,
-                            ])),
+                            Some([name, init]) => {
+                                v.push(Sexpr::List(vec![name.clone(), rewrite(init, false, ctx)?]))
+                            }
                             _ => v.push(b.clone()),
                         }
                     }

@@ -82,9 +82,7 @@ fn rewrite(
         }
     }
 
-    Sexpr::List(
-        items.iter().map(|i| rewrite(heap, i, decls, rewrites, dismissed)).collect(),
-    )
+    Sexpr::List(items.iter().map(|i| rewrite(heap, i, decls, rewrites, dismissed)).collect())
 }
 
 /// If `name` is a single-letter place accessor, its `atomic-incf-cell`

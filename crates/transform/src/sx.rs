@@ -49,8 +49,7 @@ pub fn parse_defun(form: &Sexpr) -> Option<DefunParts<'_>> {
     let (name, rest) = args.split_first()?;
     let (params, body_all) = rest.split_first()?;
     let name = name.as_symbol()?;
-    let params: Option<Vec<&str>> =
-        params.as_list()?.iter().map(Sexpr::as_symbol).collect();
+    let params: Option<Vec<&str>> = params.as_list()?.iter().map(Sexpr::as_symbol).collect();
     let mut declares = Vec::new();
     let mut body = Vec::new();
     let mut in_decls = true;
@@ -174,7 +173,8 @@ mod tests {
         let src = "(defun f (x) (car x))";
         let f = curare_sexpr::parse_one(src).unwrap();
         let p = parse_defun(&f).unwrap();
-        let rebuilt = make_defun(p.name, &p.params, &p.declares, p.body.iter().map(|&b| b.clone()).collect());
+        let rebuilt =
+            make_defun(p.name, &p.params, &p.declares, p.body.iter().map(|&b| b.clone()).collect());
         assert_eq!(rebuilt.to_string(), src);
     }
 

@@ -49,27 +49,26 @@ fn main() {
             par_list = interp.heap().cons(interp.heap().sym_value(s), par_list);
         }
         let expect = {
-            let v = seq
-                .call("remq", &[seq.heap().sym_value("a"), seq_list])
-                .expect("sequential remq");
+            let v =
+                seq.call("remq", &[seq.heap().sym_value("a"), seq_list]).expect("sequential remq");
             seq.heap().display(v)
         };
         // Drive the DPS entry point on the pool: completion is
         // detected when every spawned invocation has finished.
         let dest = interp.heap().cons(Value::NIL, Value::NIL);
-        rt.run("remq-d", &[dest, interp.heap().sym_value("a"), par_list])
-            .expect("parallel remq-d");
+        rt.run("remq-d", &[dest, interp.heap().sym_value("a"), par_list]).expect("parallel remq-d");
         let got = interp.heap().display(interp.heap().cdr(dest).expect("dest cell"));
         assert_eq!(got, expect, "trial {trial}");
-        println!("trial {trial}: n = {n:5}  OK (result length {})", expect.split_whitespace().count());
+        println!(
+            "trial {trial}: n = {n:5}  OK (result length {})",
+            expect.split_whitespace().count()
+        );
     }
 
     // The wrapper also works (it allocates the destination itself) —
     // under sequential hooks here, since its internal call returns
     // before the pool's completion signal matters.
-    let v = seq
-        .load_str("(remq 'b '(a b a b c))")
-        .expect("wrapper call");
+    let v = seq.load_str("(remq 'b '(a b a b c))").expect("wrapper call");
     println!("\n(remq 'b '(a b a b c)) = {}", seq.heap().display(v));
     println!("OK");
 }

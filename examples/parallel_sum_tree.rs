@@ -64,9 +64,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     seq_interp.call("sum-tree", &[root2]).expect("sequential run");
     let seq_time = t0.elapsed();
-    let seq_value = seq_interp
-        .get_global_value("*total*")
-        .unwrap_or_else(|| panic!("global missing"));
+    let seq_value =
+        seq_interp.get_global_value("*total*").unwrap_or_else(|| panic!("global missing"));
     println!("sequential: {:?} (sum {})", seq_time, seq_interp.heap().display(seq_value));
 
     // Parallel runs across server counts.

