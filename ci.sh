@@ -17,4 +17,17 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== observability smoke: experiments sched --trace/--metrics"
+SMOKE_DIR="$(mktemp -d)"
+REPO_DIR="$(pwd)"
+(cd "$SMOKE_DIR" && "$REPO_DIR/target/release/experiments" sched \
+  --trace smoke_trace.json --metrics smoke_metrics.json > /dev/null)
+target/release/experiments validate "$SMOKE_DIR/smoke_trace.json" \
+  traceEvents displayTimeUnit otherData
+target/release/experiments validate "$SMOKE_DIR/smoke_metrics.json" \
+  schema label pool heap locks wall timeline
+target/release/experiments validate "$SMOKE_DIR/BENCH_sched.json" \
+  schema bench host_threads runs
+rm -rf "$SMOKE_DIR"
+
 echo "CI OK"

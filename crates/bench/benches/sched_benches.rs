@@ -36,6 +36,39 @@ fn sched_contention(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of instrumentation when no tracer is installed: the same
+/// tiny-grain pool run with tracing disabled (the shipping default)
+/// vs enabled. The disabled column must sit within noise of the
+/// pre-instrumentation baseline — `curare_obs::record` is one relaxed
+/// load and a branch per event (see `disabled_record_is_cheap` for
+/// the per-call bound; this measures the end-to-end <2% budget).
+fn trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    let n = 5_000i64;
+
+    for (label, traced) in [("disabled", false), ("enabled", true)] {
+        g.bench_function(label, |b| {
+            let tracer = traced.then(|| {
+                let t = curare::obs::Tracer::new(4);
+                curare::obs::install(Some(Arc::clone(&t)));
+                t
+            });
+            let (interp, _) = transformed_interp(&padded_walker(0));
+            let rt = CriRuntime::new(Arc::clone(&interp), 4);
+            b.iter(|| {
+                let l = int_list(&interp, n);
+                rt.run("padded", &[l]).expect("run");
+            });
+            drop(rt);
+            if tracer.is_some() {
+                curare::obs::install(None);
+            }
+        });
+    }
+    g.finish();
+}
+
 /// TLAB-buffered arena allocation vs the shared fetch-add path.
 fn tlab_allocation(c: &mut Criterion) {
     let mut g = c.benchmark_group("tlab_allocation");
@@ -65,5 +98,5 @@ fn tlab_allocation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sched_contention, tlab_allocation);
+criterion_group!(benches, sched_contention, trace_overhead, tlab_allocation);
 criterion_main!(benches);

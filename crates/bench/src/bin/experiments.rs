@@ -3,11 +3,21 @@
 //! EXPERIMENTS.md for recorded outputs).
 //!
 //! ```text
-//! cargo run --release -p curare-bench --bin experiments          # all
-//! cargo run --release -p curare-bench --bin experiments e4 e7   # some
+//! cargo run --release -p curare-bench --bin experiments           # all
+//! cargo run --release -p curare-bench --bin experiments e4 e7    # some
+//! cargo run ... experiments e8 --trace t.json --metrics m.json   # traced
+//! cargo run ... experiments validate FILE KEY...                 # CI gate
 //! ```
+//!
+//! `--trace` writes a Chrome `trace_event` document of every threaded
+//! run (open in `chrome://tracing` or Perfetto); `--metrics` writes
+//! the last threaded run's `curare-report/1` document with the
+//! concurrency timeline attached. `validate` parses a JSON file and
+//! checks the given top-level keys exist (exit 1 otherwise).
 
+use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use curare::analysis::headtail;
 use curare::lisp::{Interp, Lowerer, Value};
@@ -15,8 +25,20 @@ use curare::prelude::*;
 use curare::sim::formula;
 use curare_bench::*;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("validate") {
+        return validate_cmd(&args[1..]);
+    }
+    // The largest pool any experiment spawns is 8 servers; the tracer
+    // clamps larger lane indices to the external lane anyway.
+    let obs = match ObsSink::from_args(&mut args, 8) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("experiments: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -48,7 +70,7 @@ fn main() {
         e7_server_optimum();
     }
     if want("e8") {
-        e8_queue_bottleneck();
+        e8_queue_bottleneck(&obs);
     }
     if want("e9") {
         e9_dps_remq();
@@ -60,25 +82,59 @@ fn main() {
         e11_sequentializability();
     }
     if want("e12") {
-        e12_scheduler_ablation();
+        e12_scheduler_ablation(&obs);
     }
     if want("sched") {
-        sched_contention();
+        sched_contention(&obs);
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("experiments: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments validate FILE KEY...` — parse FILE as JSON and check
+/// every KEY exists at the top level. The CI smoke gate runs this on
+/// the emitted trace/metrics/BENCH documents.
+fn validate_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: experiments validate FILE [KEY...]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("experiments: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let keys: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    match curare::obs::validate_keys(&text, &keys) {
+        Ok(_) => {
+            println!("{path}: ok ({} required keys present)", keys.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiments: {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
-/// Print the scheduler-side counters of one run.
-fn print_stats(label: &str, dt: std::time::Duration, s: &PoolStats) {
-    println!(
-        "  {label:<18} {dt:>12?}  tasks {:>6}  chained {:>6}  batches {:>5}  \
-         peak-q {:>4}  waits {:>5}  tlab-refills {:>5}",
-        s.tasks,
-        s.chained_tasks,
-        s.batched_submits,
-        s.peak_queue,
-        s.sched_lock_waits,
-        s.tlab_refills
+/// Serialize one threaded run's counters as a single-line
+/// `curare-report/1` document (replacing the old ad-hoc stats line)
+/// and remember it as the `--metrics` snapshot.
+fn report_stats(obs: &ObsSink, label: &str, dt: Duration, rt: &CriRuntime) -> Json {
+    let tasks = rt.stats().tasks;
+    let secs = dt.as_secs_f64();
+    let report = rt.run_report(label).set(
+        "wall",
+        Json::obj().set("seconds", secs).set("tasks_per_sec", tasks as f64 / secs.max(1e-9)),
     );
+    println!("  {report}");
+    obs.note(report.clone());
+    report
 }
 
 fn banner(id: &str, title: &str, source: &str) {
@@ -334,7 +390,7 @@ fn e7_server_optimum() {
 }
 
 /// E8 — the central queue bottleneck (§4.1) and its remedy.
-fn e8_queue_bottleneck() {
+fn e8_queue_bottleneck(obs: &ObsSink) {
     banner("E8", "central-queue bottleneck vs invocation grain", "§4.1");
     // Simulated: spawn overhead as a fraction of head work.
     println!("simulated (d=4096, S=16, t=15):");
@@ -375,11 +431,11 @@ fn e8_queue_bottleneck() {
         let (interp, _) = transformed_interp(BARE_WALK);
         let rt = CriRuntime::with_mode(Arc::clone(&interp), 8, mode);
         let l = int_list(&interp, n);
-        let mut best = std::time::Duration::MAX;
+        let mut best = Duration::MAX;
         for _ in 0..3 {
             best = best.min(time_once(|| rt.run("w", &[l]).expect("run")));
         }
-        print_stats(label, best, &rt.stats());
+        report_stats(obs, label, best, &rt);
         rates.push((n + 1) as f64 / best.as_secs_f64());
     }
     println!("  sharded / central throughput: {:.2}x", rates[1] / rates[0].max(1e-9));
@@ -523,16 +579,16 @@ fn e11_sequentializability() {
 
 /// E12 (ablation) — the ordered server pool vs a work-stealing
 /// scheduler on the same transformed program.
-fn e12_scheduler_ablation() {
+fn e12_scheduler_ablation(obs: &ObsSink) {
     banner("E12", "ordered pool vs unordered pool (ablation)", "DESIGN.md");
     let n = 20_000i64;
     let (interp, _) = transformed_interp(SUM_WALK);
     interp.load_str("(defparameter *sum* 0)").unwrap();
-    let (dt_pool, stats_pool) = {
+    let (dt_pool, report_pool) = {
         let rt = CriRuntime::new(Arc::clone(&interp), 4);
         let l = int_list(&interp, n);
         let dt = time_once(|| rt.run("walk", &[l]).expect("pool run"));
-        (dt, rt.stats())
+        (dt, rt.run_report("e12-ordered"))
     };
     let sum_pool = interp.load_str("*sum*").unwrap();
     interp.load_str("(setq *sum* 0)").unwrap();
@@ -543,7 +599,8 @@ fn e12_scheduler_ablation() {
     };
     let sum_unord = interp.load_str("*sum*").unwrap();
     println!("  ordered pool:   {dt_pool:?} (sum {})", interp.heap().display(sum_pool));
-    print_stats("ordered stats", dt_pool, &stats_pool);
+    println!("  {report_pool}");
+    obs.note(report_pool);
     println!("  unordered pool: {dt_unord:?} (sum {})", interp.heap().display(sum_unord));
     assert_eq!(sum_pool, sum_unord);
     println!(
@@ -553,11 +610,13 @@ fn e12_scheduler_ablation() {
 }
 
 /// SCHED (ablation) — scheduler contention sweep: servers × mode on a
-/// tiny-grain workload, with the new scheduler counters.
-fn sched_contention() {
+/// tiny-grain workload, with the new scheduler counters. Writes every
+/// (mode, servers) cell's run report to `BENCH_sched.json`.
+fn sched_contention(obs: &ObsSink) {
     banner("SCHED", "scheduler contention sweep: central vs sharded", "DESIGN.md §4");
     let n = 20_000i64;
     println!("tiny-grain walk, n = {n}:");
+    let mut cells = Vec::new();
     for s in [1usize, 2, 4, 8] {
         let mut rates = Vec::new();
         for mode in [SchedMode::Central, SchedMode::Sharded] {
@@ -565,11 +624,20 @@ fn sched_contention() {
             let rt = CriRuntime::with_mode(Arc::clone(&interp), s, mode);
             let l = int_list(&interp, n);
             let dt = time_once(|| rt.run("padded", &[l]).expect("run"));
-            let label = format!("S={s} {mode:?}");
-            print_stats(&label, dt, &rt.stats());
+            let label = format!("sched-S{s}-{mode:?}");
+            cells.push(report_stats(obs, &label, dt, &rt));
             rates.push((n + 1) as f64 / dt.as_secs_f64());
         }
         println!("    sharded / central: {:.2}x", rates[1] / rates[0].max(1e-9));
+    }
+    let doc = Json::obj()
+        .set("schema", "curare-bench/1")
+        .set("bench", "sched")
+        .set("host_threads", hardware_threads())
+        .set("runs", Json::Arr(cells));
+    match std::fs::write("BENCH_sched.json", format!("{doc}\n")) {
+        Ok(()) => println!("  wrote BENCH_sched.json"),
+        Err(e) => eprintln!("  BENCH_sched.json: {e}"),
     }
     println!(
         "expected shape: the central mutex pays one lock + wakeup per task at every S;\n\

@@ -4,10 +4,12 @@
 //! benches) builds its inputs through this module so the binary and
 //! the benches measure the same programs.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use curare::lisp::{Interp, Value};
+use curare::obs;
 use curare::prelude::*;
 
 /// The paper's Figure 3: a simple recursive list walker.
@@ -142,6 +144,93 @@ pub fn hardware_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// `--trace` / `--metrics` plumbing for the experiment binaries.
+///
+/// Extracts the flags from the argument list, installs a
+/// process-global [`obs::Tracer`] when either is present, collects the
+/// most recent threaded run's report, and writes the requested files
+/// on [`ObsSink::finish`]: a Chrome `trace_event` document for
+/// `--trace`, and a `curare-report/1` document (with the concurrency
+/// timeline derived from the same trace) for `--metrics`.
+pub struct ObsSink {
+    tracer: Option<Arc<obs::Tracer>>,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    last_report: RefCell<Option<Json>>,
+}
+
+impl ObsSink {
+    /// Parse and remove `--trace PATH` / `--metrics PATH` from `args`.
+    /// When either is present a tracer sized for `servers` pool
+    /// servers is installed; every instrumented layer starts emitting.
+    pub fn from_args(args: &mut Vec<String>, servers: usize) -> Result<ObsSink, String> {
+        let mut trace_path = None;
+        let mut metrics_path = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace" | "--metrics" => {
+                    let flag = args.remove(i);
+                    if i >= args.len() {
+                        return Err(format!("{flag} needs a file path"));
+                    }
+                    let path = Some(args.remove(i));
+                    if flag == "--trace" {
+                        trace_path = path;
+                    } else {
+                        metrics_path = path;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        let tracer = (trace_path.is_some() || metrics_path.is_some()).then(|| {
+            let t = obs::Tracer::new(servers);
+            obs::install(Some(Arc::clone(&t)));
+            t
+        });
+        Ok(ObsSink { tracer, trace_path, metrics_path, last_report: RefCell::new(None) })
+    }
+
+    /// True when a tracer is installed for this sink.
+    pub fn active(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Note the report of the most recent threaded run; `--metrics`
+    /// snapshots the last one noted before [`ObsSink::finish`].
+    pub fn note(&self, report: Json) {
+        *self.last_report.borrow_mut() = Some(report);
+    }
+
+    /// Uninstall the tracer and write the requested files.
+    pub fn finish(self) -> Result<(), String> {
+        let write = |path: &str, doc: &Json| -> Result<(), String> {
+            std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))
+        };
+        let Some(tracer) = self.tracer else {
+            return Ok(());
+        };
+        obs::install(None);
+        let snaps = tracer.snapshot();
+        if let Some(path) = &self.trace_path {
+            write(path, &obs::chrome::chrome_trace(&snaps))?;
+            println!("wrote chrome trace to {path} ({} events recorded)", tracer.recorded());
+        }
+        if let Some(path) = &self.metrics_path {
+            let report = self
+                .last_report
+                .borrow_mut()
+                .take()
+                .unwrap_or_else(|| RunReport::new("no-threaded-run").into_json())
+                .set("timeline", Timeline::from_trace(&snaps).to_json());
+            write(path, &report)?;
+            println!("wrote metrics report to {path}");
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +260,49 @@ mod tests {
         let it = Interp::new();
         let l = int_list(&it, 5);
         assert_eq!(it.heap().display(l), "(5 4 3 2 1)");
+    }
+
+    #[test]
+    fn obs_sink_extracts_flags_and_writes_files() {
+        // No flags: inactive, args untouched.
+        let mut args = vec!["e8".to_string()];
+        let sink = ObsSink::from_args(&mut args, 2).unwrap();
+        assert!(!sink.active());
+        assert_eq!(args, ["e8"]);
+        sink.finish().unwrap();
+
+        // Missing path is an error (before any tracer install).
+        let mut bad = vec!["--trace".to_string()];
+        assert!(ObsSink::from_args(&mut bad, 2).is_err());
+
+        // Both flags: extracted, tracer installed, files written.
+        let dir = std::env::temp_dir();
+        let trace = dir.join("obs_sink_trace_test.json");
+        let metrics = dir.join("obs_sink_metrics_test.json");
+        let mut args = vec![
+            "sched".to_string(),
+            "--trace".to_string(),
+            trace.display().to_string(),
+            "--metrics".to_string(),
+            metrics.display().to_string(),
+        ];
+        let sink = ObsSink::from_args(&mut args, 2).unwrap();
+        assert!(sink.active());
+        assert_eq!(args, ["sched"]);
+        obs::record(obs::EventKind::TaskStart, 1);
+        obs::record(obs::EventKind::TaskStop, 1);
+        sink.note(
+            RunReport::new("test").section("pool", Json::obj().set("tasks", 1u64)).into_json(),
+        );
+        sink.finish().unwrap();
+        for (path, keys) in [
+            (&trace, &["traceEvents", "otherData"][..]),
+            (&metrics, &["schema", "label", "pool", "timeline"][..]),
+        ] {
+            let text = std::fs::read_to_string(path).unwrap();
+            obs::validate_keys(&text, keys).unwrap();
+            std::fs::remove_file(path).unwrap();
+        }
     }
 
     #[test]

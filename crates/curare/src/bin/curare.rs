@@ -11,6 +11,10 @@
 //!   --servers N      execute `--call` on an N-server CRI pool
 //!   --call  "(f …)"  transform the program, then run this entry
 //!   --sequential     skip transformation (plain interpreter)
+//!   --trace PATH     write a Chrome trace_event JSON of the pool run
+//!                    (open in chrome://tracing or Perfetto)
+//!   --metrics PATH   write the run's curare-report/1 JSON (pool,
+//!                    heap, lock-wait, and timeline sections)
 //! ```
 
 use std::io::{BufRead, Write};
@@ -78,6 +82,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut servers = 0usize;
     let mut call: Option<String> = None;
     let mut sequential = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -96,8 +102,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 sequential = true;
                 i += 1;
             }
+            "--trace" => {
+                trace_path = Some(args.get(i + 1).ok_or("--trace needs a file path")?.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                metrics_path = Some(args.get(i + 1).ok_or("--metrics needs a file path")?.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if (trace_path.is_some() || metrics_path.is_some()) && servers == 0 {
+        return Err("--trace/--metrics need a pool run (--servers N with --call)".into());
     }
 
     curare::lisp::set_thread_stack_budget(6 << 20);
@@ -130,6 +147,11 @@ fn run(args: &[String]) -> Result<(), String> {
         argv.push(interp.eval_str(&a.to_string()).map_err(|e| e.to_string())?);
     }
     if servers > 0 {
+        let tracer = (trace_path.is_some() || metrics_path.is_some()).then(|| {
+            let t = Tracer::new(servers);
+            curare::obs::install(Some(Arc::clone(&t)));
+            t
+        });
         let rt = CriRuntime::new(Arc::clone(&interp), servers);
         rt.run(fname, &argv).map_err(|e| e.to_string())?;
         let stats = rt.stats();
@@ -137,6 +159,23 @@ fn run(args: &[String]) -> Result<(), String> {
             ";; pool: {} tasks, peak queue {}, {} lock acquisitions",
             stats.tasks, stats.peak_queue, stats.lock_acquisitions
         );
+        if let Some(tracer) = tracer {
+            curare::obs::install(None);
+            let snaps = tracer.snapshot();
+            let write = |path: &str, doc: &Json| -> Result<(), String> {
+                std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))
+            };
+            if let Some(path) = &trace_path {
+                write(path, &curare::obs::chrome::chrome_trace(&snaps))?;
+                eprintln!(";; wrote chrome trace to {path}");
+            }
+            if let Some(path) = &metrics_path {
+                let report =
+                    rt.run_report(fname).set("timeline", Timeline::from_trace(&snaps).to_json());
+                write(path, &report)?;
+                eprintln!(";; wrote metrics report to {path}");
+            }
+        }
         for line in interp.take_output() {
             println!("{line}");
         }

@@ -15,6 +15,7 @@
 //! | [`transform`] | the restructurer: reorder/delay/locks/DPS/rec2iter/CRI |
 //! | [`runtime`] | the CRI server pool, lock table, queues, futures |
 //! | [`sim`] | deterministic timing model of CRI execution |
+//! | [`obs`] | event traces, metrics reports, concurrency timelines |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use curare_analysis as analysis;
 pub use curare_lisp as lisp;
+pub use curare_obs as obs;
 pub use curare_runtime as runtime;
 pub use curare_sexpr as sexpr;
 pub use curare_sim as sim;
@@ -55,6 +57,7 @@ pub mod prelude {
         analyze_function, analyze_program, DeclDb, FunctionAnalysis, Verdict,
     };
     pub use curare_lisp::{Heap, Interp, LispError, SequentialHooks, Value};
+    pub use curare_obs::{Json, RunReport, Timeline, Tracer};
     pub use curare_runtime::{CriRuntime, PoolStats, SchedMode, SpawnRuntime, UnorderedRuntime};
     pub use curare_sexpr::{parse_all, parse_one, pretty, Sexpr};
     pub use curare_sim::{simulate, FunctionModel, SimConfig};

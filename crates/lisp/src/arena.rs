@@ -196,6 +196,7 @@ impl<T: Default + Send + Sync> AtomicArena<T> {
 
     fn refill(&self) -> u64 {
         self.tlab_refills.fetch_add(1, Ordering::Relaxed);
+        curare_obs::record(curare_obs::EventKind::TlabRefill, TLAB_CHUNK);
         self.alloc_n(TLAB_CHUNK)
     }
 

@@ -1,0 +1,187 @@
+//! Chrome `trace_event` export.
+//!
+//! Converts per-lane ring snapshots into the JSON object format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//! directly: task executions and lock waits become complete (`"X"`)
+//! duration events on one track per server lane, everything else
+//! becomes thread-scoped instants. Timestamps are microseconds (the
+//! format's unit) as floats, so nanosecond resolution survives.
+
+use crate::event::EventKind;
+use crate::json::Json;
+use crate::ring::RingSnapshot;
+
+fn us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1_000.0
+}
+
+fn complete(name: &str, lane: usize, start_ns: u64, end_ns: u64, arg: u64) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("ph", "X")
+        .set("ts", us(start_ns))
+        .set("dur", us(end_ns.saturating_sub(start_ns)))
+        .set("pid", 1u64)
+        .set("tid", lane)
+        .set("args", Json::obj().set("arg", arg))
+}
+
+fn instant(name: &str, lane: usize, ts_ns: u64, arg: u64) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("ph", "i")
+        .set("ts", us(ts_ns))
+        .set("pid", 1u64)
+        .set("tid", lane)
+        .set("s", "t")
+        .set("args", Json::obj().set("arg", arg))
+}
+
+fn thread_name(lane: usize) -> Json {
+    let name = if lane == 0 { "external".to_string() } else { format!("server-{}", lane - 1) };
+    Json::obj()
+        .set("name", "thread_name")
+        .set("ph", "M")
+        .set("pid", 1u64)
+        .set("tid", lane)
+        .set("args", Json::obj().set("name", name))
+}
+
+/// Export `snapshots` (index == lane) as one Chrome-trace document.
+pub fn chrome_trace(snapshots: &[RingSnapshot]) -> Json {
+    let mut events = Vec::new();
+    let mut dropped_total = 0u64;
+    for (lane, snap) in snapshots.iter().enumerate() {
+        events.push(thread_name(lane));
+        dropped_total += snap.dropped;
+        // Pair begin/end kinds into complete events; a lane is one
+        // server, so pairs close in order.
+        let mut open_task: Option<(u64, u64)> = None;
+        let mut open_lock: Option<(u64, u64)> = None;
+        for e in &snap.events {
+            match e.kind {
+                EventKind::TaskStart => {
+                    if let Some((ts, arg)) = open_task.take() {
+                        // Stop was lost to wrap-around; close at the
+                        // next start so the track stays well-formed.
+                        events.push(complete("task", lane, ts, e.ts_ns, arg));
+                    }
+                    open_task = Some((e.ts_ns, e.arg));
+                }
+                EventKind::TaskStop => {
+                    if let Some((ts, arg)) = open_task.take() {
+                        events.push(complete("task", lane, ts, e.ts_ns, arg));
+                    }
+                }
+                EventKind::LockWaitBegin => open_lock = Some((e.ts_ns, e.arg)),
+                EventKind::LockWaitEnd => {
+                    if let Some((ts, arg)) = open_lock.take() {
+                        events.push(complete("lock_wait", lane, ts, e.ts_ns, arg));
+                    }
+                }
+                kind => events.push(instant(kind.name(), lane, e.ts_ns, e.arg)),
+            }
+        }
+        let last_ts = snap.events.last().map(|e| e.ts_ns).unwrap_or(0);
+        if let Some((ts, arg)) = open_task {
+            events.push(complete("task", lane, ts, last_ts, arg));
+        }
+        if let Some((ts, arg)) = open_lock {
+            events.push(complete("lock_wait", lane, ts, last_ts, arg));
+        }
+    }
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ns")
+        .set("otherData", Json::obj().set("dropped_events", dropped_total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn snap(events: Vec<(u64, EventKind, u64)>, dropped: u64) -> RingSnapshot {
+        RingSnapshot {
+            events: events
+                .into_iter()
+                .map(|(ts_ns, kind, arg)| Event { ts_ns, kind, arg })
+                .collect(),
+            dropped,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let snaps = vec![
+            snap(vec![(100, EventKind::Enqueue, 0)], 0),
+            snap(
+                vec![
+                    (200, EventKind::TaskStart, 7),
+                    (250, EventKind::LockWaitBegin, 3),
+                    (300, EventKind::LockWaitEnd, 50),
+                    (400, EventKind::TaskStop, 7),
+                ],
+                2,
+            ),
+        ];
+        let doc = chrome_trace(&snaps);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("chrome trace parses");
+        assert_eq!(parsed, doc, "print → parse is the identity");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread_name metadata + 1 instant + task X + lock_wait X.
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            parsed.get("otherData").unwrap().get("dropped_events").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn tasks_become_complete_events_with_duration() {
+        let snaps =
+            vec![snap(vec![(1_000, EventKind::TaskStart, 9), (3_500, EventKind::TaskStop, 9)], 0)];
+        let doc = chrome_trace(&snaps);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let task = events.iter().find(|e| e.get("name").unwrap().as_str() == Some("task")).unwrap();
+        assert_eq!(task.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(task.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(task.get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(task.get("tid").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn lanes_are_named_tracks() {
+        let doc = chrome_trace(&[snap(vec![], 0), snap(vec![], 0)]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["external", "server-0"]);
+    }
+
+    #[test]
+    fn lost_stop_closes_at_next_start() {
+        let snaps = vec![snap(
+            vec![
+                (10, EventKind::TaskStart, 1),
+                (30, EventKind::TaskStart, 2),
+                (50, EventKind::TaskStop, 2),
+            ],
+            0,
+        )];
+        let doc = chrome_trace(&snaps);
+        let tasks: Vec<_> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("task"))
+            .collect();
+        assert_eq!(tasks.len(), 2, "both tasks closed");
+    }
+}

@@ -1,0 +1,40 @@
+//! The trace clock: nanoseconds on a process-wide monotonic anchor.
+//!
+//! Every event in every ring shares one origin (the first call to
+//! [`now_ns`] in the process), so timestamps from different server
+//! lanes are directly comparable and Chrome-trace `ts` fields need no
+//! per-lane offset.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide anchor (monotonic, starts near
+/// zero on first use). Saturates at `u64::MAX` after ~584 years.
+#[inline]
+pub fn now_ns() -> u64 {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    let ns = anchor.elapsed().as_nanos();
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b - a >= 1_000_000, "2ms sleep must advance ≥ 1ms: {a} → {b}");
+    }
+}

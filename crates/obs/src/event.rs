@@ -1,0 +1,111 @@
+//! The trace event vocabulary.
+//!
+//! One variant per observable scheduler/heap transition; DESIGN.md's
+//! Observability section is the authoritative prose description. The
+//! set is closed on purpose — a stable vocabulary is what makes traces
+//! comparable across PRs — and versioned through
+//! [`crate::report::SCHEMA_TRACE`].
+
+/// What happened. Packed into the ring as a `u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A server began executing an invocation (`arg` = function id).
+    TaskStart = 0,
+    /// The invocation finished, successfully or not (`arg` = function
+    /// id).
+    TaskStop = 1,
+    /// An invocation was submitted to the scheduler (`arg` = call
+    /// site).
+    Enqueue = 2,
+    /// A singleton successor ran chained on its producing server,
+    /// skipping the queues (`arg` = call site).
+    Chain = 3,
+    /// A batch of buffered successors was published under one
+    /// notification (`arg` = batch size).
+    BatchFlush = 4,
+    /// A `touch` found its future unresolved and began waiting/helping
+    /// (`arg` = future id).
+    FutureBlock = 5,
+    /// A future was resolved or failed (`arg` = future id).
+    FutureResolve = 6,
+    /// A lock acquisition found the location held and began waiting
+    /// (`arg` = location hash).
+    LockWaitBegin = 7,
+    /// The contended acquisition completed (`arg` = wait nanoseconds).
+    LockWaitEnd = 8,
+    /// A heap arena refilled a thread-local allocation buffer
+    /// (`arg` = slots reserved).
+    TlabRefill = 9,
+}
+
+/// Number of distinct kinds (for per-kind count tables).
+pub const KIND_COUNT: usize = 10;
+
+impl EventKind {
+    /// The stable wire name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskStart => "task_start",
+            EventKind::TaskStop => "task_stop",
+            EventKind::Enqueue => "enqueue",
+            EventKind::Chain => "chain",
+            EventKind::BatchFlush => "batch_flush",
+            EventKind::FutureBlock => "future_block",
+            EventKind::FutureResolve => "future_resolve",
+            EventKind::LockWaitBegin => "lock_wait_begin",
+            EventKind::LockWaitEnd => "lock_wait_end",
+            EventKind::TlabRefill => "tlab_refill",
+        }
+    }
+
+    /// Decode a packed kind byte; `None` for out-of-range values.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => EventKind::TaskStart,
+            1 => EventKind::TaskStop,
+            2 => EventKind::Enqueue,
+            3 => EventKind::Chain,
+            4 => EventKind::BatchFlush,
+            5 => EventKind::FutureBlock,
+            6 => EventKind::FutureResolve,
+            7 => EventKind::LockWaitBegin,
+            8 => EventKind::LockWaitEnd,
+            9 => EventKind::TlabRefill,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event. `arg`'s meaning depends on the kind (see the
+/// variant docs); it is truncated to 56 bits by the ring's packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds on the [`crate::clock`] anchor.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (56 bits survive the ring).
+    pub arg: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_u8() {
+        for b in 0..KIND_COUNT as u8 {
+            let k = EventKind::from_u8(b).expect("in range");
+            assert_eq!(k as u8, b);
+        }
+        assert_eq!(EventKind::from_u8(KIND_COUNT as u8), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            (0..KIND_COUNT as u8).map(|b| EventKind::from_u8(b).unwrap().name()).collect();
+        assert_eq!(names.len(), KIND_COUNT);
+    }
+}

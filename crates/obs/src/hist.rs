@@ -1,0 +1,225 @@
+//! Lock-free log₂ duration histograms.
+//!
+//! Lock-contention profiling needs more than an event count — a 1 ns
+//! and a 10 ms wait must not look identical. [`AtomicHistogram`]
+//! records nanosecond durations into 64 power-of-two buckets with
+//! relaxed atomics (no locks on the contended path it measures), and
+//! summarizes as count / total / max / p50 / p95. Percentiles are
+//! bucket upper bounds, i.e. exact to within 2x — plenty for the
+//! "where did the time go" question the run report answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+const BUCKETS: usize = 64;
+
+/// Concurrent duration histogram; see module docs.
+pub struct AtomicHistogram {
+    /// `buckets[k]` counts samples with `floor(log2(ns)) == k - 1`
+    /// (bucket 0 holds 0 ns).
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A point-in-time summary of an [`AtomicHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub total_ns: u64,
+    /// Largest sample, ns.
+    pub max_ns: u64,
+    /// Median, ns (bucket upper bound; 0 when empty).
+    pub p50_ns: u64,
+    /// 95th percentile, ns (bucket upper bound; 0 when empty).
+    pub p95_ns: u64,
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `k`.
+fn bucket_top(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded duration, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Summarize now.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let pct = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (p * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (k, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_top(k);
+                }
+            }
+            bucket_top(BUCKETS - 1)
+        };
+        HistogramSummary {
+            count,
+            total_ns: self.total_ns(),
+            max_ns: self.max_ns(),
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSummary {
+    /// The run-report JSON section for this summary.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count)
+            .set("total_ns", self.total_ns)
+            .set("max_ns", self.max_ns)
+            .set("p50_ns", self.p50_ns)
+            .set("p95_ns", self.p95_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = AtomicHistogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary { count: 0, total_ns: 0, max_ns: 0, p50_ns: 0, p95_ns: 0 });
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let h = AtomicHistogram::new();
+        h.record(100);
+        h.record(1000);
+        h.record(10_000_000);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 10_001_100);
+        assert_eq!(s.max_ns, 10_000_000);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_bounds_within_2x() {
+        let h = AtomicHistogram::new();
+        for _ in 0..95 {
+            h.record(1_000); // ~2^10
+        }
+        for _ in 0..5 {
+            h.record(1_000_000); // ~2^20
+        }
+        let s = h.summary();
+        assert!(s.p50_ns >= 1_000 && s.p50_ns < 2_048, "p50 {}", s.p50_ns);
+        assert!(s.p95_ns >= 1_000 && s.p95_ns < 2_048, "p95 covers the 95th sample");
+        assert_eq!(s.max_ns, 1_000_000);
+    }
+
+    #[test]
+    fn p95_lands_in_the_tail_bucket() {
+        let h = AtomicHistogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1 << 30);
+        }
+        let s = h.summary();
+        assert!(s.p95_ns >= 1 << 30, "p95 {}", s.p95_ns);
+    }
+
+    #[test]
+    fn zero_durations_hit_bucket_zero() {
+        let h = AtomicHistogram::new();
+        h.record(0);
+        let s = h.summary();
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_on_count_and_total() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let s = h.summary();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.total_ns, 4 * (9_999 * 10_000 / 2));
+    }
+
+    #[test]
+    fn json_section_has_all_keys() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        let j = h.summary().to_json();
+        for key in ["count", "total_ns", "max_ns", "p50_ns", "p95_ns"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -53,6 +53,7 @@ impl FutureTable {
         if let Some(slot) = self.slot(id) {
             *slot.state.lock() = FutureState::Done(v);
             slot.cv.notify_all();
+            curare_obs::record(curare_obs::EventKind::FutureResolve, id);
         }
     }
 
@@ -61,6 +62,7 @@ impl FutureTable {
         if let Some(slot) = self.slot(id) {
             *slot.state.lock() = FutureState::Failed(e);
             slot.cv.notify_all();
+            curare_obs::record(curare_obs::EventKind::FutureResolve, id);
         }
     }
 

@@ -17,10 +17,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
+use std::time::Instant;
 
 use curare_lisp::sync::{Condvar, Mutex};
 
 use curare_lisp::Value;
+use curare_obs::{AtomicHistogram, EventKind, HistogramSummary};
 
 /// A lockable location: cell identity (value bits) plus field code
 /// (0 = car, 1 = cdr, 2+k = struct field k).
@@ -123,6 +125,10 @@ pub struct LockTable {
     shards: Vec<Mutex<HashMap<Location, Arc<LockEntry>>>>,
     acquisitions: AtomicU64,
     contended: AtomicU64,
+    /// Wait durations of contended acquisitions. A bare event count
+    /// cannot tell a 1 ns collision from a 10 ms convoy; the
+    /// histogram (p50/p95/max and total contended time) can.
+    wait_hist: AtomicHistogram,
 }
 
 fn shard_of(loc: &Location) -> usize {
@@ -141,6 +147,7 @@ impl LockTable {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            wait_hist: AtomicHistogram::new(),
         }
     }
 
@@ -158,7 +165,7 @@ impl LockTable {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let entry = self.entry(loc);
         // Record contention (probe without blocking first).
-        {
+        let contended = {
             let st = entry.state.lock();
             let me = std::thread::current().id();
             let free = if exclusive {
@@ -166,14 +173,26 @@ impl LockTable {
             } else {
                 st.writer.is_none() || st.writer == Some(me)
             };
-            if !free {
-                self.contended.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+            !free
+        };
+        // Only the contended path pays for a timestamp pair; the
+        // uncontended fast path stays clock-free.
+        let wait_start = if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            curare_obs::record(EventKind::LockWaitBegin, loc_hash(&loc));
+            Some(Instant::now())
+        } else {
+            None
+        };
         if exclusive {
             entry.lock_exclusive();
         } else {
             entry.lock_shared();
+        }
+        if let Some(t0) = wait_start {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.wait_hist.record(ns);
+            curare_obs::record(EventKind::LockWaitEnd, ns);
         }
     }
 
@@ -201,6 +220,30 @@ impl LockTable {
     pub fn contended(&self) -> u64 {
         self.contended.load(Ordering::Relaxed)
     }
+
+    /// Total nanoseconds spent waiting on contended acquisitions.
+    pub fn wait_total_ns(&self) -> u64 {
+        self.wait_hist.total_ns()
+    }
+
+    /// Longest single contended wait, ns.
+    pub fn wait_max_ns(&self) -> u64 {
+        self.wait_hist.max_ns()
+    }
+
+    /// Snapshot of the contended-wait histogram (count, total, max,
+    /// p50, p95).
+    pub fn wait_summary(&self) -> HistogramSummary {
+        self.wait_hist.summary()
+    }
+}
+
+/// A stable 64-bit identity for a location, used as the
+/// `lock_wait_begin` event payload (the raw cell bits would leak heap
+/// addresses into traces; the hash is enough to correlate waits on one
+/// location).
+fn loc_hash(loc: &Location) -> u64 {
+    loc.cell.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(loc.field as u64)
 }
 
 impl Default for LockTable {
@@ -316,6 +359,45 @@ mod tests {
         let t = LockTable::new();
         assert!(!t.unlock(loc(3, 0), true));
         assert!(!t.unlock(loc(3, 0), false));
+    }
+
+    #[test]
+    fn contended_waits_record_duration() {
+        let t = Arc::new(LockTable::new());
+        let l = loc(13, 0);
+        t.lock(l, true);
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            t2.lock(l, true);
+            assert!(t2.unlock(l, true));
+        });
+        // Hold the lock for ≥ 15ms *after* the other thread has been
+        // seen waiting, so the recorded duration has a known floor.
+        while t.contended() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        assert!(t.unlock(l, true));
+        h.join().unwrap();
+        let s = t.wait_summary();
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= 10_000_000, "a ~15ms wait must not look like 1ns: {s:?}");
+        assert_eq!(s.max_ns, s.total_ns, "single wait: max == total");
+        assert!(s.p50_ns >= 10_000_000, "p50 covers the only sample");
+        assert_eq!(t.wait_total_ns(), s.total_ns);
+    }
+
+    #[test]
+    fn uncontended_locks_record_no_wait_time() {
+        let t = LockTable::new();
+        let l = loc(21, 1);
+        t.lock(l, true);
+        assert!(t.unlock(l, true));
+        t.lock(l, false);
+        assert!(t.unlock(l, false));
+        assert_eq!(t.wait_summary().count, 0);
+        assert_eq!(t.wait_total_ns(), 0);
+        assert_eq!(t.wait_max_ns(), 0);
     }
 
     #[test]

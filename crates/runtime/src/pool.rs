@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 
 use curare_lisp::sync::{Condvar, Mutex};
 use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
+use curare_obs::{EventKind, Json, RunReport};
 
 use crate::futures::FutureTable;
 use crate::locktable::{Location, LockTable};
@@ -70,6 +71,12 @@ pub struct PoolStats {
     pub sched_lock_waits: u64,
     /// Thread-local allocation buffer refills in the heap arenas.
     pub tlab_refills: u64,
+    /// Total nanoseconds spent waiting in contended `cri-lock`
+    /// acquisitions (the count alone cannot tell a 1 ns collision
+    /// from a 10 ms convoy).
+    pub lock_wait_total_ns: u64,
+    /// Longest single contended lock wait, ns.
+    pub lock_wait_max_ns: u64,
 }
 
 /// Which work-distribution structure the pool runs on.
@@ -242,12 +249,14 @@ impl Shared {
             // pending count (the producer skips `finish_one`), so the
             // fast path touches no shared counter at all; the caller
             // tallies the chain statistic locally.
+            curare_obs::record(EventKind::Chain, tasks[0].site as u64);
             return tasks.pop();
         }
         let n = tasks.len();
         self.pending.fetch_add(n as u64, Ordering::AcqRel);
         self.sched.push_batch(std::mem::take(tasks));
         self.batched_submits.fetch_add(1, Ordering::Relaxed);
+        curare_obs::record(EventKind::BatchFlush, n as u64);
         self.notify_workers(n);
         None
     }
@@ -344,6 +353,7 @@ impl RuntimeHooks for CriHooks {
         if self.shared.aborting.load(Ordering::Acquire) {
             return Ok(());
         }
+        curare_obs::record(EventKind::Enqueue, site as u64);
         if let Some(task) = self.try_batch(Task { fid, args, site, future: None }) {
             self.shared.submit_now(task);
         }
@@ -357,6 +367,7 @@ impl RuntimeHooks for CriHooks {
             self.shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
             return Ok(fut);
         }
+        curare_obs::record(EventKind::Enqueue, 0);
         if let Some(task) = self.try_batch(Task { fid, args, site: 0, future: Some(id) }) {
             self.shared.submit_now(task);
         }
@@ -371,6 +382,9 @@ impl RuntimeHooks for CriHooks {
             // the Multilisp discipline.
             Val::Future(id) => {
                 self.flush_batch();
+                if !self.shared.futures.is_resolved(id) {
+                    curare_obs::record(EventKind::FutureBlock, id);
+                }
                 loop {
                     if let Some(result) = self.shared.futures.try_get(id) {
                         return result;
@@ -489,7 +503,7 @@ impl CriRuntime {
                 std::thread::Builder::new()
                     .name(format!("cri-server-{i}"))
                     .stack_size(SERVER_STACK)
-                    .spawn(move || server_loop(&interp, &shared))
+                    .spawn(move || server_loop(&interp, &shared, i))
                     .expect("spawn server thread")
             })
             .collect();
@@ -566,7 +580,47 @@ impl CriRuntime {
             batched_submits: self.shared.batched_submits.load(Ordering::Relaxed),
             sched_lock_waits: self.shared.sched_waits.load(Ordering::Relaxed),
             tlab_refills: self.interp.heap().tlab_refills(),
+            lock_wait_total_ns: self.shared.locks.wait_total_ns(),
+            lock_wait_max_ns: self.shared.locks.wait_max_ns(),
         }
+    }
+
+    /// Machine-readable run report (`curare-report/1`): the pool
+    /// counters, the heap occupancy, and the lock-wait histogram in
+    /// one JSON document. `label` names the run in the report header.
+    pub fn run_report(&self, label: &str) -> Json {
+        let stats = self.stats();
+        let pool = Json::obj()
+            .set("servers", self.servers)
+            .set(
+                "mode",
+                match self.shared.mode {
+                    SchedMode::Central => "central",
+                    SchedMode::Sharded => "sharded",
+                },
+            )
+            .set("tasks", stats.tasks)
+            .set("peak_queue", stats.peak_queue)
+            .set("chained_tasks", stats.chained_tasks)
+            .set("batched_submits", stats.batched_submits)
+            .set("sched_lock_waits", stats.sched_lock_waits)
+            .set("tlab_refills", stats.tlab_refills);
+        let hs = self.interp.heap().stats();
+        let heap = Json::obj()
+            .set("conses", hs.conses)
+            .set("slots", hs.slots)
+            .set("floats", hs.floats)
+            .set("strings", hs.strings)
+            .set("tlab_refills", stats.tlab_refills);
+        let locks = Json::obj()
+            .set("acquisitions", stats.lock_acquisitions)
+            .set("contended", stats.lock_contended)
+            .set("wait", self.shared.locks.wait_summary().to_json());
+        RunReport::new(label)
+            .section("pool", pool)
+            .section("heap", heap)
+            .section("locks", locks)
+            .into_json()
     }
 }
 
@@ -585,10 +639,12 @@ impl Drop for CriRuntime {
     }
 }
 
-fn server_loop(interp: &Interp, shared: &Shared) {
+fn server_loop(interp: &Interp, shared: &Shared, index: usize) {
     // Servers get a large native stack; let the evaluator use most of
     // it for any residual non-tail recursion in task bodies.
     curare_lisp::eval::set_thread_stack_budget(SERVER_STACK - (4 << 20));
+    // Trace lane: server i records into ring i + 1 (0 is external).
+    curare_obs::set_lane(index + 1);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -628,7 +684,9 @@ fn execute_task(interp: &Interp, shared: &Shared, task: Task, tally: &mut Tally)
     if sharded {
         BATCH.with(|b| b.borrow_mut().push(BatchFrame { key, tasks: take_spare() }));
     }
+    curare_obs::record(EventKind::TaskStart, fid as u64);
     let result = interp.call_fid_owned(fid, args);
+    curare_obs::record(EventKind::TaskStop, fid as u64);
     tally.executed += 1;
     let mut chained = None;
     if sharded {
