@@ -48,6 +48,12 @@ fn thread_name(lane: usize) -> Json {
 }
 
 /// Export `snapshots` (index == lane) as one Chrome-trace document.
+///
+/// Begin/end pairing assumes one writer per lane. Lane 0 is shared by
+/// every thread that never calls `set_lane`, so if multiple such
+/// threads emit `TaskStart`/`TaskStop` or lock-wait pairs, the lane-0
+/// track shows mis-paired intervals; its durations are only meaningful
+/// for a single external thread.
 pub fn chrome_trace(snapshots: &[RingSnapshot]) -> Json {
     let mut events = Vec::new();
     let mut dropped_total = 0u64;

@@ -8,10 +8,12 @@
 //! dropped; recent history is always intact, which is the right bias
 //! for post-mortem traces.
 //!
-//! Timestamps within one ring are strictly increasing: the recorder
-//! bumps a per-ring high-water mark, so even the multi-writer external
-//! lane yields a totally ordered event sequence (per-slot order ==
-//! timestamp order).
+//! Timestamps within one ring are strictly increasing and unique: the
+//! recorder bumps a per-ring high-water mark. Timestamp reservation
+//! and slot claim are two separate atomic steps, so concurrent writers
+//! can land in slots slightly out of timestamp order;
+//! [`TraceRing::snapshot`] sorts the survivors by timestamp, restoring
+//! the total order without losing events.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -103,24 +105,23 @@ impl TraceRing {
         let n = head.min(cap);
         let mut dropped = head - n;
         let mut events = Vec::with_capacity(n as usize);
-        let mut last = 0u64;
         for i in (head - n)..head {
             let slot = &self.slots[(i % cap) as usize];
             let word = slot.word.load(Ordering::Acquire);
             let ts = slot.ts.load(Ordering::Relaxed);
-            let kind = EventKind::from_u8((word >> 56) as u8);
-            match kind {
-                // Keep the strict-order guarantee even under a racing
-                // writer: a slot rewritten mid-snapshot shows a newer
-                // or torn timestamp and is dropped rather than emitted
-                // out of order.
-                Some(kind) if ts > last => {
-                    last = ts;
-                    events.push(Event { ts_ns: ts, kind, arg: word & ARG_MASK });
-                }
-                _ => dropped += 1,
+            match EventKind::from_u8((word >> 56) as u8) {
+                Some(kind) => events.push(Event { ts_ns: ts, kind, arg: word & ARG_MASK }),
+                // Slot claimed but not yet written (or mid-rewrite
+                // with an undecodable kind): drop it, count it.
+                None => dropped += 1,
             }
         }
+        // Concurrent writers reserve timestamps and claim slots in two
+        // separate atomic steps, so slot order can deviate from
+        // timestamp order by a few entries. Timestamps are unique per
+        // ring (high-water CAS), so sorting restores the strict total
+        // order without dropping valid events.
+        events.sort_unstable_by_key(|e| e.ts_ns);
         RingSnapshot { events, dropped }
     }
 }

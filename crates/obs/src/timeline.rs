@@ -79,6 +79,13 @@ impl Timeline {
     /// server, which runs one invocation at a time). A start left
     /// unmatched — snapshot mid-task, or the stop overwritten by
     /// wrap-around — closes at the lane's last timestamp.
+    ///
+    /// **Caveat:** pairing assumes one writer per lane. Lane 0 is
+    /// shared by every thread that never calls `set_lane` (e.g.
+    /// `UnorderedRuntime`/`SpawnRuntime` workers), so its start/stop
+    /// events from different threads interleave and would pair into
+    /// bogus intervals; lane-0 intervals are only meaningful when a
+    /// single external thread records task events.
     pub fn from_trace(snapshots: &[RingSnapshot]) -> Timeline {
         let mut intervals = Vec::new();
         for snap in snapshots {

@@ -77,6 +77,14 @@ thread_local! {
 /// Returns the previously installed tracer, if any. Instrumentation
 /// in every layer starts/stops emitting immediately; threads refresh
 /// their cached handle on the next event.
+///
+/// **Retention:** after `install(None)` the disabled fast path never
+/// touches the per-thread cache, so a thread that recorded before but
+/// never records again keeps its `Arc<Tracer>` (and the rings' memory)
+/// alive until the thread exits or a later enabled record refreshes
+/// it. Fine for run-then-exit experiment binaries; long-lived
+/// processes cycling many tracers should expect the previous tracer's
+/// memory to linger until every recording thread emits once more.
 pub fn install(tracer: Option<Arc<Tracer>>) -> Option<Arc<Tracer>> {
     let mut cur = CURRENT.lock().unwrap_or_else(PoisonError::into_inner);
     ENABLED.store(tracer.is_some(), Ordering::Release);
