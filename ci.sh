@@ -30,4 +30,20 @@ target/release/experiments validate "$SMOKE_DIR/BENCH_sched.json" \
   schema bench host_threads runs
 rm -rf "$SMOKE_DIR"
 
+echo "== diagnostics smoke: curare check exit contract"
+# Shipped examples are clean (exit 0)…
+target/release/curare check examples/lisp/*.lisp > /dev/null
+# …and the seeded shared-root fixture is a C002 error (exit 2).
+rc=0; target/release/curare check examples/lisp/fixtures/shared-root.lisp > /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "expected exit 2 on the shared-root fixture, got $rc" >&2; exit 1
+fi
+
+echo "== sanitizer smoke: cross-check oracle over the experiment programs"
+cargo test -q -p curare-check --features sanitize
+cargo build --release -p curare-bench --features sanitize
+target/release/experiments sanitize > /dev/null
+# Rebuild without the feature so later steps use the unsanitized binary.
+cargo build --release -p curare-bench
+
 echo "CI OK"

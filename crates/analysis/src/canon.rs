@@ -75,8 +75,11 @@ impl Canonicalizer {
     }
 }
 
-/// All letters a declared accessor name could denote.
-fn resolve_letters(heap: &Heap, name: &str) -> Vec<Accessor> {
+/// All letters a declared accessor name could denote. Public so
+/// `curare check` can flag declarations that resolve to nothing
+/// (C003): `from_decls` skips such pairs silently, which silently
+/// disables canonicalization for the structure they meant to cover.
+pub fn resolve_letters(heap: &Heap, name: &str) -> Vec<Accessor> {
     let mut out = Vec::new();
     match name {
         "car" => out.push(Accessor::Car),

@@ -160,21 +160,26 @@ mod tests {
     use curare_lisp::{Heap, Lowerer};
     use curare_sexpr::{parse_all, parse_one};
 
-    fn analyze(src: &str, with_inverse: bool) -> ConflictReport {
+    fn analyze_with_decl(src: &str, decl: Option<&str>) -> ConflictReport {
         let heap = Heap::new();
         let mut lw = Lowerer::new(&heap);
         let prog = lw.lower_program(&parse_all(src).unwrap()).unwrap();
         let func = prog.funcs.iter().find(|f| f.is_recursive()).expect("a recursive function");
         let accesses = collect_accesses(func);
         let transfers = transfer_functions(func);
-        let canon = if with_inverse {
-            let mut db = DeclDb::new();
-            db.add_toplevel(&parse_one("(curare-declare (inverse succ pred))").unwrap()).unwrap();
-            Canonicalizer::from_decls(&db, &heap)
-        } else {
-            Canonicalizer::identity()
+        let canon = match decl {
+            Some(d) => {
+                let mut db = DeclDb::new();
+                db.add_toplevel(&parse_one(d).unwrap()).unwrap();
+                Canonicalizer::from_decls(&db, &heap)
+            }
+            None => Canonicalizer::identity(),
         };
         conflicts_with_canon(&accesses, &transfers, &canon)
+    }
+
+    fn analyze(src: &str, with_inverse: bool) -> ConflictReport {
+        analyze_with_decl(src, with_inverse.then_some("(curare-declare (inverse succ pred))"))
     }
 
     const BACKWARD_WRITER: &str = "
@@ -225,6 +230,83 @@ mod tests {
     (walk (dl-succ n))))";
         let canonical = analyze(src, true);
         assert!(canonical.is_conflict_free(), "{canonical:?}");
+    }
+
+    #[test]
+    fn double_backward_write_cancels_at_distance_two() {
+        // Writing two nodes back: invocation i's destination is, in
+        // invocation i-2's coordinates, succ.succ.pred.pred.value —
+        // both inverse pairs must cancel for the alias to surface.
+        let src = "
+(defstruct dl succ pred value)
+(defun walk (n)
+  (when n
+    (when (dl-pred n)
+      (setf (dl-value (dl-pred (dl-pred n))) (dl-value n)))
+    (walk (dl-succ n))))";
+        let plain = analyze(src, false);
+        assert!(plain.is_conflict_free(), "plain prefix test must miss it: {plain:?}");
+        let canonical = analyze(src, true);
+        assert_eq!(canonical.min_distance, Some(2), "{canonical:?}");
+    }
+
+    #[test]
+    fn mixed_cons_struct_paths_cancel_through_fields() {
+        // The alias detour runs through struct fields (succ.pred
+        // cancels) but the conflicting location is a cons word hanging
+        // off the struct: the canonical paths mix field and car
+        // letters.
+        let src = "
+(defstruct dl succ pred items)
+(defun walk (n)
+  (when n
+    (print (car (dl-items n)))
+    (when (dl-pred n)
+      (setf (car (dl-items (dl-pred n))) 0))
+    (walk (dl-succ n))))";
+        let plain = analyze(src, false);
+        assert!(
+            !plain.conflicts.iter().any(|c| c.kind == DependencyKind::WriteRead),
+            "plain analysis should miss the mixed-path alias: {plain:?}"
+        );
+        let canonical = analyze(src, true);
+        assert_eq!(canonical.min_distance, Some(1), "{canonical:?}");
+        assert!(
+            canonical.conflicts.iter().any(|c| c.kind == DependencyKind::WriteRead),
+            "{canonical:?}"
+        );
+    }
+
+    #[test]
+    fn partial_cancellation_must_not_merge_distinct_cells() {
+        // Recursing two succ steps while writing one node back: the
+        // written nodes are the odd positions, the read ones even.
+        // τ^d ∘ write = succ^{2d}.pred.value cancels only partially
+        // (to succ^{2d-1}.value ≠ value), so canonicalization must
+        // *fail* to merge the paths and report conflict-freedom.
+        let src = "
+(defstruct dl succ pred value)
+(defun walk (n)
+  (when n
+    (when (dl-pred n)
+      (setf (dl-value (dl-pred n)) 0))
+    (print (dl-value n))
+    (walk (dl-succ (dl-succ n)))))";
+        let canonical = analyze(src, true);
+        assert!(canonical.is_conflict_free(), "{canonical:?}");
+    }
+
+    #[test]
+    fn unresolvable_inverse_pair_leaves_paths_uncanonicalized() {
+        // (inverse fwd bwd) names accessors no struct defines: the
+        // canonicalizer resolves nothing and silently degenerates to
+        // the identity, so the backward-write alias is missed. This is
+        // the blind spot `curare check` C003 reports.
+        let degenerate =
+            analyze_with_decl(BACKWARD_WRITER, Some("(curare-declare (inverse fwd bwd))"));
+        assert!(degenerate.is_conflict_free(), "{degenerate:?}");
+        let proper = analyze(BACKWARD_WRITER, true);
+        assert_eq!(proper.min_distance, Some(1));
     }
 
     #[test]

@@ -160,6 +160,16 @@ impl DeclDb {
         self.reorderable.contains(op)
     }
 
+    /// Every op declared reorderable, sorted for stable output. A
+    /// declaration naming an op that no function ever calls is inert —
+    /// `add_clause` accepts it silently — so `curare check` walks this
+    /// list against the program to flag stale declarations (C004).
+    pub fn reorderable_ops(&self) -> Vec<&str> {
+        let mut ops: Vec<&str> = self.reorderable.iter().map(String::as_str).collect();
+        ops.sort_unstable();
+        ops
+    }
+
     /// Is `op` an unordered-structure insert?
     pub fn is_unordered_insert(&self, op: &str) -> bool {
         self.unordered_insert.contains(op)
@@ -280,6 +290,19 @@ mod tests {
         assert!(db.add_toplevel(&parse_one("(other-form)").unwrap()).is_err());
         // no-alias at top level is rejected (needs a function scope).
         assert!(db.add_toplevel(&parse_one("(curare-declare (no-alias l))").unwrap()).is_err());
+    }
+
+    #[test]
+    fn stale_reorderable_declaration_is_accepted_but_visible() {
+        // The database itself cannot know whether `frob` is ever
+        // defined or called — add_clause accepts it without complaint
+        // (this is the gap `curare check` C004 closes). What it must
+        // provide is an enumerable, stable view of what was declared.
+        let mut db = DeclDb::new();
+        db.add_toplevel(&parse_one("(curare-declare (reorderable frob +))").unwrap()).unwrap();
+        assert!(db.is_reorderable("frob"), "never-used op accepted silently");
+        assert_eq!(db.reorderable_ops(), vec!["+", "frob"]);
+        assert!(DeclDb::new().reorderable_ops().is_empty());
     }
 
     #[test]

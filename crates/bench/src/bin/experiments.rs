@@ -7,6 +7,7 @@
 //! cargo run --release -p curare-bench --bin experiments e4 e7    # some
 //! cargo run ... experiments e8 --trace t.json --metrics m.json   # traced
 //! cargo run ... experiments validate FILE KEY...                 # CI gate
+//! cargo run ... --features sanitize ... experiments sanitize     # oracle
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` document of every threaded
@@ -29,6 +30,9 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("validate") {
         return validate_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sanitize") {
+        return sanitize_cmd(&args[1..]);
     }
     // The largest pool any experiment spawns is 8 servers; the tracer
     // clamps larger lane indices to the external lane anyway.
@@ -120,6 +124,96 @@ fn validate_cmd(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `experiments sanitize [--json]` — run the heap-access sanitizer
+/// over the experiment programs under both schedulers and cross-check
+/// every observed conflicting pair against the static prediction (the
+/// soundness oracle; see DESIGN.md). Exits 0 iff every run is sound.
+#[cfg(feature = "sanitize")]
+fn sanitize_cmd(args: &[String]) -> ExitCode {
+    use curare::check::sanitized_run;
+    use curare::runtime::SchedMode;
+
+    let json = args.iter().any(|a| a == "--json");
+    type ArgsFor = fn(&Interp, i64) -> Vec<Value>;
+    fn int_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n)]
+    }
+    fn remq_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![interp.heap().sym_value("a"), sym_list(interp, n as usize, &["a", "b", "c"])]
+    }
+    let fk = distance_k_writer(2);
+    let programs: [(&str, &str, &str, i64, ArgsFor); 4] = [
+        ("figure-5", FIGURE_5, "f", 512, int_args),
+        ("rotate", ROTATE, "rotate", 512, int_args),
+        ("distance-2", &fk, "fk", 512, int_args),
+        ("remq", FIGURE_12_REMQ, "remq", 256, remq_args),
+    ];
+    let mut all_sound = true;
+    if !json {
+        println!("heap-access sanitizer vs static conflict prediction (4 servers):");
+    }
+    for (name, src, entry, n, argf) in programs {
+        for mode in [SchedMode::Central, SchedMode::Sharded] {
+            let mode_name = match mode {
+                SchedMode::Central => "central",
+                SchedMode::Sharded => "sharded",
+            };
+            let check = match sanitized_run(src, entry, 4, mode, |i| argf(i, n)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("experiments: sanitize {name}/{mode_name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            all_sound &= check.sound();
+            if json {
+                let doc = Json::obj()
+                    .set("program", name)
+                    .set("mode", mode_name)
+                    .set("check", check.to_json());
+                println!("{doc}");
+            } else {
+                println!(
+                    "  {name:>12} {mode_name:>8}: sound={} precision={:.2} events={} pairs={}{}",
+                    check.sound(),
+                    check.precision(),
+                    check.events,
+                    check.pairs_checked,
+                    if check.capped { " (capped)" } else { "" }
+                );
+                for u in &check.unpredicted {
+                    println!("    UNPREDICTED loc={:#x} key={:?} invs={:?}", u.loc, u.key, u.invs);
+                }
+            }
+        }
+    }
+    if !json {
+        let verdict = if all_sound {
+            "sound (no observed-but-unpredicted unordered pairs)"
+        } else {
+            "UNSOUND — the static analysis missed an observed conflict"
+        };
+        println!("overall: {verdict}");
+    }
+    if all_sound {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Without the `sanitize` feature the interpreter records nothing, so
+/// the cross-check would be vacuously "sound"; refuse instead of
+/// pretending.
+#[cfg(not(feature = "sanitize"))]
+fn sanitize_cmd(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "experiments: the heap-access sanitizer is compiled out; rebuild with\n  \
+         cargo run --release -p curare-bench --features sanitize --bin experiments -- sanitize"
+    );
+    ExitCode::FAILURE
 }
 
 /// Serialize one threaded run's counters as a single-line

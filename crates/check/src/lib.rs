@@ -1,0 +1,32 @@
+//! `curare-check` — static diagnostics and the dynamic soundness
+//! oracle for the Curare conflict analysis.
+//!
+//! Two halves:
+//!
+//! - [`collect::check_source`] runs every static analysis the
+//!   transformation pipeline relies on and reports its conservative
+//!   assumptions and silent degradations as structured
+//!   [`diag::Diagnostic`]s with stable codes (C001–C006), rendered as
+//!   human text or `curare-diag/1` JSON. The `curare check`
+//!   subcommand is a thin wrapper over this with the exit contract
+//!   0 = clean, 1 = warnings, 2 = errors.
+//!
+//! - [`sanitizer`] validates the analysis itself: with the `sanitize`
+//!   feature, every heap-word access in a CRI run is recorded
+//!   (per-invocation, per-server), the happens-before order is
+//!   reconstructed from spawn/touch events, and every cross-invocation
+//!   conflicting pair is diffed against the statically predicted
+//!   conflict set. An observed-but-unpredicted unordered pair is a
+//!   soundness failure; predicted-but-never-observed pairs are
+//!   reported as a precision ratio.
+
+pub mod collect;
+pub mod diag;
+pub mod sanitizer;
+
+pub use collect::{check_source, CheckError};
+pub use diag::{Code, Diagnostic, DiagnosticSet, Severity};
+pub use sanitizer::{cross_check, predicted_pairs, CrossCheck, PredictedPairs, UnpredictedPair};
+
+#[cfg(feature = "sanitize")]
+pub use sanitizer::sanitized_run;

@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! curare analyze  FILE              # per-function §6-style feedback
+//! curare check FILE... [--json]    # structured diagnostics (C001–C006)
 //! curare transform FILE            # transformed source on stdout
 //! curare run FILE [options]        # load + evaluate, optionally on a pool
 //! curare repl                      # interactive mini-Lisp
+//!
+//! check exits 0 when every file is clean, 1 when any warning was
+//! reported, 2 on any error (or unreadable/unparsable input); --json
+//! prints one curare-diag/1 line per file instead of prose.
 //!
 //! run options:
 //!   --servers N      execute `--call` on an N-server CRI pool
@@ -27,11 +32,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        // check owns its exit code (0 clean / 1 warnings / 2 errors).
+        Some("check") => return check(&args[1..]),
         Some("transform") => transform(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("repl") => repl(),
         _ => {
-            eprintln!("usage: curare <analyze|transform|run|repl> [FILE] [options]");
+            eprintln!("usage: curare <analyze|check|transform|run|repl> [FILE] [options]");
             return ExitCode::from(2);
         }
     };
@@ -60,6 +67,39 @@ fn analyze(args: &[String]) -> Result<(), String> {
         print!("{}", a.explain());
     }
     Ok(())
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    if files.is_empty() {
+        eprintln!("usage: curare check FILE... [--json]");
+        return ExitCode::from(2);
+    }
+    let mut worst = 0u8;
+    for path in files {
+        let set =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")).and_then(|src| {
+                curare::check::check_source(path, &src).map_err(|e| format!("{path}: {e}"))
+            });
+        match set {
+            Ok(set) => {
+                if json {
+                    println!("{}", set.to_json());
+                } else {
+                    print!("{}", set.render());
+                }
+                worst = worst.max(set.exit_code());
+            }
+            Err(e) => {
+                // Unreadable or unparsable input: nothing to diagnose,
+                // and certainly not clean.
+                eprintln!("curare: {e}");
+                worst = 2;
+            }
+        }
+    }
+    ExitCode::from(worst)
 }
 
 fn transform(args: &[String]) -> Result<(), String> {

@@ -16,6 +16,7 @@
 //! | [`runtime`] | the CRI server pool, lock table, queues, futures |
 //! | [`sim`] | deterministic timing model of CRI execution |
 //! | [`obs`] | event traces, metrics reports, concurrency timelines |
+//! | [`check`] | `curare check` diagnostics and the heap-access sanitizer |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 //! ```
 
 pub use curare_analysis as analysis;
+pub use curare_check as check;
 pub use curare_lisp as lisp;
 pub use curare_obs as obs;
 pub use curare_runtime as runtime;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use curare_analysis::{
         analyze_function, analyze_program, DeclDb, FunctionAnalysis, Verdict,
     };
+    pub use curare_check::{check_source, Diagnostic, DiagnosticSet};
     pub use curare_lisp::{Heap, Interp, LispError, SequentialHooks, Value};
     pub use curare_obs::{Json, RunReport, Timeline, Tracer};
     pub use curare_runtime::{CriRuntime, PoolStats, SchedMode, SpawnRuntime, UnorderedRuntime};

@@ -121,6 +121,11 @@ impl Heap {
     /// Allocate `(cons car cdr)`. Slots come from the calling
     /// thread's allocation buffer, so concurrent servers don't bounce
     /// the arena counter's cache line on every cons.
+    ///
+    /// Initialization stores (here and in [`Heap::make_struct`]) are
+    /// not sanitizer-instrumented: a fresh cell is invisible to other
+    /// invocations until its value is published through an already
+    /// instrumented write.
     pub fn cons(&self, car: Value, cdr: Value) -> Value {
         let id = self.conses.alloc_tlab();
         let cell = self.conses.get(id);
@@ -131,11 +136,13 @@ impl Heap {
 
     /// Read the `car` of cons `id`.
     pub fn car_of(&self, id: ConsId) -> Value {
+        curare_obs::record_access(id << 1, false, false, 0);
         Value::from_bits(self.conses.get(id).car.load(Ordering::Acquire))
     }
 
     /// Read the `cdr` of cons `id`.
     pub fn cdr_of(&self, id: ConsId) -> Value {
+        curare_obs::record_access(id << 1 | 1, false, false, 1);
         Value::from_bits(self.conses.get(id).cdr.load(Ordering::Acquire))
     }
 
@@ -161,6 +168,7 @@ impl Heap {
     pub fn set_car(&self, v: Value, new: Value) -> Result<()> {
         match v.decode() {
             Val::Cons(id) => {
+                curare_obs::record_access(id << 1, true, false, 0);
                 self.conses.get(id).car.store(new.bits(), Ordering::Release);
                 Ok(())
             }
@@ -172,6 +180,7 @@ impl Heap {
     pub fn set_cdr(&self, v: Value, new: Value) -> Result<()> {
         match v.decode() {
             Val::Cons(id) => {
+                curare_obs::record_access(id << 1 | 1, true, false, 1);
                 self.conses.get(id).cdr.store(new.bits(), Ordering::Release);
                 Ok(())
             }
@@ -272,7 +281,14 @@ impl Heap {
                 if idx >= len {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
-                Ok(Value::from_bits(self.slots.get(base + idx as u64).load(Ordering::Acquire)))
+                let slot = base + idx as u64;
+                curare_obs::record_access(
+                    curare_obs::sanitize::STRUCT_LOC_BIT | slot,
+                    false,
+                    false,
+                    2 + idx as u64,
+                );
+                Ok(Value::from_bits(self.slots.get(slot).load(Ordering::Acquire)))
             }
             _ => Err(self.type_error("struct", v, "struct field read")),
         }
@@ -286,7 +302,14 @@ impl Heap {
                 if idx >= len {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
-                self.slots.get(base + idx as u64).store(new.bits(), Ordering::Release);
+                let slot = base + idx as u64;
+                curare_obs::record_access(
+                    curare_obs::sanitize::STRUCT_LOC_BIT | slot,
+                    true,
+                    false,
+                    2 + idx as u64,
+                );
+                self.slots.get(slot).store(new.bits(), Ordering::Release);
                 Ok(())
             }
             _ => Err(self.type_error("struct", v, "struct field write")),
@@ -299,15 +322,28 @@ impl Heap {
     /// updates; concurrent updates never lose increments.
     pub fn atomic_add_field(&self, cell: Value, field: u32, delta: i64) -> Result<Value> {
         let slot: &AtomicU64 = match (cell.decode(), field) {
-            (Val::Cons(id), 0) => &self.conses.get(id).car,
-            (Val::Cons(id), 1) => &self.conses.get(id).cdr,
+            (Val::Cons(id), 0) => {
+                curare_obs::record_access(id << 1, true, true, 0);
+                &self.conses.get(id).car
+            }
+            (Val::Cons(id), 1) => {
+                curare_obs::record_access(id << 1 | 1, true, true, 1);
+                &self.conses.get(id).cdr
+            }
             (Val::Struct(id), f) if f >= 2 => {
                 let (_, base, len) = self.struct_header(id);
                 let idx = (f - 2) as usize;
                 if idx >= len {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
-                self.slots.get(base + idx as u64)
+                let s = base + idx as u64;
+                curare_obs::record_access(
+                    curare_obs::sanitize::STRUCT_LOC_BIT | s,
+                    true,
+                    true,
+                    f as u64,
+                );
+                self.slots.get(s)
             }
             _ => return Err(self.type_error("locatable cell", cell, "atomic-incf-cell")),
         };

@@ -244,6 +244,19 @@ impl Interp {
         self.global_cell(sym).store(v.bits(), Ordering::Release);
     }
 
+    /// Snapshot every bound global as `(symbol, value)` pairs, in no
+    /// particular order. Unbound cells (declared but never set) are
+    /// skipped. Used by `curare check` to walk `defparameter` roots
+    /// for SAPP violations.
+    pub fn globals_snapshot(&self) -> Vec<(SymId, Value)> {
+        self.globals
+            .read()
+            .iter()
+            .map(|(&sym, cell)| (sym, Value::from_bits(cell.load(Ordering::Acquire))))
+            .filter(|&(_, v)| v != Value::UNBOUND)
+            .collect()
+    }
+
     /// Atomically add `delta` to integer global `sym` (the §3.2.3
     /// reordering device); returns the new value.
     pub fn atomic_incf_global(&self, sym: SymId, delta: i64) -> Result<Value> {

@@ -40,6 +40,7 @@ pub mod hist;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod sanitize;
 pub mod timeline;
 pub mod tracer;
 
@@ -49,5 +50,9 @@ pub use hist::{AtomicHistogram, HistogramSummary};
 pub use json::Json;
 pub use report::{validate_keys, RunReport, SCHEMA_REPORT, SCHEMA_TRACE};
 pub use ring::{RingSnapshot, TraceRing};
+pub use sanitize::{
+    current_invocation, install_sanitizer, new_invocation, record_access, record_spawn,
+    record_touch, sanitizing_enabled, set_invocation, AccessLog, SanEvent, SanRecord,
+};
 pub use timeline::Timeline;
 pub use tracer::{install, record, set_lane, tracing_enabled, Tracer};

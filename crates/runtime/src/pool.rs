@@ -354,7 +354,11 @@ impl RuntimeHooks for CriHooks {
             return Ok(());
         }
         curare_obs::record(EventKind::Enqueue, site as u64);
-        if let Some(task) = self.try_batch(Task { fid, args, site, future: None }) {
+        let inv = curare_obs::new_invocation();
+        if inv != 0 {
+            curare_obs::record_spawn(inv, None);
+        }
+        if let Some(task) = self.try_batch(Task { fid, args, site, future: None, inv }) {
             self.shared.submit_now(task);
         }
         Ok(())
@@ -368,7 +372,11 @@ impl RuntimeHooks for CriHooks {
             return Ok(fut);
         }
         curare_obs::record(EventKind::Enqueue, 0);
-        if let Some(task) = self.try_batch(Task { fid, args, site: 0, future: Some(id) }) {
+        let inv = curare_obs::new_invocation();
+        if inv != 0 {
+            curare_obs::record_spawn(inv, Some(id));
+        }
+        if let Some(task) = self.try_batch(Task { fid, args, site: 0, future: Some(id), inv }) {
             self.shared.submit_now(task);
         }
         Ok(fut)
@@ -387,6 +395,7 @@ impl RuntimeHooks for CriHooks {
                 }
                 loop {
                     if let Some(result) = self.shared.futures.try_get(id) {
+                        curare_obs::record_touch(id);
                         return result;
                     }
                     if self.shared.shutdown.load(Ordering::Acquire) {
@@ -538,7 +547,11 @@ impl CriRuntime {
         self.shared.aborting.store(false, Ordering::Release);
         *self.shared.error.lock() = None;
 
-        self.shared.submit_now(Task { fid, args: args.to_vec(), site: 0, future: None });
+        let inv = curare_obs::new_invocation();
+        if inv != 0 {
+            curare_obs::record_spawn(inv, None);
+        }
+        self.shared.submit_now(Task { fid, args: args.to_vec(), site: 0, future: None, inv });
         self.wait_idle();
         match self.shared.error.lock().take() {
             Some(e) => Err(e),
@@ -678,14 +691,19 @@ fn server_loop(interp: &Interp, shared: &Shared, index: usize) {
 /// flushed before the chain-ending `finish_one`, so they are exact by
 /// the time `run` observes zero pending tasks.
 fn execute_task(interp: &Interp, shared: &Shared, task: Task, tally: &mut Tally) -> Option<Task> {
-    let Task { fid, args, future, .. } = task;
+    let Task { fid, args, future, inv, .. } = task;
     let sharded = shared.mode == SchedMode::Sharded;
     let key = shared as *const Shared as usize;
     if sharded {
         BATCH.with(|b| b.borrow_mut().push(BatchFrame { key, tasks: take_spare() }));
     }
     curare_obs::record(EventKind::TaskStart, fid as u64);
+    // Bind the sanitizer invocation for the duration of the call,
+    // saving the caller's binding: a helping touch executes tasks
+    // nested inside another invocation's body.
+    let prev_inv = curare_obs::set_invocation(inv);
     let result = interp.call_fid_owned(fid, args);
+    curare_obs::set_invocation(prev_inv);
     curare_obs::record(EventKind::TaskStop, fid as u64);
     tally.executed += 1;
     let mut chained = None;

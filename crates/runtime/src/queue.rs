@@ -37,6 +37,8 @@ pub struct Task {
     pub site: usize,
     /// Future to resolve with the invocation's value, if any.
     pub future: Option<u64>,
+    /// Sanitizer invocation id (0 when no sanitizer is installed).
+    pub inv: u64,
 }
 
 /// Sites at or above this index share the top bitmask bit.
@@ -335,7 +337,7 @@ mod tests {
     use super::*;
 
     fn task(site: usize, tag: i64) -> Task {
-        Task { fid: 0, args: vec![Value::int(tag)], site, future: None }
+        Task { fid: 0, args: vec![Value::int(tag)], site, future: None, inv: 0 }
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub struct FunctionReport {
     pub converted: bool,
     /// §6-style feedback text.
     pub feedback: String,
+    /// Provenance for diagnostics: true when order-sensitive post-call
+    /// statements survived delay but future synchronization refused
+    /// them, leaving the function unconverted (C005).
+    pub unsynced_tail: bool,
 }
 
 /// The whole transformation's output.
@@ -217,7 +221,14 @@ impl Curare {
             Verdict::NotRecursive => {
                 return Ok((
                     vec![current],
-                    FunctionReport { name, verdict, devices, converted: false, feedback },
+                    FunctionReport {
+                        name,
+                        verdict,
+                        devices,
+                        converted: false,
+                        feedback,
+                        unsynced_tail: false,
+                    },
                 ));
             }
             Verdict::Blocked => {
@@ -240,6 +251,7 @@ impl Curare {
                             feedback: format!(
                                 "{feedback}  applied destination-passing style (provenance-safe)\n"
                             ),
+                            unsynced_tail: false,
                         };
                         return Ok((vec![cri.form, dps.wrapper], report));
                     }
@@ -264,13 +276,21 @@ impl Curare {
                                 "{feedback}  applied reduction restructuring (operator {})\n",
                                 fold.operator
                             ),
+                            unsynced_tail: false,
                         };
                         return Ok((vec![cri.form, fold.wrapper], report));
                     }
                 }
                 return Ok((
                     vec![current],
-                    FunctionReport { name, verdict, devices, converted: false, feedback },
+                    FunctionReport {
+                        name,
+                        verdict,
+                        devices,
+                        converted: false,
+                        feedback,
+                        unsynced_tail: false,
+                    },
                 ));
             }
             Verdict::ConflictFree | Verdict::NeedsSynchronization { .. } => {}
@@ -313,6 +333,7 @@ impl Curare {
                                     feedback: format!(
                                         "{feedback}  post-call conflicting statements could not be synchronized\n"
                                     ),
+                                    unsynced_tail: true,
                                 },
                             ));
                         }
@@ -327,7 +348,14 @@ impl Curare {
                 devices.push(Device::Cri(cri.sites));
                 Ok((
                     vec![cri.form],
-                    FunctionReport { name, verdict, devices, converted: true, feedback },
+                    FunctionReport {
+                        name,
+                        verdict,
+                        devices,
+                        converted: true,
+                        feedback,
+                        unsynced_tail: false,
+                    },
                 ))
             }
             Err(e) => Ok((
@@ -338,6 +366,7 @@ impl Curare {
                     devices,
                     converted: false,
                     feedback: format!("{feedback}  CRI conversion failed: {e}\n"),
+                    unsynced_tail: false,
                 },
             )),
         }

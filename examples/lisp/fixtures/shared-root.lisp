@@ -1,0 +1,7 @@
+;; A deliberately mis-shaped global: both fields of the root cons
+;; point at the same list, so the reachable graph is a DAG, not a
+;; tree. `curare check` reports this as C002 (single access path
+;; property violation) and exits 2 — the conflict analysis's
+;; tree-shape premise does not hold for data reachable from this
+;; root. Used by ci.sh as the seeded-violation fixture.
+(defparameter *shared* (let ((x (list 1 2))) (cons x x)))
