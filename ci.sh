@@ -25,10 +25,20 @@ REPO_DIR="$(pwd)"
 target/release/experiments validate "$SMOKE_DIR/smoke_trace.json" \
   traceEvents displayTimeUnit otherData
 target/release/experiments validate "$SMOKE_DIR/smoke_metrics.json" \
-  schema label pool heap locks wall timeline
+  schema label pool heap locks vm wall timeline
 target/release/experiments validate "$SMOKE_DIR/BENCH_sched.json" \
   schema bench host_threads runs
 rm -rf "$SMOKE_DIR"
+
+echo "== engine differential: tree-walker vs bytecode VM on the examples"
+target/release/experiments differential examples/lisp/*.lisp examples/lisp/fixtures/*.lisp
+
+echo "== engine sweep: experiments interp writes a valid BENCH_interp.json"
+SWEEP_DIR="$(mktemp -d)"
+(cd "$SWEEP_DIR" && "$REPO_DIR/target/release/experiments" interp > /dev/null)
+target/release/experiments validate "$SWEEP_DIR/BENCH_interp.json" \
+  schema bench host_threads runs
+rm -rf "$SWEEP_DIR"
 
 echo "== diagnostics smoke: curare check exit contract"
 # Shipped examples are clean (exit 0)…

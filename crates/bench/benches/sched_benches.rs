@@ -102,6 +102,41 @@ fn sanitizer_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tree-walking evaluator vs the register bytecode VM on the
+/// invocation hot path: tiny-grain tail recursion (the E8 shape) and
+/// call-heavy non-tail recursion, single-threaded so only the engine
+/// differs. `experiments interp` records the same comparison without
+/// the criterion dependency.
+fn eval_vs_vm(c: &mut Criterion) {
+    use curare::lisp::{Engine, Interp, Value};
+
+    let mut g = c.benchmark_group("eval_vs_vm");
+    g.sample_size(20);
+
+    let cases: [(&str, &str, &str); 3] = [
+        ("bare_walk", "(defun w (l) (when l (w (cdr l))))", "w"),
+        ("sum", "(defun s (l acc) (if l (s (cdr l) (+ acc (car l))) acc))", "s"),
+        ("padded_8", &padded_walker(8), "padded"),
+    ];
+    let n = 5_000i64;
+    for (name, src, entry) in cases {
+        for (label, engine) in [("tree", Engine::Tree), ("vm", Engine::Vm)] {
+            g.bench_with_input(BenchmarkId::new(name, label), &engine, |b, &engine| {
+                let interp = Interp::new();
+                interp.set_engine(Some(engine));
+                interp.load_str(src).expect("program loads");
+                let args: Vec<Value> = if entry == "s" {
+                    vec![int_list(&interp, n), Value::int(0)]
+                } else {
+                    vec![int_list(&interp, n)]
+                };
+                b.iter(|| interp.call(entry, &args).expect("call"))
+            });
+        }
+    }
+    g.finish();
+}
+
 /// TLAB-buffered arena allocation vs the shared fetch-add path.
 fn tlab_allocation(c: &mut Criterion) {
     let mut g = c.benchmark_group("tlab_allocation");
@@ -131,5 +166,12 @@ fn tlab_allocation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sched_contention, trace_overhead, sanitizer_overhead, tlab_allocation);
+criterion_group!(
+    benches,
+    sched_contention,
+    trace_overhead,
+    sanitizer_overhead,
+    eval_vs_vm,
+    tlab_allocation
+);
 criterion_main!(benches);

@@ -8,6 +8,8 @@
 //! cargo run ... experiments e8 --trace t.json --metrics m.json   # traced
 //! cargo run ... experiments validate FILE KEY...                 # CI gate
 //! cargo run ... --features sanitize ... experiments sanitize     # oracle
+//! cargo run ... experiments interp [--json]       # tree vs VM sweep
+//! cargo run ... experiments differential FILE...  # engine parity gate
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` document of every threaded
@@ -33,6 +35,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("sanitize") {
         return sanitize_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("interp") {
+        return interp_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("differential") {
+        return differential_cmd(&args[1..]);
     }
     // The largest pool any experiment spawns is 8 servers; the tracer
     // clamps larger lane indices to the external lane anyway.
@@ -123,6 +131,158 @@ fn validate_cmd(args: &[String]) -> ExitCode {
             eprintln!("experiments: {path}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `experiments interp [--json]` — time the tree-walking evaluator
+/// against the bytecode VM on tiny-grain, E8-shaped microbenchmarks
+/// (the per-invocation work the §4.1 queue-bottleneck analysis is
+/// about) and write the sweep to `BENCH_interp.json`
+/// (`curare-bench/1`). The CI gate validates the document's keys.
+fn interp_cmd(args: &[String]) -> ExitCode {
+    use curare::lisp::Engine;
+
+    let json = args.iter().any(|a| a == "--json");
+    const SUM: &str = "(defun s (l acc) (if l (s (cdr l) (+ acc (car l))) acc))";
+    const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+    type ArgsFor = fn(&Interp, i64) -> Vec<Value>;
+    fn list_arg(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n)]
+    }
+    fn list_acc_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n), Value::int(0)]
+    }
+    fn int_arg(_: &Interp, n: i64) -> Vec<Value> {
+        vec![Value::int(n)]
+    }
+    fn remq_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![interp.heap().sym_value("a"), sym_list(interp, n as usize, &["a", "b", "c"])]
+    }
+    let padded = padded_walker(8);
+    let programs: [(&str, &str, &str, i64, ArgsFor); 5] = [
+        ("bare-walk", "(defun w (l) (when l (w (cdr l))))", "w", 20_000, list_arg),
+        ("sum", SUM, "s", 20_000, list_acc_args),
+        ("padded-8", &padded, "padded", 20_000, list_arg),
+        ("fib", FIB, "fib", 20, int_arg),
+        ("remq", FIGURE_12_REMQ, "remq", 2_000, remq_args),
+    ];
+
+    // Best-of-5 of one entry call (deep recursion needs the big
+    // stack for the tree-walker's native frames).
+    let time_engine = |src: &str, entry: &str, n: i64, argf: ArgsFor, engine: Engine| {
+        with_big_stack(|| {
+            let interp = Interp::new();
+            interp.set_engine(Some(engine));
+            interp.set_recursion_limit(10_000_000);
+            interp.load_str(src).expect("program loads");
+            let args = argf(&interp, n);
+            interp.call(entry, &args).expect("warmup call");
+            let mut best = Duration::MAX;
+            for _ in 0..5 {
+                best = best.min(time_once(|| {
+                    interp.call(entry, &args).expect("timed call");
+                }));
+            }
+            best
+        })
+    };
+
+    if !json {
+        println!("interpreter engines: tree-walker vs bytecode VM (best of 5)");
+        println!("  {:>12} {:>8} {:>12} {:>12} {:>9}", "program", "n", "tree", "vm", "speedup");
+    }
+    let mut runs = Vec::new();
+    for (name, src, entry, n, argf) in programs {
+        let tree = time_engine(src, entry, n, argf, Engine::Tree);
+        let vm = time_engine(src, entry, n, argf, Engine::Vm);
+        let speedup = tree.as_secs_f64() / vm.as_secs_f64().max(1e-12);
+        let row = Json::obj()
+            .set("program", name)
+            .set("n", n as u64)
+            .set("tree_ns", tree.as_nanos() as u64)
+            .set("vm_ns", vm.as_nanos() as u64)
+            .set("speedup", speedup);
+        if json {
+            println!("{row}");
+        } else {
+            println!("  {name:>12} {n:>8} {tree:>12?} {vm:>12?} {speedup:>8.2}x");
+        }
+        runs.push(row);
+    }
+    let doc = Json::obj()
+        .set("schema", "curare-bench/1")
+        .set("bench", "interp")
+        .set("host_threads", hardware_threads())
+        .set("runs", Json::Arr(runs));
+    match std::fs::write("BENCH_interp.json", format!("{doc}\n")) {
+        Ok(()) => {
+            if !json {
+                println!("  wrote BENCH_interp.json");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiments: BENCH_interp.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments differential FILE...` — load every file under the
+/// tree-walker and the bytecode VM in fresh interpreters and require
+/// identical outcomes: same result (or error), same printed output,
+/// and the same global bindings (rendered through the heap, so any
+/// structure reachable from a global is compared too). The CI gate
+/// runs this over `examples/lisp/*.lisp`.
+fn differential_cmd(args: &[String]) -> ExitCode {
+    use curare::lisp::Engine;
+
+    if args.is_empty() {
+        eprintln!("usage: experiments differential FILE...");
+        return ExitCode::from(2);
+    }
+    let run_engine = |src: &str, engine: Engine| -> String {
+        with_big_stack(|| {
+            let interp = Interp::new();
+            interp.set_engine(Some(engine));
+            let outcome = match interp.load_str(src) {
+                Ok(v) => format!("ok: {}", interp.heap().display(v)),
+                Err(e) => format!("err: {e}"),
+            };
+            let output = interp.take_output().join("\n");
+            let mut globals: Vec<String> = interp
+                .globals_snapshot()
+                .into_iter()
+                .map(|(sym, v)| {
+                    format!("{}={}", interp.heap().sym_name(sym), interp.heap().display(v))
+                })
+                .collect();
+            globals.sort();
+            format!("{outcome}\noutput: {output}\nglobals: {}", globals.join(" "))
+        })
+    };
+    let mut all_ok = true;
+    for path in args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("experiments: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let tree = run_engine(&src, Engine::Tree);
+        let vm = run_engine(&src, Engine::Vm);
+        if tree == vm {
+            println!("{path}: engines agree ({})", tree.lines().next().unwrap_or(""));
+        } else {
+            all_ok = false;
+            eprintln!("{path}: ENGINE DIVERGENCE\n--- tree ---\n{tree}\n--- vm ---\n{vm}");
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -19,7 +19,9 @@
 //!   --trace PATH     write a Chrome trace_event JSON of the pool run
 //!                    (open in chrome://tracing or Perfetto)
 //!   --metrics PATH   write the run's curare-report/1 JSON (pool,
-//!                    heap, lock-wait, and timeline sections)
+//!                    heap, lock-wait, vm, and timeline sections)
+//!   --engine E       invocation engine: 'vm' (default; register
+//!                    bytecode) or 'tree' (the tree-walking oracle)
 //! ```
 
 use std::io::{BufRead, Write};
@@ -124,9 +126,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut sequential = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut engine: Option<curare::lisp::Engine> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--engine" => {
+                engine = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("vm") => curare::lisp::Engine::Vm,
+                    Some("tree") | Some("eval-tree") => curare::lisp::Engine::Tree,
+                    _ => return Err("--engine needs 'vm' or 'tree'".into()),
+                });
+                i += 2;
+            }
             "--servers" => {
                 servers = args
                     .get(i + 1)
@@ -159,6 +170,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     curare::lisp::set_thread_stack_budget(6 << 20);
     let interp = Arc::new(Interp::new());
+    if let Some(e) = engine {
+        // Process-wide so pool server threads inherit it too.
+        curare::lisp::set_default_engine(e);
+        interp.set_engine(Some(e));
+    }
     let loaded_src = if sequential {
         src
     } else {

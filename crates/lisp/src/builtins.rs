@@ -3,11 +3,27 @@
 //! These receive already-evaluated arguments. Control-flow forms and
 //! place-taking forms (`and`, `or`, `atomic-incf`) are handled in the
 //! evaluator itself.
+//!
+//! Builtins are generic over [`BuiltinCx`] so both execution engines —
+//! the tree-walking [`Evaluator`](crate::eval::Evaluator) and the
+//! bytecode [`Vm`](crate::vm::Vm) — share one implementation, and
+//! `funcall`/`apply`/`mapcar` re-enter whichever engine invoked them
+//! (preserving its recursion-depth budget).
 
 use crate::ast::BuiltinOp;
 use crate::error::{LispError, Result};
-use crate::eval::Evaluator;
-use crate::value::{Val, Value};
+use crate::interp::Interp;
+use crate::value::{FuncId, Val, Value};
+
+/// The evaluation context a builtin may call back into: the shared
+/// interpreter plus a way to apply a function value (for
+/// `funcall`/`apply`/`mapcar`) on the caller's own engine.
+pub trait BuiltinCx {
+    /// The interpreter this evaluation runs against.
+    fn cx_interp(&self) -> &Interp;
+    /// Apply function-table entry `id` to `args` on this engine.
+    fn call_func(&mut self, id: FuncId, args: Vec<Value>) -> Result<Value>;
+}
 
 /// A number during arithmetic: integer until a float appears.
 #[derive(Clone, Copy, Debug)]
@@ -16,27 +32,27 @@ enum Num {
     Float(f64),
 }
 
-fn type_err(ev: &Evaluator, expected: &'static str, got: Value, op: &'static str) -> LispError {
-    LispError::Type { expected, got: ev.interp().heap().display(got), op }
+fn type_err(interp: &Interp, expected: &'static str, got: Value, op: &'static str) -> LispError {
+    LispError::Type { expected, got: interp.heap().display(got), op }
 }
 
-fn as_num(ev: &Evaluator, v: Value, op: &'static str) -> Result<Num> {
+fn as_num(interp: &Interp, v: Value, op: &'static str) -> Result<Num> {
     match v.decode() {
         Val::Int(i) => Ok(Num::Int(i)),
-        Val::Float(_) => Ok(Num::Float(ev.interp().heap().float_val(v)?)),
-        _ => Err(type_err(ev, "number", v, op)),
+        Val::Float(_) => Ok(Num::Float(interp.heap().float_val(v)?)),
+        _ => Err(type_err(interp, "number", v, op)),
     }
 }
 
-fn num_value(ev: &Evaluator, n: Num, op: &'static str) -> Result<Value> {
+fn num_value(interp: &Interp, n: Num, op: &'static str) -> Result<Value> {
     match n {
         Num::Int(i) => Value::int_checked(i).ok_or(LispError::Overflow(op)),
-        Num::Float(x) => Ok(ev.interp().heap().float(x)),
+        Num::Float(x) => Ok(interp.heap().float(x)),
     }
 }
 
-fn fold_arith(
-    ev: &Evaluator,
+pub(crate) fn fold_arith(
+    interp: &Interp,
     vals: &[Value],
     op: &'static str,
     int_op: impl Fn(i64, i64) -> Option<i64>,
@@ -49,7 +65,7 @@ fn fold_arith(
     }
     let mut nums = Vec::with_capacity(vals.len());
     for &v in vals {
-        nums.push(as_num(ev, v, op)?);
+        nums.push(as_num(interp, v, op)?);
     }
     if nums.len() == 1 && unary_inverts {
         // (- x) and (/ x) invert against the unit.
@@ -80,19 +96,19 @@ fn fold_arith(
             }
         };
     }
-    num_value(ev, acc, op)
+    num_value(interp, acc, op)
 }
 
-fn compare_chain(
-    ev: &Evaluator,
+pub(crate) fn compare_chain(
+    interp: &Interp,
     vals: &[Value],
     op: &'static str,
     cmp: impl Fn(f64, f64) -> bool,
     icmp: impl Fn(i64, i64) -> bool,
 ) -> Result<Value> {
     for pair in vals.windows(2) {
-        let a = as_num(ev, pair[0], op)?;
-        let b = as_num(ev, pair[1], op)?;
+        let a = as_num(interp, pair[0], op)?;
+        let b = as_num(interp, pair[1], op)?;
         let ok = match (a, b) {
             (Num::Int(x), Num::Int(y)) => icmp(x, y),
             (x, y) => {
@@ -122,10 +138,16 @@ fn bool_val(b: bool) -> Value {
     }
 }
 
-/// Apply builtin `op` to evaluated `vals`.
-pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) -> Result<Value> {
+/// Apply builtin `op` to evaluated `vals`. The buffer is left in an
+/// unspecified state afterwards; callers that recycle it should
+/// `clear` it before reuse.
+pub fn apply_builtin<C: BuiltinCx>(
+    cx: &mut C,
+    op: BuiltinOp,
+    vals: &mut Vec<Value>,
+) -> Result<Value> {
     use BuiltinOp::*;
-    let interp = ev.interp();
+    let interp = cx.cx_interp();
     let heap = interp.heap();
     match op {
         Car => heap.car(vals[0]),
@@ -139,29 +161,29 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
             heap.set_cdr(vals[0], vals[1])?;
             Ok(vals[1])
         }
-        Add => fold_arith(ev, &vals, "+", i64::checked_add, |a, b| a + b, 0, false),
-        Sub => fold_arith(ev, &vals, "-", i64::checked_sub, |a, b| a - b, 0, true),
-        Mul => fold_arith(ev, &vals, "*", i64::checked_mul, |a, b| a * b, 1, false),
-        Div => fold_arith(ev, &vals, "/", |a, b| a.checked_div(b), |a, b| a / b, 1, true),
+        Add => fold_arith(interp, vals, "+", i64::checked_add, |a, b| a + b, 0, false),
+        Sub => fold_arith(interp, vals, "-", i64::checked_sub, |a, b| a - b, 0, true),
+        Mul => fold_arith(interp, vals, "*", i64::checked_mul, |a, b| a * b, 1, false),
+        Div => fold_arith(interp, vals, "/", |a, b| a.checked_div(b), |a, b| a / b, 1, true),
         Mod => {
-            let (a, b) = (as_num(ev, vals[0], "mod")?, as_num(ev, vals[1], "mod")?);
+            let (a, b) = (as_num(interp, vals[0], "mod")?, as_num(interp, vals[1], "mod")?);
             match (a, b) {
                 (Num::Int(_), Num::Int(0)) => Err(LispError::DivideByZero),
                 (Num::Int(x), Num::Int(y)) => Ok(Value::int(x.rem_euclid(y))),
-                _ => Err(type_err(ev, "integer", vals[0], "mod")),
+                _ => Err(type_err(interp, "integer", vals[0], "mod")),
             }
         }
-        Lt => compare_chain(ev, &vals, "<", |a, b| a < b, |a, b| a < b),
-        Gt => compare_chain(ev, &vals, ">", |a, b| a > b, |a, b| a > b),
-        Le => compare_chain(ev, &vals, "<=", |a, b| a <= b, |a, b| a <= b),
-        Ge => compare_chain(ev, &vals, ">=", |a, b| a >= b, |a, b| a >= b),
-        NumEq => compare_chain(ev, &vals, "=", |a, b| a == b, |a, b| a == b),
-        NumNe => compare_chain(ev, &vals, "/=", |a, b| a != b, |a, b| a != b),
+        Lt => compare_chain(interp, vals, "<", |a, b| a < b, |a, b| a < b),
+        Gt => compare_chain(interp, vals, ">", |a, b| a > b, |a, b| a > b),
+        Le => compare_chain(interp, vals, "<=", |a, b| a <= b, |a, b| a <= b),
+        Ge => compare_chain(interp, vals, ">=", |a, b| a >= b, |a, b| a >= b),
+        NumEq => compare_chain(interp, vals, "=", |a, b| a == b, |a, b| a == b),
+        NumNe => compare_chain(interp, vals, "/=", |a, b| a != b, |a, b| a != b),
         Min | Max => {
             let mut best = vals[0];
             for &v in &vals[1..] {
-                let a = as_num(ev, best, "min/max")?;
-                let b = as_num(ev, v, "min/max")?;
+                let a = as_num(interp, best, "min/max")?;
+                let b = as_num(interp, v, "min/max")?;
                 let take_new = {
                     let (fa, fb) = (
                         match a {
@@ -185,16 +207,28 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
             }
             Ok(best)
         }
-        Abs => match as_num(ev, vals[0], "abs")? {
+        Abs => match as_num(interp, vals[0], "abs")? {
             Num::Int(i) => Value::int_checked(i.abs()).ok_or(LispError::Overflow("abs")),
             Num::Float(x) => Ok(heap.float(x.abs())),
         },
-        Add1 => {
-            fold_arith(ev, &[vals[0], Value::int(1)], "+", i64::checked_add, |a, b| a + b, 0, false)
-        }
-        Sub1 => {
-            fold_arith(ev, &[vals[0], Value::int(1)], "-", i64::checked_sub, |a, b| a - b, 0, false)
-        }
+        Add1 => fold_arith(
+            interp,
+            &[vals[0], Value::int(1)],
+            "+",
+            i64::checked_add,
+            |a, b| a + b,
+            0,
+            false,
+        ),
+        Sub1 => fold_arith(
+            interp,
+            &[vals[0], Value::int(1)],
+            "-",
+            i64::checked_sub,
+            |a, b| a - b,
+            0,
+            false,
+        ),
         Null => Ok(bool_val(vals[0].is_nil())),
         Eq => Ok(bool_val(vals[0] == vals[1])),
         Eql => Ok(bool_val(heap.eql(vals[0], vals[1]))),
@@ -205,7 +239,7 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
         Numberp => Ok(bool_val(matches!(vals[0].decode(), Val::Int(_) | Val::Float(_)))),
         Stringp => Ok(bool_val(matches!(vals[0].decode(), Val::Str(_)))),
         Functionp => Ok(bool_val(matches!(vals[0].decode(), Val::Func(_)))),
-        List => Ok(heap.list(&vals)),
+        List => Ok(heap.list(vals)),
         Append => {
             let mut items = Vec::new();
             if let Some((last, init)) = vals.split_last() {
@@ -231,7 +265,7 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
         }
         Length => Ok(Value::int(heap.list_len(vals[0])? as i64)),
         Nth => {
-            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "nth"))?;
+            let i = vals[0].as_int().ok_or_else(|| type_err(interp, "integer", vals[0], "nth"))?;
             let mut l = vals[1];
             for _ in 0..i.max(0) {
                 l = heap.cdr(l)?;
@@ -239,7 +273,8 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
             heap.car(l)
         }
         SetNth => {
-            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "setf nth"))?;
+            let i =
+                vals[0].as_int().ok_or_else(|| type_err(interp, "integer", vals[0], "setf nth"))?;
             let mut l = vals[1];
             for _ in 0..i.max(0) {
                 l = heap.cdr(l)?;
@@ -248,7 +283,8 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
             Ok(vals[2])
         }
         Nthcdr => {
-            let i = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "nthcdr"))?;
+            let i =
+                vals[0].as_int().ok_or_else(|| type_err(interp, "integer", vals[0], "nthcdr"))?;
             let mut l = vals[1];
             for _ in 0..i.max(0) {
                 l = heap.cdr(l)?;
@@ -327,57 +363,59 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
         Remhash => Ok(bool_val(heap.hash_table(vals[1])?.remove(vals[0]).is_some())),
         HashCount => Ok(Value::int(heap.hash_table(vals[0])?.len() as i64)),
         MakeVector => {
-            let n =
-                vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "make-vector"))?;
+            let n = vals[0]
+                .as_int()
+                .ok_or_else(|| type_err(interp, "integer", vals[0], "make-vector"))?;
             if n < 0 {
                 return Err(LispError::IndexOutOfRange { index: n, len: 0 });
             }
             Ok(heap.make_vector(n as usize, vals[1]))
         }
         Aref => {
-            let i = vals[1].as_int().ok_or_else(|| type_err(ev, "integer", vals[1], "aref"))?;
+            let i = vals[1].as_int().ok_or_else(|| type_err(interp, "integer", vals[1], "aref"))?;
             heap.vector_ref(vals[0], i)
         }
         Aset => {
-            let i = vals[1].as_int().ok_or_else(|| type_err(ev, "integer", vals[1], "aset"))?;
+            let i = vals[1].as_int().ok_or_else(|| type_err(interp, "integer", vals[1], "aset"))?;
             heap.vector_set(vals[0], i, vals[2])?;
             Ok(vals[2])
         }
         VectorLength => Ok(Value::int(heap.vector_len(vals[0])? as i64)),
         Funcall => {
             let f = vals.remove(0);
-            apply_function(ev, f, vals)
+            apply_function(cx, f, std::mem::take(vals))
         }
         Apply => {
             let f = vals.remove(0);
             let spread = vals.pop().expect("arity checked at lowering");
-            let mut args = vals;
-            args.extend(ev.interp().heap().list_to_vec(spread)?);
-            apply_function(ev, f, args)
+            let mut args = std::mem::take(vals);
+            args.extend(heap.list_to_vec(spread)?);
+            apply_function(cx, f, args)
         }
         Mapcar => {
             let f = vals[0];
-            let items = ev.interp().heap().list_to_vec(vals[1])?;
+            let items = heap.list_to_vec(vals[1])?;
             let mut out = Vec::with_capacity(items.len());
             for item in items {
-                out.push(apply_function(ev, f, vec![item])?);
+                out.push(apply_function(cx, f, vec![item])?);
             }
-            Ok(ev.interp().heap().list(&out))
+            Ok(cx.cx_interp().heap().list(&out))
         }
         Identity => Ok(vals[0]),
         Gensym => Ok(interp.gensym()),
         Random => {
-            let n = vals[0].as_int().ok_or_else(|| type_err(ev, "integer", vals[0], "random"))?;
+            let n =
+                vals[0].as_int().ok_or_else(|| type_err(interp, "integer", vals[0], "random"))?;
             Ok(Value::int(interp.random(n)))
         }
         AtomicIncfGlobal => unreachable!("handled in the evaluator"),
         AtomicIncfCell => {
             let field = vals[1]
                 .as_int()
-                .ok_or_else(|| type_err(ev, "integer", vals[1], "atomic-incf-cell"))?;
+                .ok_or_else(|| type_err(interp, "integer", vals[1], "atomic-incf-cell"))?;
             let delta = vals[2]
                 .as_int()
-                .ok_or_else(|| type_err(ev, "integer", vals[2], "atomic-incf-cell"))?;
+                .ok_or_else(|| type_err(interp, "integer", vals[2], "atomic-incf-cell"))?;
             heap.atomic_add_field(vals[0], field as u32, delta)
         }
         Touch => interp.hooks().touch(interp, vals[0]),
@@ -385,28 +423,29 @@ pub fn apply_builtin(ev: &mut Evaluator, op: BuiltinOp, mut vals: Vec<Value>) ->
 }
 
 /// Call a function value, symbol, or closure within the current
-/// evaluator (preserving the recursion-depth budget).
-fn apply_function(ev: &mut Evaluator, f: Value, args: Vec<Value>) -> Result<Value> {
+/// evaluation context (preserving the recursion-depth budget).
+pub fn apply_function<C: BuiltinCx>(cx: &mut C, f: Value, mut args: Vec<Value>) -> Result<Value> {
     match f.decode() {
-        Val::Func(id) => ev.apply(id, args),
+        Val::Func(id) => cx.call_func(id, args),
         Val::Sym(s) => {
-            if let Some(id) = ev.interp().lookup_func(s) {
-                return ev.apply(id, args);
+            if let Some(id) = cx.cx_interp().lookup_func(s) {
+                return cx.call_func(id, args);
             }
-            // Builtins are callable by name too: (funcall '+ 1 2).
-            let name = ev.interp().heap().sym_name(s);
-            if let Some((op, min, max)) = crate::lower::builtin_signature(name) {
+            // Builtins are callable by name too: (funcall '+ 1 2); the
+            // symbol resolves through the id table interned at
+            // construction, not a per-call string comparison.
+            if let Some((op, min, max)) = cx.cx_interp().builtin_by_sym(s) {
                 if args.len() < min || args.len() > max {
                     return Err(LispError::Arity {
-                        name: name.into(),
+                        name: cx.cx_interp().heap().sym_name(s).into(),
                         expected: min,
                         got: args.len(),
                     });
                 }
-                return apply_builtin(ev, op, args);
+                return apply_builtin(cx, op, &mut args);
             }
-            Err(LispError::UndefinedFunction(name.to_string()))
+            Err(LispError::UndefinedFunction(cx.cx_interp().heap().sym_name(s).to_string()))
         }
-        _ => Err(type_err(ev, "function", f, "funcall")),
+        _ => Err(type_err(cx.cx_interp(), "function", f, "funcall")),
     }
 }

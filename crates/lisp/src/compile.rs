@@ -1,0 +1,857 @@
+//! Bytecode compiler: lowered [`Expr`] trees to flat register code.
+//!
+//! Each function compiles once, at definition time, into a [`Code`]
+//! block: a flat `Vec<Op>` over a register frame that reuses the
+//! tree-walker's slot numbering (register *i* is frame slot *i*;
+//! compiler temporaries live above `nslots`). The [`crate::vm`]
+//! dispatch loop executes it with the same semantics as the
+//! tree-walker — strict left-to-right evaluation, per-execution
+//! allocation of float/string/quote literals, function lookup *after*
+//! argument evaluation, and proper tail calls — so the tree remains a
+//! drop-in differential oracle.
+//!
+//! Heap traffic (car/cdr/cons/setf/struct/vector ops) stays behind the
+//! same `heap.rs` accessors the tree-walker uses, so the `sanitize`
+//! conflict checker and the obs event hooks observe identical access
+//! streams from both engines.
+//!
+//! Compilation is per-interpreter: global references embed the
+//! resolved global cell, and call sites carry an inline cache tagged
+//! with the interpreter's function-table generation (redefinition
+//! bumps the generation, invalidating every cached resolution).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use curare_sexpr::Sexpr;
+
+use crate::ast::{BuiltinOp, Expr, Func, StructOp, VarRef};
+use crate::error::LispError;
+use crate::interp::Interp;
+use crate::value::{FuncId, SymId, Value};
+
+/// One bytecode instruction. Register operands index the frame; pool
+/// operands (`k`, `g`, `site`, ...) index the side tables in [`Code`].
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// `regs[dst] = consts[k]` — nil/t/integer/symbol immediates.
+    Const { dst: u16, k: u16 },
+    /// `regs[dst] =` fresh heap float from `floats[k]` (allocated per
+    /// execution, like the tree-walker).
+    Float { dst: u16, k: u16 },
+    /// `regs[dst] =` fresh heap string from `strs[k]`.
+    Str { dst: u16, k: u16 },
+    /// `regs[dst] =` fresh heap structure built from `quotes[k]`.
+    Quote { dst: u16, k: u16 },
+    /// `regs[dst] = regs[src]`.
+    Move { dst: u16, src: u16 },
+    /// Checked read of a captured slot — the only frame region that
+    /// can legitimately hold the unbound marker (a parallel `let` may
+    /// capture a not-yet-bound slot into a closure).
+    LoadCap { dst: u16, src: u16, name: u16 },
+    /// Read global `globals[g]`; unbound is an error.
+    GetGlobal { dst: u16, g: u16 },
+    /// Write global `globals[g]`.
+    SetGlobal { g: u16, src: u16 },
+    /// Unconditional branch.
+    Jump { to: u32 },
+    /// Branch when `regs[src]` is nil.
+    JumpIfNil { src: u16, to: u32 },
+    /// Branch when `regs[src]` is true.
+    JumpIfTrue { src: u16, to: u32 },
+    /// Finish execution with `regs[src]`.
+    Return { src: u16 },
+    /// Non-tail call of `sites[site]` with `argc` args at `base`.
+    Call { dst: u16, site: u16, base: u16, argc: u16 },
+    /// Tail call — unwinds to the VM trampoline.
+    TailCall { site: u16, base: u16, argc: u16 },
+    /// Generic builtin application (the slow path; hot builtins get
+    /// specialized opcodes below).
+    Builtin { dst: u16, op: BuiltinOp, base: u16, argc: u16 },
+    /// Struct make/ref/set/pred via `structops[s]`.
+    Struct { dst: u16, s: u16, base: u16, argc: u16 },
+    /// Instantiate `lambdas[l]`, capturing its listed slots by value.
+    MakeClosure { dst: u16, l: u16 },
+    /// `#'f`: named function, or its symbol when `f` is a builtin.
+    FuncRef { dst: u16, site: u16 },
+    /// `(future (f ...))` through the runtime hooks.
+    Future { dst: u16, site: u16, base: u16, argc: u16 },
+    /// `(cri-enqueue site f ...)` through the runtime hooks.
+    Enqueue { site: u32, callee: u16, base: u16, argc: u16 },
+    /// `(cri-lock ...)` / `(cri-unlock ...)` on `regs[src]`.
+    Lock { src: u16, l: u16 },
+    /// `(atomic-incf global delta)` — CAS add on a global cell.
+    AtomicIncfG { dst: u16, g: u16, delta: u16 },
+    /// Raise `raises[e]` — compile-time-known runtime errors (e.g. an
+    /// out-of-range integer literal, which the tree-walker reports on
+    /// evaluation, not at lowering).
+    Raise { e: u16 },
+
+    // ----- specialized hot ops (same heap accessors, fewer layers) --
+    /// `(car a)`.
+    Car { dst: u16, a: u16 },
+    /// `(cdr a)`.
+    Cdr { dst: u16, a: u16 },
+    /// `(cons a b)`.
+    Cons { dst: u16, a: u16, b: u16 },
+    /// `(rplaca a b)` — evaluates to `b`.
+    SetCar { dst: u16, a: u16, b: u16 },
+    /// `(rplacd a b)` — evaluates to `b`.
+    SetCdr { dst: u16, a: u16, b: u16 },
+    /// `(null a)`.
+    NullP { dst: u16, a: u16 },
+    /// `(consp a)`.
+    ConspP { dst: u16, a: u16 },
+    /// `(atom a)`.
+    AtomP { dst: u16, a: u16 },
+    /// `(eq a b)`.
+    EqP { dst: u16, a: u16, b: u16 },
+    /// `(1+ a)` with an integer fast path.
+    Add1 { dst: u16, a: u16 },
+    /// `(1- a)` with an integer fast path.
+    Sub1 { dst: u16, a: u16 },
+    /// Two-argument `+` with an integer fast path.
+    Add2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `-` with an integer fast path.
+    Sub2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `*` with an integer fast path.
+    Mul2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `<` with an integer fast path.
+    Lt2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `>` with an integer fast path.
+    Gt2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `<=` with an integer fast path.
+    Le2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `>=` with an integer fast path.
+    Ge2 { dst: u16, a: u16, b: u16 },
+    /// Two-argument `=` with an integer fast path.
+    NumEq2 { dst: u16, a: u16, b: u16 },
+    /// `(touch a)` — forces a future via the hooks ("helping touch"
+    /// under the CRI runtime: the waiting server executes queued tasks
+    /// through a nested evaluation).
+    Touch { dst: u16, a: u16 },
+}
+
+/// A call site with an inline cache: `(generation << 32) | (fid + 1)`,
+/// zero when empty. The interpreter bumps its function-table
+/// generation on every named definition, so redefinition invalidates
+/// the cache and the next execution re-resolves by symbol — the same
+/// lookup-per-call semantics the tree-walker has, minus the repeat
+/// hash lookups in steady state.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee name symbol.
+    pub name: SymId,
+    /// Callee source text, for `UndefinedFunction` diagnostics.
+    pub text: String,
+    cache: AtomicU64,
+}
+
+impl CallSite {
+    fn new(name: SymId, text: String) -> CallSite {
+        CallSite { name, text, cache: AtomicU64::new(0) }
+    }
+
+    /// Resolve the callee, consulting the inline cache.
+    pub fn try_resolve(&self, interp: &Interp) -> Option<FuncId> {
+        let gen = interp.funcs_gen() & 0xFFFF_FFFF;
+        let cached = self.cache.load(Ordering::Relaxed);
+        if cached != 0 && (cached >> 32) == gen {
+            return Some((cached as u32).wrapping_sub(1));
+        }
+        let id = interp.lookup_func(self.name)?;
+        if id < u32::MAX {
+            self.cache.store((gen << 32) | (id as u64 + 1), Ordering::Relaxed);
+        }
+        Some(id)
+    }
+
+    /// Resolve the callee or report it undefined.
+    pub fn resolve(&self, interp: &Interp) -> crate::error::Result<FuncId> {
+        self.try_resolve(interp).ok_or_else(|| LispError::UndefinedFunction(self.text.clone()))
+    }
+}
+
+/// A pre-resolved global variable reference.
+#[derive(Debug)]
+pub struct GlobalRef {
+    /// The variable's name symbol (for unbound diagnostics).
+    pub sym: SymId,
+    /// Its backing cell, resolved at compile time (cells are created
+    /// unbound on first reference and never replaced).
+    pub cell: Arc<AtomicU64>,
+}
+
+/// A lock/unlock site.
+#[derive(Debug, Clone, Copy)]
+pub struct LockSpec {
+    /// Field code: 0 = car, 1 = cdr, 2+k = struct field k.
+    pub field: u32,
+    /// True for lock, false for unlock.
+    pub lock: bool,
+    /// Write (exclusive) vs read (shared).
+    pub exclusive: bool,
+}
+
+/// A `lambda` template plus the enclosing-frame slots it captures.
+#[derive(Debug)]
+pub struct LambdaSpec {
+    /// The anonymous function.
+    pub func: Arc<Func>,
+    /// Enclosing-frame slots captured by value at instantiation.
+    pub captures: Box<[u16]>,
+}
+
+/// A compiled function body.
+#[derive(Debug)]
+pub struct Code {
+    /// The instruction stream; execution starts at 0 and ends at a
+    /// `Return`, `TailCall`, or `Raise`.
+    pub ops: Box<[Op]>,
+    /// Immediate constants (nil, t, integers, symbols).
+    pub consts: Box<[Value]>,
+    /// Float literals (boxed per execution).
+    pub floats: Box<[f64]>,
+    /// String literals (allocated per execution).
+    pub strs: Box<[String]>,
+    /// Quoted data (built in the heap per execution).
+    pub quotes: Box<[Sexpr]>,
+    /// Pre-resolved global cells.
+    pub globals: Box<[GlobalRef]>,
+    /// Variable names for checked captured-slot loads.
+    pub names: Box<[String]>,
+    /// Call sites with inline caches.
+    pub sites: Box<[CallSite]>,
+    /// Lambda templates.
+    pub lambdas: Box<[LambdaSpec]>,
+    /// Struct operations.
+    pub structops: Box<[StructOp]>,
+    /// Pre-built errors for `Raise`.
+    pub raises: Box<[LispError]>,
+    /// Lock sites.
+    pub locks: Box<[LockSpec]>,
+    /// Frame size in registers: slots first (tree-walker numbering),
+    /// temporaries above.
+    pub nregs: u16,
+}
+
+/// Compile `func` for execution against `interp`. Returns `None` when
+/// the function exceeds a register or pool budget (u16 indices) — the
+/// VM then falls back to the tree-walker for this function.
+pub fn compile(interp: &Interp, func: &Func) -> Option<Code> {
+    let base = func.nslots.max(func.ncaptures + func.params.len());
+    let mut c = Compiler {
+        interp,
+        func,
+        ops: Vec::new(),
+        consts: Vec::new(),
+        floats: Vec::new(),
+        strs: Vec::new(),
+        quotes: Vec::new(),
+        globals: Vec::new(),
+        names: Vec::new(),
+        sites: Vec::new(),
+        lambdas: Vec::new(),
+        structops: Vec::new(),
+        raises: Vec::new(),
+        locks: Vec::new(),
+        base,
+        temp: base,
+        max_reg: base,
+        ok: true,
+    };
+    let ret = c.alloc_temp();
+    match func.body.split_last() {
+        None => c.op_const(ret, Value::NIL),
+        Some((last, init)) => {
+            for stmt in init {
+                c.emit_discard(stmt);
+            }
+            c.emit(last, ret, true);
+        }
+    }
+    let src = c.r16(ret);
+    c.ops.push(Op::Return { src });
+    if !c.ok || c.max_reg > u16::MAX as usize || c.ops.len() > u32::MAX as usize {
+        return None;
+    }
+    Some(Code {
+        ops: c.ops.into(),
+        consts: c.consts.into(),
+        floats: c.floats.into(),
+        strs: c.strs.into(),
+        quotes: c.quotes.into(),
+        globals: c.globals.into(),
+        names: c.names.into(),
+        sites: c.sites.into(),
+        lambdas: c.lambdas.into(),
+        structops: c.structops.into(),
+        raises: c.raises.into(),
+        locks: c.locks.into(),
+        nregs: c.max_reg as u16,
+    })
+}
+
+struct Compiler<'a> {
+    interp: &'a Interp,
+    func: &'a Func,
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    floats: Vec<f64>,
+    strs: Vec<String>,
+    quotes: Vec<Sexpr>,
+    globals: Vec<GlobalRef>,
+    names: Vec<String>,
+    sites: Vec<CallSite>,
+    lambdas: Vec<LambdaSpec>,
+    structops: Vec<StructOp>,
+    raises: Vec<LispError>,
+    locks: Vec<LockSpec>,
+    /// First temporary register (= frame slot count).
+    base: usize,
+    /// Next free temporary (stack discipline).
+    temp: usize,
+    /// Frame-size high-water mark (exclusive).
+    max_reg: usize,
+    /// Cleared on register/pool overflow; `compile` then returns None.
+    ok: bool,
+}
+
+impl Compiler<'_> {
+    // ----- registers -------------------------------------------------
+
+    fn alloc_temp(&mut self) -> usize {
+        let r = self.temp;
+        self.temp += 1;
+        self.max_reg = self.max_reg.max(self.temp);
+        if r > u16::MAX as usize {
+            self.ok = false;
+        }
+        r
+    }
+
+    fn free_to(&mut self, mark: usize) {
+        self.temp = mark;
+    }
+
+    /// A register index as a u16 operand, failing compilation on
+    /// overflow.
+    fn r16(&mut self, r: usize) -> u16 {
+        if r > u16::MAX as usize {
+            self.ok = false;
+            return 0;
+        }
+        self.max_reg = self.max_reg.max(r + 1);
+        r as u16
+    }
+
+    fn is_temp(&self, r: usize) -> bool {
+        r >= self.base
+    }
+
+    // ----- pools -----------------------------------------------------
+
+    fn pool_idx(&mut self, len: usize) -> u16 {
+        if len > u16::MAX as usize {
+            self.ok = false;
+            return 0;
+        }
+        len as u16
+    }
+
+    fn k_const(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.consts.iter().position(|&c| c == v) {
+            return self.pool_idx(i);
+        }
+        self.consts.push(v);
+        self.pool_idx(self.consts.len() - 1)
+    }
+
+    fn k_name(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return self.pool_idx(i);
+        }
+        self.names.push(name.to_string());
+        self.pool_idx(self.names.len() - 1)
+    }
+
+    fn k_global(&mut self, sym: SymId) -> u16 {
+        if let Some(i) = self.globals.iter().position(|g| g.sym == sym) {
+            return self.pool_idx(i);
+        }
+        self.globals.push(GlobalRef { sym, cell: self.interp.global_cell(sym) });
+        self.pool_idx(self.globals.len() - 1)
+    }
+
+    fn k_site(&mut self, name: SymId, text: &str) -> u16 {
+        // Sites are deliberately not deduplicated: each syntactic call
+        // site keeps its own inline cache.
+        self.sites.push(CallSite::new(name, text.to_string()));
+        self.pool_idx(self.sites.len() - 1)
+    }
+
+    // ----- emission --------------------------------------------------
+
+    fn op_const(&mut self, dst: usize, v: Value) {
+        let dst = self.r16(dst);
+        let k = self.k_const(v);
+        self.ops.push(Op::Const { dst, k });
+    }
+
+    fn raise(&mut self, e: LispError) {
+        self.raises.push(e);
+        let e = self.pool_idx(self.raises.len() - 1);
+        self.ops.push(Op::Raise { e });
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// Emit a placeholder branch, returning its index for `patch`.
+    fn jump(&mut self) -> usize {
+        self.ops.push(Op::Jump { to: 0 });
+        self.ops.len() - 1
+    }
+
+    fn jump_if_nil(&mut self, src: u16) -> usize {
+        self.ops.push(Op::JumpIfNil { src, to: 0 });
+        self.ops.len() - 1
+    }
+
+    fn jump_if_true(&mut self, src: u16) -> usize {
+        self.ops.push(Op::JumpIfTrue { src, to: 0 });
+        self.ops.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump { to } | Op::JumpIfNil { to, .. } | Op::JumpIfTrue { to, .. } => {
+                *to = target;
+            }
+            _ => unreachable!("patching a non-branch"),
+        }
+    }
+
+    /// Evaluate `e` for effect only.
+    fn emit_discard(&mut self, e: &Expr) {
+        let mark = self.temp;
+        let scratch = self.alloc_temp();
+        self.emit(e, scratch, false);
+        self.free_to(mark);
+    }
+
+    /// True when evaluating `e` cannot write any register — the
+    /// condition under which an earlier operand may be read directly
+    /// from its frame slot at instruction time without reordering
+    /// effects relative to the tree-walker.
+    fn is_reg_write_free(e: &Expr) -> bool {
+        matches!(
+            e,
+            Expr::Nil
+                | Expr::T
+                | Expr::Int(_)
+                | Expr::Float(_)
+                | Expr::Str(_)
+                | Expr::Quote(_)
+                | Expr::Var(..)
+                | Expr::FuncRef(..)
+        )
+    }
+
+    /// The frame slot holding `e`'s value, when `e` is a plain local
+    /// variable outside the captured region (captured slots need a
+    /// checked load).
+    fn direct_slot(&self, e: &Expr) -> Option<usize> {
+        match e {
+            Expr::Var(VarRef::Local(slot), _) if *slot >= self.func.ncaptures => {
+                (*slot < self.base).then_some(*slot)
+            }
+            _ => None,
+        }
+    }
+
+    /// An operand register for `e`: its own slot when that is safe
+    /// (`direct_ok`), a fresh temporary otherwise. Temporaries are
+    /// reclaimed by the caller via `free_to`.
+    fn operand(&mut self, e: &Expr, direct_ok: bool) -> usize {
+        if direct_ok {
+            if let Some(slot) = self.direct_slot(e) {
+                self.max_reg = self.max_reg.max(slot + 1);
+                return slot;
+            }
+        }
+        let t = self.alloc_temp();
+        self.emit(e, t, false);
+        t
+    }
+
+    /// Compile contiguous argument registers for a call-like form.
+    fn emit_args(&mut self, args: &[Expr]) -> (u16, u16) {
+        let start = self.temp;
+        for _ in args {
+            self.alloc_temp();
+        }
+        for (i, a) in args.iter().enumerate() {
+            self.emit(a, start + i, false);
+        }
+        let base = self.r16(start);
+        if args.len() > u16::MAX as usize {
+            self.ok = false;
+        }
+        (base, args.len() as u16)
+    }
+
+    /// Compile `e`, leaving its value in `dst`. Invariant: only the
+    /// *final* value-producing instruction writes `dst` when `dst` is
+    /// a frame slot (intermediate results go to temporaries), matching
+    /// the tree-walker's evaluate-then-assign timing. When `dst` is a
+    /// temporary, intermediate writes are unobservable and allowed.
+    fn emit(&mut self, e: &Expr, dst: usize, tail: bool) {
+        if !self.ok {
+            return;
+        }
+        let mark = self.temp;
+        match e {
+            Expr::Nil => self.op_const(dst, Value::NIL),
+            Expr::T => self.op_const(dst, Value::T),
+            Expr::Int(i) => match Value::int_checked(*i) {
+                Some(v) => self.op_const(dst, v),
+                // The tree-walker reports literal overflow on
+                // evaluation; match it with a runtime raise.
+                None => self.raise(LispError::Overflow("literal")),
+            },
+            Expr::Float(x) => {
+                self.floats.push(*x);
+                let k = self.pool_idx(self.floats.len() - 1);
+                let dst = self.r16(dst);
+                self.ops.push(Op::Float { dst, k });
+            }
+            Expr::Str(s) => {
+                self.strs.push(s.clone());
+                let k = self.pool_idx(self.strs.len() - 1);
+                let dst = self.r16(dst);
+                self.ops.push(Op::Str { dst, k });
+            }
+            Expr::Quote(d) => {
+                self.quotes.push(d.clone());
+                let k = self.pool_idx(self.quotes.len() - 1);
+                let dst = self.r16(dst);
+                self.ops.push(Op::Quote { dst, k });
+            }
+            Expr::Var(vr, name) => match vr {
+                VarRef::Local(slot) => {
+                    if *slot >= self.base {
+                        // A slot beyond the declared frame would
+                        // collide with temporaries; the lowerer never
+                        // produces this inside a function body.
+                        self.ok = false;
+                    } else if *slot < self.func.ncaptures {
+                        let name = self.k_name(name);
+                        let (dst, src) = (self.r16(dst), self.r16(*slot));
+                        self.ops.push(Op::LoadCap { dst, src, name });
+                    } else if *slot != dst {
+                        let (dst, src) = (self.r16(dst), self.r16(*slot));
+                        self.ops.push(Op::Move { dst, src });
+                    }
+                }
+                VarRef::Global(sym) => {
+                    let g = self.k_global(*sym);
+                    let dst = self.r16(dst);
+                    self.ops.push(Op::GetGlobal { dst, g });
+                }
+            },
+            Expr::Setq(vr, _, rhs) => match vr {
+                VarRef::Local(slot) => {
+                    if *slot >= self.base {
+                        self.ok = false;
+                        return;
+                    }
+                    self.emit(rhs, *slot, false);
+                    if dst != *slot {
+                        let (dst, src) = (self.r16(dst), self.r16(*slot));
+                        self.ops.push(Op::Move { dst, src });
+                    }
+                }
+                VarRef::Global(sym) => {
+                    self.emit(rhs, dst, false);
+                    let g = self.k_global(*sym);
+                    let src = self.r16(dst);
+                    self.ops.push(Op::SetGlobal { g, src });
+                }
+            },
+            Expr::If(c, t, f) => {
+                let cond = self.operand(c, true);
+                let src = self.r16(cond);
+                let j_else = self.jump_if_nil(src);
+                self.free_to(mark);
+                self.emit(t, dst, tail);
+                let j_end = self.jump();
+                let here = self.here();
+                self.patch(j_else, here);
+                self.emit(f, dst, tail);
+                let here = self.here();
+                self.patch(j_end, here);
+            }
+            Expr::Progn(es) => match es.split_last() {
+                None => self.op_const(dst, Value::NIL),
+                Some((last, init)) => {
+                    for s in init {
+                        self.emit_discard(s);
+                    }
+                    self.emit(last, dst, tail);
+                }
+            },
+            Expr::And(es) => match es.split_last() {
+                None => self.op_const(dst, Value::T),
+                Some((last, init)) => {
+                    let work = if self.is_temp(dst) { dst } else { self.alloc_temp() };
+                    let mut to_nil = Vec::with_capacity(init.len());
+                    for s in init {
+                        self.emit(s, work, false);
+                        let src = self.r16(work);
+                        to_nil.push(self.jump_if_nil(src));
+                    }
+                    self.emit(last, work, tail);
+                    let j_end = self.jump();
+                    let here = self.here();
+                    for j in to_nil {
+                        self.patch(j, here);
+                    }
+                    self.op_const(work, Value::NIL);
+                    let here = self.here();
+                    self.patch(j_end, here);
+                    if work != dst {
+                        let (d, s) = (self.r16(dst), self.r16(work));
+                        self.ops.push(Op::Move { dst: d, src: s });
+                    }
+                }
+            },
+            Expr::Or(es) => match es.split_last() {
+                None => self.op_const(dst, Value::NIL),
+                Some((last, init)) => {
+                    let work = if self.is_temp(dst) { dst } else { self.alloc_temp() };
+                    let mut to_end = Vec::with_capacity(init.len());
+                    for s in init {
+                        self.emit(s, work, false);
+                        let src = self.r16(work);
+                        to_end.push(self.jump_if_true(src));
+                    }
+                    self.emit(last, work, tail);
+                    let here = self.here();
+                    for j in to_end {
+                        self.patch(j, here);
+                    }
+                    if work != dst {
+                        let (d, s) = (self.r16(dst), self.r16(work));
+                        self.ops.push(Op::Move { dst: d, src: s });
+                    }
+                }
+            },
+            Expr::Let { bindings, body, sequential } => {
+                if *sequential {
+                    for (slot, _, init) in bindings {
+                        if *slot >= self.base {
+                            self.ok = false;
+                            return;
+                        }
+                        self.emit(init, *slot, false);
+                    }
+                } else {
+                    // All inits evaluate before any binding becomes
+                    // visible: stage them in temporaries.
+                    let temps: Vec<usize> = bindings.iter().map(|_| self.alloc_temp()).collect();
+                    for ((_, _, init), &t) in bindings.iter().zip(&temps) {
+                        self.emit(init, t, false);
+                    }
+                    for ((slot, _, _), &t) in bindings.iter().zip(&temps) {
+                        if *slot >= self.base {
+                            self.ok = false;
+                            return;
+                        }
+                        let (d, s) = (self.r16(*slot), self.r16(t));
+                        self.ops.push(Op::Move { dst: d, src: s });
+                    }
+                    self.free_to(mark);
+                }
+                match body.split_last() {
+                    None => self.op_const(dst, Value::NIL),
+                    Some((last, init)) => {
+                        for s in init {
+                            self.emit_discard(s);
+                        }
+                        self.emit(last, dst, tail);
+                    }
+                }
+            }
+            Expr::While(c, body) => {
+                let top = self.here();
+                let cond = self.operand(c, true);
+                let src = self.r16(cond);
+                let j_end = self.jump_if_nil(src);
+                self.free_to(mark);
+                for s in body {
+                    self.emit_discard(s);
+                }
+                self.ops.push(Op::Jump { to: top });
+                let here = self.here();
+                self.patch(j_end, here);
+                self.op_const(dst, Value::NIL);
+            }
+            Expr::Call { name, name_text, args } => {
+                let (b, argc) = self.emit_args(args);
+                let site = self.k_site(*name, name_text);
+                if tail {
+                    self.ops.push(Op::TailCall { site, base: b, argc });
+                } else {
+                    let dst = self.r16(dst);
+                    self.ops.push(Op::Call { dst, site, base: b, argc });
+                }
+                self.free_to(mark);
+            }
+            Expr::Builtin(op, args) => self.emit_builtin(*op, args, dst, mark),
+            Expr::Struct(op, args) => {
+                let (b, argc) = self.emit_args(args);
+                self.structops.push(*op);
+                let s = self.pool_idx(self.structops.len() - 1);
+                let dst = self.r16(dst);
+                self.ops.push(Op::Struct { dst, s, base: b, argc });
+                self.free_to(mark);
+            }
+            Expr::Lambda { func, captures } => {
+                let mut caps = Vec::with_capacity(captures.len());
+                for &slot in captures {
+                    caps.push(self.r16(slot));
+                }
+                self.lambdas.push(LambdaSpec { func: Arc::clone(func), captures: caps.into() });
+                let l = self.pool_idx(self.lambdas.len() - 1);
+                let dst = self.r16(dst);
+                self.ops.push(Op::MakeClosure { dst, l });
+            }
+            Expr::FuncRef(sym, text) => {
+                let site = self.k_site(*sym, text);
+                let dst = self.r16(dst);
+                self.ops.push(Op::FuncRef { dst, site });
+            }
+            Expr::Future { name, name_text, args } => {
+                let (b, argc) = self.emit_args(args);
+                let site = self.k_site(*name, name_text);
+                let dst = self.r16(dst);
+                self.ops.push(Op::Future { dst, site, base: b, argc });
+                self.free_to(mark);
+            }
+            Expr::Enqueue { site, name, name_text, args } => {
+                let (b, argc) = self.emit_args(args);
+                let callee = self.k_site(*name, name_text);
+                self.ops.push(Op::Enqueue { site: *site as u32, callee, base: b, argc });
+                self.free_to(mark);
+                self.op_const(dst, Value::NIL);
+            }
+            Expr::LockOp { lock, base, field, exclusive } => {
+                let cell = self.operand(base, true);
+                self.locks.push(LockSpec { field: *field, lock: *lock, exclusive: *exclusive });
+                let l = self.pool_idx(self.locks.len() - 1);
+                let src = self.r16(cell);
+                self.ops.push(Op::Lock { src, l });
+                self.free_to(mark);
+                self.op_const(dst, Value::NIL);
+            }
+        }
+        self.free_to(mark);
+    }
+
+    /// Compile a builtin application, using a specialized opcode when
+    /// one exists for this operator/arity.
+    fn emit_builtin(&mut self, op: BuiltinOp, args: &[Expr], dst: usize, mark: usize) {
+        use BuiltinOp::*;
+
+        // atomic-incf takes the *place* of its first argument.
+        if op == AtomicIncfGlobal {
+            let Some(Expr::Var(VarRef::Global(sym), _)) = args.first() else {
+                self.raise(LispError::Syntax(
+                    "atomic-incf requires a global variable place".into(),
+                ));
+                return;
+            };
+            let g = self.k_global(*sym);
+            let delta = match args.get(1) {
+                Some(d) => self.operand(d, true),
+                None => {
+                    let t = self.alloc_temp();
+                    self.op_const(t, Value::int(1));
+                    t
+                }
+            };
+            let (dst, delta) = (self.r16(dst), self.r16(delta));
+            self.ops.push(Op::AtomicIncfG { dst, g, delta });
+            self.free_to(mark);
+            return;
+        }
+
+        // (identity x) is a register move.
+        if op == Identity && args.len() == 1 {
+            self.emit(&args[0], dst, false);
+            return;
+        }
+
+        if args.len() == 1 {
+            let unary = |dst: u16, a: u16| -> Option<Op> {
+                Some(match op {
+                    Car => Op::Car { dst, a },
+                    Cdr => Op::Cdr { dst, a },
+                    Null => Op::NullP { dst, a },
+                    Consp => Op::ConspP { dst, a },
+                    Atom => Op::AtomP { dst, a },
+                    Add1 => Op::Add1 { dst, a },
+                    Sub1 => Op::Sub1 { dst, a },
+                    Touch => Op::Touch { dst, a },
+                    _ => return None,
+                })
+            };
+            if unary(0, 0).is_some() {
+                let a = self.operand(&args[0], true);
+                let (d, a) = (self.r16(dst), self.r16(a));
+                let op = unary(d, a).expect("checked above");
+                self.ops.push(op);
+                self.free_to(mark);
+                return;
+            }
+        }
+
+        if args.len() == 2 {
+            let binary = |dst: u16, a: u16, b: u16| -> Option<Op> {
+                Some(match op {
+                    Cons => Op::Cons { dst, a, b },
+                    SetCar => Op::SetCar { dst, a, b },
+                    SetCdr => Op::SetCdr { dst, a, b },
+                    Eq => Op::EqP { dst, a, b },
+                    Add => Op::Add2 { dst, a, b },
+                    Sub => Op::Sub2 { dst, a, b },
+                    Mul => Op::Mul2 { dst, a, b },
+                    Lt => Op::Lt2 { dst, a, b },
+                    Gt => Op::Gt2 { dst, a, b },
+                    Le => Op::Le2 { dst, a, b },
+                    Ge => Op::Ge2 { dst, a, b },
+                    NumEq => Op::NumEq2 { dst, a, b },
+                    _ => return None,
+                })
+            };
+            if binary(0, 0, 0).is_some() {
+                // Operand `a` may be read from its slot at instruction
+                // time only if evaluating `b` cannot move it first.
+                let a = self.operand(&args[0], Self::is_reg_write_free(&args[1]));
+                let b = self.operand(&args[1], true);
+                let (d, a, b) = (self.r16(dst), self.r16(a), self.r16(b));
+                let op = binary(d, a, b).expect("checked above");
+                self.ops.push(op);
+                self.free_to(mark);
+                return;
+            }
+        }
+
+        let (b, argc) = self.emit_args(args);
+        let dst = self.r16(dst);
+        self.ops.push(Op::Builtin { dst, op, base: b, argc });
+        self.free_to(mark);
+    }
+}

@@ -6,9 +6,9 @@
 //! §5) — run in constant Rust stack.
 
 use crate::ast::{BuiltinOp, Expr, StructOp, VarRef};
-use crate::builtins::apply_builtin;
+use crate::builtins::{apply_builtin, BuiltinCx};
 use crate::error::{LispError, Result};
-use crate::interp::Interp;
+use crate::interp::{Engine, Interp};
 use crate::value::{FuncId, Value};
 
 /// Result of evaluating an expression in tail position.
@@ -47,11 +47,11 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
-fn take_value_buf() -> Vec<Value> {
+pub(crate) fn take_value_buf() -> Vec<Value> {
     VALUE_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default()
 }
 
-fn put_value_buf(mut v: Vec<Value>) {
+pub(crate) fn put_value_buf(mut v: Vec<Value>) {
     if v.capacity() > 0 {
         v.clear();
         VALUE_BUFS.with(|p| {
@@ -76,20 +76,40 @@ fn approximate_stack_pointer() -> usize {
     std::ptr::addr_of!(marker) as usize
 }
 
+/// Resolve the outermost stack base for this thread, registering the
+/// current position as base if no evaluator (tree or VM) is active yet.
+/// Both engines measure against the same base so the budget keeps
+/// covering nested evaluation (helping `touch`) across engines.
+pub(crate) fn resolve_stack_base() -> usize {
+    STACK_BASE.with(|b| {
+        let cur = b.get();
+        if cur == 0 {
+            let here = approximate_stack_pointer();
+            b.set(here);
+            here
+        } else {
+            cur
+        }
+    })
+}
+
+/// True when native stack use measured from `stack_base` exceeds the
+/// thread's budget.
+pub(crate) fn stack_exhausted(stack_base: usize) -> bool {
+    stack_base.abs_diff(approximate_stack_pointer()) > STACK_BUDGET.with(std::cell::Cell::get)
+}
+
 impl<'i> Evaluator<'i> {
     /// A fresh evaluator at depth zero.
     pub fn new(interp: &'i Interp) -> Self {
-        let base = STACK_BASE.with(|b| {
-            let cur = b.get();
-            if cur == 0 {
-                let here = approximate_stack_pointer();
-                b.set(here);
-                here
-            } else {
-                cur
-            }
-        });
-        Evaluator { interp, depth: 0, stack_base: base }
+        Evaluator { interp, depth: 0, stack_base: resolve_stack_base() }
+    }
+
+    /// An evaluator continuing at `depth` — used when the bytecode VM
+    /// hands a call chain to the tree oracle (or vice versa) so the
+    /// recursion budget spans both engines.
+    pub(crate) fn with_depth(interp: &'i Interp, depth: usize) -> Self {
+        Evaluator { interp, depth, stack_base: resolve_stack_base() }
     }
 
     /// Evaluate a top-level expression in an empty frame.
@@ -98,15 +118,26 @@ impl<'i> Evaluator<'i> {
         self.eval(e, &mut frame)
     }
 
-    /// Apply function `id` to `args`, trampolining tail calls.
-    pub fn apply(&mut self, mut id: FuncId, mut args: Vec<Value>) -> Result<Value> {
+    /// Apply function `id` to `args` on the interpreter's configured
+    /// engine. Top-level forms are always tree-walked (their frames
+    /// grow dynamically across a load), so under the default VM engine
+    /// this is where evaluation crosses into bytecode.
+    pub fn apply(&mut self, id: FuncId, args: Vec<Value>) -> Result<Value> {
+        match self.interp.engine() {
+            Engine::Vm => crate::vm::Vm::with_depth(self.interp, self.depth).apply(id, args),
+            Engine::Tree => self.apply_tree(id, args),
+        }
+    }
+
+    /// Apply function `id` to `args` on the tree-walker, trampolining
+    /// tail calls.
+    pub(crate) fn apply_tree(&mut self, mut id: FuncId, mut args: Vec<Value>) -> Result<Value> {
         self.depth += 1;
         if self.depth > self.interp.recursion_limit() {
             self.depth -= 1;
             return Err(LispError::RecursionLimit(self.interp.recursion_limit()));
         }
-        let used = self.stack_base.abs_diff(approximate_stack_pointer());
-        if used > STACK_BUDGET.with(std::cell::Cell::get) {
+        if stack_exhausted(self.stack_base) {
             self.depth -= 1;
             return Err(LispError::RecursionLimit(self.depth + 1));
         }
@@ -257,13 +288,20 @@ impl<'i> Evaluator<'i> {
                     }
                 } else {
                     // Evaluate all inits before any binding is visible.
-                    let mut vals = Vec::with_capacity(bindings.len());
+                    let mut vals = take_value_buf();
                     for (_, _, init) in bindings {
-                        vals.push(self.eval(init, frame)?);
+                        match self.eval(init, frame) {
+                            Ok(v) => vals.push(v),
+                            Err(e) => {
+                                put_value_buf(vals);
+                                return Err(e);
+                            }
+                        }
                     }
-                    for ((slot, _, _), v) in bindings.iter().zip(vals) {
+                    for ((slot, _, _), &v) in bindings.iter().zip(&vals) {
                         frame[*slot] = v;
                     }
+                    put_value_buf(vals);
                 }
                 match body.split_last() {
                     None => Value::NIL,
@@ -319,40 +357,34 @@ impl<'i> Evaluator<'i> {
                     };
                     return Ok(Flow::Val(interp.atomic_incf_global(*sym, delta)?));
                 }
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = take_value_buf();
                 for a in args {
-                    vals.push(self.eval(a, frame)?);
-                }
-                apply_builtin(self, *op, vals)?
-            }
-            Expr::Struct(op, args) => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a, frame)?);
-                }
-                match *op {
-                    StructOp::Make { ty, nfields } => {
-                        debug_assert_eq!(vals.len(), nfields);
-                        heap.make_struct(ty, &vals)
-                    }
-                    StructOp::Ref { ty, field } => {
-                        self.check_struct_type(vals[0], ty)?;
-                        heap.struct_ref(vals[0], field)?
-                    }
-                    StructOp::Set { ty, field } => {
-                        self.check_struct_type(vals[0], ty)?;
-                        heap.struct_set(vals[0], field, vals[1])?;
-                        vals[1]
-                    }
-                    StructOp::Pred { ty } => {
-                        let ok = heap.struct_type_of(vals[0]).map(|t| t == ty).unwrap_or(false);
-                        if ok {
-                            Value::T
-                        } else {
-                            Value::NIL
+                    match self.eval(a, frame) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => {
+                            put_value_buf(vals);
+                            return Err(e);
                         }
                     }
                 }
+                let out = apply_builtin(self, *op, &mut vals);
+                put_value_buf(vals);
+                out?
+            }
+            Expr::Struct(op, args) => {
+                let mut vals = take_value_buf();
+                for a in args {
+                    match self.eval(a, frame) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => {
+                            put_value_buf(vals);
+                            return Err(e);
+                        }
+                    }
+                }
+                let out = apply_struct_op(interp, *op, &vals);
+                put_value_buf(vals);
+                out?
             }
             Expr::Lambda { func, captures } => {
                 let captured: Vec<Value> = captures
@@ -366,10 +398,10 @@ impl<'i> Evaluator<'i> {
                 match interp.lookup_func(*sym) {
                     Some(id) => Value::func(id),
                     // Builtins have no table entry; their symbol is
-                    // callable through funcall/apply/mapcar.
-                    None if crate::lower::builtin_signature(name_text).is_some() => {
-                        Value::sym(*sym)
-                    }
+                    // callable through funcall/apply/mapcar. Resolved
+                    // through the pre-interned id table, not a string
+                    // comparison chain.
+                    None if interp.builtin_by_sym(*sym).is_some() => Value::sym(*sym),
                     None => return Err(LispError::UndefinedFunction(name_text.clone())),
                 }
             }
@@ -407,23 +439,63 @@ impl<'i> Evaluator<'i> {
         }))
     }
 
-    fn check_struct_type(&self, v: Value, ty: u32) -> Result<()> {
-        let actual = self.interp.heap().struct_type_of(v)?;
-        if actual != ty {
-            let want = self.interp.heap().struct_type(ty).name;
-            return Err(LispError::Type {
-                expected: "struct",
-                got: format!("{} (wanted {want})", self.interp.heap().display(v)),
-                op: "struct access",
-            });
-        }
-        Ok(())
-    }
-
     /// The interpreter this evaluator runs against.
     pub fn interp(&self) -> &'i Interp {
         self.interp
     }
+}
+
+impl BuiltinCx for Evaluator<'_> {
+    fn cx_interp(&self) -> &Interp {
+        self.interp
+    }
+
+    fn call_func(&mut self, id: FuncId, args: Vec<Value>) -> Result<Value> {
+        self.apply(id, args)
+    }
+}
+
+/// Check that `v` is a struct of type `ty` (shared by both engines).
+pub(crate) fn check_struct_type(interp: &Interp, v: Value, ty: u32) -> Result<()> {
+    let actual = interp.heap().struct_type_of(v)?;
+    if actual != ty {
+        let want = interp.heap().struct_type(ty).name;
+        return Err(LispError::Type {
+            expected: "struct",
+            got: format!("{} (wanted {want})", interp.heap().display(v)),
+            op: "struct access",
+        });
+    }
+    Ok(())
+}
+
+/// Apply a struct operation to evaluated arguments (shared by both
+/// engines).
+pub(crate) fn apply_struct_op(interp: &Interp, op: StructOp, vals: &[Value]) -> Result<Value> {
+    let heap = interp.heap();
+    Ok(match op {
+        StructOp::Make { ty, nfields } => {
+            debug_assert_eq!(vals.len(), nfields);
+            heap.make_struct(ty, vals)
+        }
+        StructOp::Ref { ty, field } => {
+            check_struct_type(interp, vals[0], ty)?;
+            heap.struct_ref(vals[0], field)?
+        }
+        StructOp::Set { ty, field } => {
+            check_struct_type(interp, vals[0], ty)?;
+            heap.struct_set(vals[0], field, vals[1])?;
+            vals[1]
+        }
+        StructOp::Pred { ty } => {
+            let ok = heap.struct_type_of(vals[0]).map(|t| t == ty).unwrap_or(false);
+            if ok {
+                Value::T
+            } else {
+                Value::NIL
+            }
+        }
+    })
 }
 
 #[cfg(test)]

@@ -3,18 +3,55 @@
 //! recursive calls.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::sync::{Mutex, RwLock};
 
-use crate::ast::{Func, Program};
+use crate::ast::{BuiltinOp, Func, Program};
+use crate::compile::Code;
 use crate::error::{LispError, Result};
 use crate::eval::Evaluator;
 use crate::heap::Heap;
 use crate::lower::Lowerer;
 use crate::value::{FuncId, SymId, Value};
 use curare_sexpr::parse_all;
+
+/// Which execution engine runs function bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The register bytecode VM ([`crate::vm`]) — the default.
+    Vm,
+    /// The tree-walking evaluator ([`crate::eval`]) — the `eval-tree`
+    /// escape hatch, kept as the differential-testing oracle.
+    Tree,
+}
+
+/// Process-wide default engine: 0 = unresolved, 1 = VM, 2 = tree.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide default engine. Resolved once from the
+/// `CURARE_ENGINE` environment variable (`tree` / `eval-tree` select
+/// the tree-walker); the VM otherwise.
+pub fn default_engine() -> Engine {
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        1 => Engine::Vm,
+        2 => Engine::Tree,
+        _ => {
+            let e = match std::env::var("CURARE_ENGINE").ok().as_deref() {
+                Some("tree") | Some("eval-tree") => Engine::Tree,
+                _ => Engine::Vm,
+            };
+            set_default_engine(e);
+            e
+        }
+    }
+}
+
+/// Override the process-wide default engine (the `--engine` flag).
+pub fn set_default_engine(e: Engine) {
+    DEFAULT_ENGINE.store(if e == Engine::Vm { 1 } else { 2 }, Ordering::Relaxed);
+}
 
 /// A function-table entry: the code plus any values captured when a
 /// lambda was evaluated (empty for named functions).
@@ -24,6 +61,10 @@ pub struct FuncEntry {
     pub func: Arc<Func>,
     /// Captured values, prepended to the frame.
     pub captured: Arc<[Value]>,
+    /// Bytecode compiled at definition time; `None` when the function
+    /// exceeds the compiler's register budget, in which case the VM
+    /// falls back to the tree-walker for this function.
+    pub code: Option<Arc<Code>>,
 }
 
 #[derive(Default)]
@@ -96,6 +137,21 @@ pub struct Interp {
     /// serve repeat lookups from a thread-local cache without the
     /// read-lock round trip.
     hooks_gen: AtomicU64,
+    /// Bumped on every named (re)definition; tags the VM's call-site
+    /// inline caches so redefinition invalidates them.
+    funcs_gen: AtomicU64,
+    /// Per-interp engine override: 0 = process default, 1 = VM,
+    /// 2 = tree.
+    engine: AtomicU8,
+    /// Builtin dispatch pre-resolved to interned symbol ids, so
+    /// funcall-by-symbol and `#'name` skip the per-call string
+    /// comparison chain of `lower::builtin_signature`.
+    builtins_by_sym: HashMap<SymId, (BuiltinOp, usize, usize)>,
+    /// Compiled bytecode per function template, keyed by `Arc<Func>`
+    /// address. The value retains the `Arc` so an address is never
+    /// reused while cached; closures instantiated from the same
+    /// `lambda` expression share one compilation.
+    code_cache: RwLock<HashMap<usize, CodeCacheEntry>>,
     gensym: AtomicU64,
     rng: Mutex<u64>,
     max_depth: AtomicU64,
@@ -109,6 +165,9 @@ static NEXT_HOOKS_GEN: AtomicU64 = AtomicU64::new(0);
 /// `(interp address, generation, hooks)` as last resolved by a thread.
 type HooksCacheEntry = (usize, u64, Arc<dyn RuntimeHooks>);
 
+/// The retained template plus its (possibly absent) compilation.
+type CodeCacheEntry = (Arc<Func>, Option<Arc<Code>>);
+
 thread_local! {
     /// The hooks last resolved by this thread. Hooks change only when
     /// a runtime installs or removes itself, so in steady state every
@@ -120,17 +179,62 @@ thread_local! {
 impl Interp {
     /// A fresh interpreter with sequential hooks.
     pub fn new() -> Self {
+        let heap = Heap::new();
+        let builtins_by_sym = crate::lower::BUILTIN_NAMES
+            .iter()
+            .map(|&name| {
+                let sig = crate::lower::builtin_signature(name)
+                    .expect("BUILTIN_NAMES entries match the signature table");
+                (heap.intern(name), sig)
+            })
+            .collect();
         Interp {
-            heap: Heap::new(),
+            heap,
             funcs: RwLock::new(FuncTable::default()),
             globals: RwLock::new(HashMap::new()),
             output: Mutex::new(Vec::new()),
             hooks: RwLock::new(Arc::new(SequentialHooks)),
             hooks_gen: AtomicU64::new(NEXT_HOOKS_GEN.fetch_add(1, Ordering::Relaxed)),
+            funcs_gen: AtomicU64::new(0),
+            engine: AtomicU8::new(0),
+            builtins_by_sym,
+            code_cache: RwLock::new(HashMap::new()),
             gensym: AtomicU64::new(0),
             rng: Mutex::new(0x853C_49E6_748F_EA9B),
             max_depth: AtomicU64::new(10_000),
         }
+    }
+
+    /// The engine this interpreter runs function bodies on: a
+    /// per-interp override when set, the process default otherwise.
+    pub fn engine(&self) -> Engine {
+        match self.engine.load(Ordering::Relaxed) {
+            1 => Engine::Vm,
+            2 => Engine::Tree,
+            _ => default_engine(),
+        }
+    }
+
+    /// Set (or with `None`, clear) this interpreter's engine override.
+    pub fn set_engine(&self, e: Option<Engine>) {
+        let code = match e {
+            None => 0,
+            Some(Engine::Vm) => 1,
+            Some(Engine::Tree) => 2,
+        };
+        self.engine.store(code, Ordering::Relaxed);
+    }
+
+    /// Builtin operation and arity bounds for symbol `s`, when `s`
+    /// names a builtin.
+    pub fn builtin_by_sym(&self, s: SymId) -> Option<(BuiltinOp, usize, usize)> {
+        self.builtins_by_sym.get(&s).copied()
+    }
+
+    /// The current function-table generation (bumped on every named
+    /// definition); tags call-site inline caches.
+    pub fn funcs_gen(&self) -> u64 {
+        self.funcs_gen.load(Ordering::Acquire)
     }
 
     /// The shared heap.
@@ -181,21 +285,44 @@ impl Interp {
 
     /// Define (or redefine) a named function; returns its id.
     pub fn define_func(&self, func: Arc<Func>) -> FuncId {
+        let code = self.compiled_code(&func);
         let mut table = self.funcs.write();
         let id = table.entries.len() as FuncId;
-        table
-            .entries
-            .push(Arc::new(FuncEntry { func: Arc::clone(&func), captured: Arc::from([]) }));
+        table.entries.push(Arc::new(FuncEntry {
+            func: Arc::clone(&func),
+            captured: Arc::from([]),
+            code,
+        }));
         table.by_name.insert(func.name_sym, id);
+        drop(table);
+        // Bumped after the entry is visible: a racing call site may
+        // cache the *old* resolution under the old generation (and
+        // re-resolve next call), but never the new one under it.
+        self.funcs_gen.fetch_add(1, Ordering::AcqRel);
         id
     }
 
     /// Register a closure instance; returns its id.
     pub fn define_closure(&self, func: Arc<Func>, captured: Vec<Value>) -> FuncId {
+        let code = self.compiled_code(&func);
         let mut table = self.funcs.write();
         let id = table.entries.len() as FuncId;
-        table.entries.push(Arc::new(FuncEntry { func, captured: captured.into() }));
+        table.entries.push(Arc::new(FuncEntry { func, captured: captured.into(), code }));
         id
+    }
+
+    /// Bytecode for `func`, compiling on first sight of this template.
+    /// Keyed by `Arc` address: every closure instantiated from the same
+    /// `lambda` expression reuses one compilation, so creating closures
+    /// in a loop does not recompile.
+    fn compiled_code(&self, func: &Arc<Func>) -> Option<Arc<Code>> {
+        let key = Arc::as_ptr(func) as usize;
+        if let Some((_, code)) = self.code_cache.read().get(&key) {
+            return code.clone();
+        }
+        let code = crate::compile::compile(self, func).map(Arc::new);
+        let mut cache = self.code_cache.write();
+        cache.entry(key).or_insert_with(|| (Arc::clone(func), code)).1.clone()
     }
 
     /// Resolve a function by name symbol.
@@ -378,10 +505,17 @@ impl Interp {
     }
 
     /// Call function `id`, consuming `args` (no argument copy — the
-    /// runtime's per-task fast path).
+    /// runtime's per-task fast path). Dispatches to the configured
+    /// engine: this is the entry point through which CRI pool tasks
+    /// and sequential futures run bytecode.
     pub fn call_fid_owned(&self, id: FuncId, args: Vec<Value>) -> Result<Value> {
-        let mut ev = Evaluator::new(self);
-        ev.apply(id, args)
+        match self.engine() {
+            Engine::Vm => crate::vm::Vm::new(self).apply(id, args),
+            Engine::Tree => {
+                let mut ev = Evaluator::new(self);
+                ev.apply_tree(id, args)
+            }
+        }
     }
 
     /// Call a named function.

@@ -16,7 +16,11 @@
 //! - [`eval`] / [`builtins`] / [`interp`]: a reentrant, `Sync`
 //!   interpreter with proper tail calls and pluggable
 //!   [`interp::RuntimeHooks`] that let the CRI runtime intercept
-//!   recursive calls, futures, and lock operations.
+//!   recursive calls, futures, and lock operations;
+//! - [`compile`] / [`vm`]: a register bytecode compiler and dispatch
+//!   loop — the default engine for function invocation, with the
+//!   tree-walker retained as a differential oracle (select with
+//!   [`interp::Engine`] or the `CURARE_ENGINE` environment variable).
 //!
 //! # Quick example
 //!
@@ -37,6 +41,7 @@ pub mod arena;
 pub mod ast;
 pub mod builtins;
 pub mod chash;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod heap;
@@ -45,10 +50,14 @@ pub mod lower;
 pub mod sync;
 pub mod unparse;
 pub mod value;
+pub mod vm;
 
 pub use error::{LispError, Result};
 pub use eval::{set_thread_stack_budget, Evaluator};
 pub use heap::{Heap, HeapStats, StructType};
-pub use interp::{Interp, RuntimeHooks, SequentialHooks};
+pub use interp::{
+    default_engine, set_default_engine, Engine, Interp, RuntimeHooks, SequentialHooks,
+};
 pub use lower::{Lowerer, TopForm};
 pub use value::{FuncId, SymId, Val, Value};
+pub use vm::{vm_stats, Vm, VmStats};

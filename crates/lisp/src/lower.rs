@@ -849,6 +849,74 @@ fn cxr_letters(name: &str) -> Option<Vec<u8>> {
     Some(mid.to_vec())
 }
 
+/// Every name `builtin_signature` recognizes. The interpreter interns
+/// these once at construction so funcall-by-symbol and `#'name`
+/// resolve builtins by pre-computed [`crate::value::SymId`] instead of
+/// a per-call string comparison chain.
+pub const BUILTIN_NAMES: &[&str] = &[
+    "car",
+    "cdr",
+    "cons",
+    "rplaca",
+    "rplacd",
+    "+",
+    "-",
+    "*",
+    "/",
+    "mod",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "=",
+    "/=",
+    "min",
+    "max",
+    "abs",
+    "1+",
+    "1-",
+    "eq",
+    "eql",
+    "equal",
+    "atom",
+    "consp",
+    "symbolp",
+    "numberp",
+    "stringp",
+    "functionp",
+    "list",
+    "append",
+    "reverse",
+    "length",
+    "nth",
+    "nthcdr",
+    "assoc",
+    "member",
+    "last",
+    "copy-list",
+    "print",
+    "princ",
+    "terpri",
+    "error",
+    "make-hash-table",
+    "gethash",
+    "puthash",
+    "remhash",
+    "hash-table-count",
+    "make-vector",
+    "aref",
+    "aset",
+    "vector-length",
+    "funcall",
+    "apply",
+    "mapcar",
+    "identity",
+    "gensym",
+    "random",
+    "atomic-incf",
+    "touch",
+];
+
 /// Name, minimum arity, maximum arity for plain builtins.
 pub fn builtin_signature(name: &str) -> Option<(BuiltinOp, usize, usize)> {
     use BuiltinOp::*;

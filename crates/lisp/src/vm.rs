@@ -1,0 +1,508 @@
+//! Register bytecode VM: the default engine for function invocation.
+//!
+//! [`Vm::apply`] is the bytecode counterpart of
+//! `Evaluator::apply_tree`: same recursion-depth budget, same
+//! stack-headroom check (shared `STACK_BASE`, so a nested evaluator
+//! started by a helping `touch` measures from the outermost frame),
+//! and the same trampoline for proper tail calls — `exec` unwinds to
+//! `apply` with the next `(fid, args)` instead of recursing.
+//!
+//! Register frames are recycled through a thread-local pool (mirroring
+//! the tree-walker's frame reuse), and every heap access goes through
+//! the same `heap.rs` accessors, so sanitizer and obs instrumentation
+//! see identical access streams from both engines.
+//!
+//! Functions whose bodies exceed the compiler's register budget carry
+//! no code block; the VM transparently finishes such calls on the
+//! tree-walker.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::builtins::{apply_builtin, compare_chain, fold_arith, BuiltinCx};
+use crate::compile::{Code, Op};
+use crate::error::{LispError, Result};
+use crate::eval::{self, apply_struct_op, Evaluator};
+use crate::interp::Interp;
+use crate::value::{FuncId, Value};
+
+thread_local! {
+    /// Recycled register frames, separate from the tree-walker's
+    /// value-buffer pool (frames are sized to whole functions).
+    static REG_FRAMES: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Retain at most this many recycled frames per thread.
+const MAX_POOLED_FRAMES: usize = 16;
+
+static VM_OPS: AtomicU64 = AtomicU64::new(0);
+static VM_FRAMES_REUSED: AtomicU64 = AtomicU64::new(0);
+static VM_FRAMES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide VM execution counters (cumulative; flushed from each
+/// [`Vm`] when it drops).
+#[derive(Debug, Clone, Copy)]
+pub struct VmStats {
+    /// Bytecode instructions dispatched.
+    pub dispatched_ops: u64,
+    /// Register frames served from the thread-local pool.
+    pub frames_reused: u64,
+    /// Register frames freshly allocated.
+    pub frames_allocated: u64,
+}
+
+/// Snapshot the process-wide VM counters.
+pub fn vm_stats() -> VmStats {
+    VmStats {
+        dispatched_ops: VM_OPS.load(Ordering::Relaxed),
+        frames_reused: VM_FRAMES_REUSED.load(Ordering::Relaxed),
+        frames_allocated: VM_FRAMES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Control flow out of one code block.
+enum VmFlow {
+    /// Normal completion.
+    Val(Value),
+    /// Tail call: the trampoline in [`Vm::apply`] continues here.
+    Tail(FuncId, Vec<Value>),
+}
+
+/// A bytecode execution context, analogous to [`Evaluator`].
+pub struct Vm<'i> {
+    interp: &'i Interp,
+    /// Current call depth, against `interp.recursion_limit()`.
+    depth: usize,
+    /// Outermost stack base for headroom checks (shared with any
+    /// enclosing evaluator via the `STACK_BASE` thread-local).
+    stack_base: usize,
+    // Locally-batched counters, flushed to the globals on drop.
+    ops: u64,
+    frames_reused: u64,
+    frames_allocated: u64,
+}
+
+impl Drop for Vm<'_> {
+    fn drop(&mut self) {
+        if self.ops != 0 {
+            VM_OPS.fetch_add(self.ops, Ordering::Relaxed);
+        }
+        if self.frames_reused != 0 {
+            VM_FRAMES_REUSED.fetch_add(self.frames_reused, Ordering::Relaxed);
+        }
+        if self.frames_allocated != 0 {
+            VM_FRAMES_ALLOCATED.fetch_add(self.frames_allocated, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<'i> Vm<'i> {
+    /// A fresh VM context at depth 0.
+    pub fn new(interp: &'i Interp) -> Vm<'i> {
+        Vm::with_depth(interp, 0)
+    }
+
+    /// A VM continuing at `depth` (engine hand-off mid-call-chain).
+    pub(crate) fn with_depth(interp: &'i Interp, depth: usize) -> Vm<'i> {
+        Vm {
+            interp,
+            depth,
+            stack_base: eval::resolve_stack_base(),
+            ops: 0,
+            frames_reused: 0,
+            frames_allocated: 0,
+        }
+    }
+
+    fn take_frame(&mut self) -> Vec<Value> {
+        match REG_FRAMES.with(|p| p.borrow_mut().pop()) {
+            Some(f) => {
+                self.frames_reused += 1;
+                f
+            }
+            None => {
+                self.frames_allocated += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn put_frame(&mut self, mut f: Vec<Value>) {
+        f.clear();
+        REG_FRAMES.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED_FRAMES {
+                p.push(f);
+            }
+        });
+    }
+
+    /// Call function `id` with `args`, trampolining tail calls.
+    pub fn apply(&mut self, mut id: FuncId, mut args: Vec<Value>) -> Result<Value> {
+        self.depth += 1;
+        if self.depth > self.interp.recursion_limit() {
+            self.depth -= 1;
+            return Err(LispError::RecursionLimit(self.interp.recursion_limit()));
+        }
+        if eval::stack_exhausted(self.stack_base) {
+            self.depth -= 1;
+            return Err(LispError::RecursionLimit(self.depth + 1));
+        }
+        let mut frame = self.take_frame();
+        // Tail-recursive loops hit the same function every bounce;
+        // cache the entry keyed by (fid, table generation) to skip the
+        // per-iteration table lock. Redefinition bumps the generation,
+        // so a tail call into a function redefined mid-run still sees
+        // the new definition, like the tree-walker's refetch.
+        let mut cached: Option<(FuncId, u64, Arc<crate::interp::FuncEntry>)> = None;
+        let result = loop {
+            let gen = self.interp.funcs_gen();
+            let entry = match &cached {
+                Some((cid, cgen, e)) if *cid == id && *cgen == gen => Arc::clone(e),
+                _ => {
+                    let e = self.interp.func_entry(id);
+                    cached = Some((id, gen, Arc::clone(&e)));
+                    e
+                }
+            };
+            let Some(code) = entry.code.as_deref() else {
+                // No compiled body (register budget exceeded): finish
+                // this call chain on the tree-walker at the same depth.
+                let mut ev = Evaluator::with_depth(self.interp, self.depth - 1);
+                break ev.apply_tree(id, args);
+            };
+            let func = &entry.func;
+            if args.len() != func.params.len() {
+                break Err(LispError::Arity {
+                    name: func.name.clone(),
+                    expected: func.params.len(),
+                    got: args.len(),
+                });
+            }
+            frame.clear();
+            frame.reserve(code.nregs as usize);
+            frame.extend_from_slice(&entry.captured);
+            frame.append(&mut args);
+            // Slots start unbound exactly like tree frames (a parallel
+            // `let` may close over a not-yet-bound slot); temporaries
+            // are compiler-managed and never read before written.
+            frame.resize(code.nregs as usize, Value::UNBOUND);
+            eval::put_value_buf(std::mem::take(&mut args));
+            match self.exec(code, &mut frame) {
+                Ok(VmFlow::Val(v)) => break Ok(v),
+                Ok(VmFlow::Tail(next, next_args)) => {
+                    id = next;
+                    args = next_args;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.put_frame(frame);
+        self.depth -= 1;
+        result
+    }
+
+    /// Execute one code block against `regs`.
+    fn exec(&mut self, code: &Code, regs: &mut [Value]) -> Result<VmFlow> {
+        let interp = self.interp;
+        let heap = interp.heap();
+        let mut pc = 0usize;
+        loop {
+            let op = code.ops[pc];
+            pc += 1;
+            self.ops += 1;
+            match op {
+                Op::Const { dst, k } => regs[dst as usize] = code.consts[k as usize],
+                Op::Float { dst, k } => {
+                    regs[dst as usize] = heap.float(code.floats[k as usize]);
+                }
+                Op::Str { dst, k } => {
+                    regs[dst as usize] = heap.string(code.strs[k as usize].clone());
+                }
+                Op::Quote { dst, k } => {
+                    regs[dst as usize] = heap.from_sexpr(&code.quotes[k as usize]);
+                }
+                Op::Move { dst, src } => regs[dst as usize] = regs[src as usize],
+                Op::LoadCap { dst, src, name } => {
+                    let v = regs[src as usize];
+                    if v == Value::UNBOUND {
+                        return Err(LispError::Unbound(code.names[name as usize].clone()));
+                    }
+                    regs[dst as usize] = v;
+                }
+                Op::GetGlobal { dst, g } => {
+                    let gl = &code.globals[g as usize];
+                    let v = Value::from_bits(gl.cell.load(Ordering::Acquire));
+                    if v == Value::UNBOUND {
+                        return Err(LispError::Unbound(heap.sym_name(gl.sym).to_string()));
+                    }
+                    regs[dst as usize] = v;
+                }
+                Op::SetGlobal { g, src } => {
+                    code.globals[g as usize]
+                        .cell
+                        .store(regs[src as usize].bits(), Ordering::Release);
+                }
+                Op::Jump { to } => pc = to as usize,
+                Op::JumpIfNil { src, to } => {
+                    if regs[src as usize].is_nil() {
+                        pc = to as usize;
+                    }
+                }
+                Op::JumpIfTrue { src, to } => {
+                    if regs[src as usize].is_true() {
+                        pc = to as usize;
+                    }
+                }
+                Op::Return { src } => return Ok(VmFlow::Val(regs[src as usize])),
+                Op::Call { dst, site, base, argc } => {
+                    let mut a = eval::take_value_buf();
+                    a.extend_from_slice(&regs[base as usize..][..argc as usize]);
+                    // Lookup after argument evaluation, like the tree.
+                    let fid = code.sites[site as usize].resolve(interp)?;
+                    regs[dst as usize] = self.apply(fid, a)?;
+                }
+                Op::TailCall { site, base, argc } => {
+                    let mut a = eval::take_value_buf();
+                    a.extend_from_slice(&regs[base as usize..][..argc as usize]);
+                    let fid = code.sites[site as usize].resolve(interp)?;
+                    return Ok(VmFlow::Tail(fid, a));
+                }
+                Op::Builtin { dst, op, base, argc } => {
+                    let mut vals = eval::take_value_buf();
+                    vals.extend_from_slice(&regs[base as usize..][..argc as usize]);
+                    let out = apply_builtin(self, op, &mut vals);
+                    eval::put_value_buf(vals);
+                    regs[dst as usize] = out?;
+                }
+                Op::Struct { dst, s, base, argc } => {
+                    let vals = &regs[base as usize..][..argc as usize];
+                    regs[dst as usize] = apply_struct_op(interp, code.structops[s as usize], vals)?;
+                }
+                Op::MakeClosure { dst, l } => {
+                    let spec = &code.lambdas[l as usize];
+                    let captured: Vec<Value> =
+                        spec.captures.iter().map(|&s| regs[s as usize]).collect();
+                    let fid = interp.define_closure(Arc::clone(&spec.func), captured);
+                    regs[dst as usize] = Value::func(fid);
+                }
+                Op::FuncRef { dst, site } => {
+                    let site = &code.sites[site as usize];
+                    regs[dst as usize] = match site.try_resolve(interp) {
+                        Some(fid) => Value::func(fid),
+                        // `#'car` etc.: builtins are designated by
+                        // their symbol.
+                        None if interp.builtin_by_sym(site.name).is_some() => Value::sym(site.name),
+                        None => {
+                            return Err(LispError::UndefinedFunction(site.text.clone()));
+                        }
+                    };
+                }
+                Op::Future { dst, site, base, argc } => {
+                    let mut a = eval::take_value_buf();
+                    a.extend_from_slice(&regs[base as usize..][..argc as usize]);
+                    let fid = code.sites[site as usize].resolve(interp)?;
+                    regs[dst as usize] = interp.hooks().future(interp, fid, a)?;
+                }
+                Op::Enqueue { site, callee, base, argc } => {
+                    let mut a = eval::take_value_buf();
+                    a.extend_from_slice(&regs[base as usize..][..argc as usize]);
+                    let fid = code.sites[callee as usize].resolve(interp)?;
+                    interp.hooks().enqueue(interp, site as usize, fid, a)?;
+                }
+                Op::Lock { src, l } => {
+                    let spec = code.locks[l as usize];
+                    let cell = regs[src as usize];
+                    let hooks = interp.hooks();
+                    if spec.lock {
+                        hooks.lock(interp, cell, spec.field, spec.exclusive)?;
+                    } else {
+                        hooks.unlock(interp, cell, spec.field, spec.exclusive)?;
+                    }
+                }
+                Op::AtomicIncfG { dst, g, delta } => {
+                    let gl = &code.globals[g as usize];
+                    let d = regs[delta as usize];
+                    let Some(d) = d.as_int() else {
+                        return Err(LispError::Type {
+                            expected: "integer",
+                            got: heap.display(d),
+                            op: "atomic-incf",
+                        });
+                    };
+                    regs[dst as usize] = interp.atomic_incf_global(gl.sym, d)?;
+                }
+                Op::Raise { e } => return Err(code.raises[e as usize].clone()),
+
+                // ----- specialized hot ops --------------------------
+                Op::Car { dst, a } => regs[dst as usize] = heap.car(regs[a as usize])?,
+                Op::Cdr { dst, a } => regs[dst as usize] = heap.cdr(regs[a as usize])?,
+                Op::Cons { dst, a, b } => {
+                    regs[dst as usize] = heap.cons(regs[a as usize], regs[b as usize]);
+                }
+                Op::SetCar { dst, a, b } => {
+                    let v = regs[b as usize];
+                    heap.set_car(regs[a as usize], v)?;
+                    regs[dst as usize] = v;
+                }
+                Op::SetCdr { dst, a, b } => {
+                    let v = regs[b as usize];
+                    heap.set_cdr(regs[a as usize], v)?;
+                    regs[dst as usize] = v;
+                }
+                Op::NullP { dst, a } => {
+                    regs[dst as usize] = bool_val(regs[a as usize].is_nil());
+                }
+                Op::ConspP { dst, a } => {
+                    regs[dst as usize] = bool_val(regs[a as usize].is_cons());
+                }
+                Op::AtomP { dst, a } => {
+                    regs[dst as usize] = bool_val(!regs[a as usize].is_cons());
+                }
+                Op::EqP { dst, a, b } => {
+                    regs[dst as usize] = bool_val(regs[a as usize] == regs[b as usize]);
+                }
+                Op::Add1 { dst, a } => {
+                    let v = regs[a as usize];
+                    regs[dst as usize] = match v.as_int() {
+                        Some(i) => int_result(i.checked_add(1), "+")?,
+                        None => fold_arith(
+                            interp,
+                            &[v, Value::int(1)],
+                            "+",
+                            i64::checked_add,
+                            |a, b| a + b,
+                            0,
+                            false,
+                        )?,
+                    };
+                }
+                Op::Sub1 { dst, a } => {
+                    let v = regs[a as usize];
+                    regs[dst as usize] = match v.as_int() {
+                        Some(i) => int_result(i.checked_sub(1), "-")?,
+                        None => fold_arith(
+                            interp,
+                            &[v, Value::int(1)],
+                            "-",
+                            i64::checked_sub,
+                            |a, b| a - b,
+                            0,
+                            false,
+                        )?,
+                    };
+                }
+                Op::Add2 { dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] = match (x.as_int(), y.as_int()) {
+                        (Some(i), Some(j)) => int_result(i.checked_add(j), "+")?,
+                        _ => fold_arith(
+                            interp,
+                            &[x, y],
+                            "+",
+                            i64::checked_add,
+                            |a, b| a + b,
+                            0,
+                            false,
+                        )?,
+                    };
+                }
+                Op::Sub2 { dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] = match (x.as_int(), y.as_int()) {
+                        (Some(i), Some(j)) => int_result(i.checked_sub(j), "-")?,
+                        _ => fold_arith(
+                            interp,
+                            &[x, y],
+                            "-",
+                            i64::checked_sub,
+                            |a, b| a - b,
+                            0,
+                            true,
+                        )?,
+                    };
+                }
+                Op::Mul2 { dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] = match (x.as_int(), y.as_int()) {
+                        (Some(i), Some(j)) => int_result(i.checked_mul(j), "*")?,
+                        _ => fold_arith(
+                            interp,
+                            &[x, y],
+                            "*",
+                            i64::checked_mul,
+                            |a, b| a * b,
+                            1,
+                            false,
+                        )?,
+                    };
+                }
+                Op::Lt2 { dst, a, b } => {
+                    regs[dst as usize] = cmp2(interp, regs[a as usize], regs[b as usize], op)?;
+                }
+                Op::Gt2 { dst, a, b } => {
+                    regs[dst as usize] = cmp2(interp, regs[a as usize], regs[b as usize], op)?;
+                }
+                Op::Le2 { dst, a, b } => {
+                    regs[dst as usize] = cmp2(interp, regs[a as usize], regs[b as usize], op)?;
+                }
+                Op::Ge2 { dst, a, b } => {
+                    regs[dst as usize] = cmp2(interp, regs[a as usize], regs[b as usize], op)?;
+                }
+                Op::NumEq2 { dst, a, b } => {
+                    regs[dst as usize] = cmp2(interp, regs[a as usize], regs[b as usize], op)?;
+                }
+                Op::Touch { dst, a } => {
+                    regs[dst as usize] = interp.hooks().touch(interp, regs[a as usize])?;
+                }
+            }
+        }
+    }
+}
+
+impl BuiltinCx for Vm<'_> {
+    fn cx_interp(&self) -> &Interp {
+        self.interp
+    }
+
+    fn call_func(&mut self, id: FuncId, args: Vec<Value>) -> Result<Value> {
+        self.apply(id, args)
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    if b {
+        Value::T
+    } else {
+        Value::NIL
+    }
+}
+
+fn int_result(i: Option<i64>, op: &'static str) -> Result<Value> {
+    i.and_then(Value::int_checked).ok_or(LispError::Overflow(op))
+}
+
+/// Two-operand numeric comparison with an integer fast path; mixed or
+/// float operands fall back to the tree-walker's `compare_chain`.
+fn cmp2(interp: &Interp, x: Value, y: Value, op: Op) -> Result<Value> {
+    if let (Some(i), Some(j)) = (x.as_int(), y.as_int()) {
+        let r = match op {
+            Op::Lt2 { .. } => i < j,
+            Op::Gt2 { .. } => i > j,
+            Op::Le2 { .. } => i <= j,
+            Op::Ge2 { .. } => i >= j,
+            Op::NumEq2 { .. } => i == j,
+            _ => unreachable!("cmp2 on a non-comparison op"),
+        };
+        return Ok(bool_val(r));
+    }
+    match op {
+        Op::Lt2 { .. } => compare_chain(interp, &[x, y], "<", |a, b| a < b, |a, b| a < b),
+        Op::Gt2 { .. } => compare_chain(interp, &[x, y], ">", |a, b| a > b, |a, b| a > b),
+        Op::Le2 { .. } => compare_chain(interp, &[x, y], "<=", |a, b| a <= b, |a, b| a <= b),
+        Op::Ge2 { .. } => compare_chain(interp, &[x, y], ">=", |a, b| a >= b, |a, b| a >= b),
+        Op::NumEq2 { .. } => compare_chain(interp, &[x, y], "=", |a, b| a == b, |a, b| a == b),
+        _ => unreachable!("cmp2 on a non-comparison op"),
+    }
+}

@@ -7,7 +7,7 @@
 
 #![cfg(feature = "heavy-tests")]
 
-use curare_lisp::{Heap, Interp, Lowerer, Value};
+use curare_lisp::{Engine, Heap, Interp, Lowerer, Value};
 use curare_sexpr::{parse_all, parse_one};
 use proptest::prelude::*;
 
@@ -211,6 +211,26 @@ proptest! {
         let b = it.call("f", &[Value::int(n)]).unwrap();
         prop_assert_eq!(a, Value::int(n * 2));
         prop_assert_eq!(b, Value::int(n * 3));
+    }
+
+    /// The bytecode VM and the tree-walker agree — value or error —
+    /// on every generated program, including its wrapped function-call
+    /// form (which exercises compiled invocation bodies rather than
+    /// the tree-walked toplevel).
+    #[test]
+    fn engines_agree(e in gen_expr()) {
+        let body = render(&e, false);
+        for src in [body.clone(), format!("(defun gen-f () {body}) (gen-f)")] {
+            let run = |engine: Engine| {
+                let it = Interp::new();
+                it.set_engine(Some(engine));
+                match it.load_str(&src) {
+                    Ok(v) => format!("ok: {}", it.heap().display(v)),
+                    Err(err) => format!("err: {err}"),
+                }
+            };
+            prop_assert_eq!(run(Engine::Tree), run(Engine::Vm), "src {}", src);
+        }
     }
 
     /// parse_all on arbitrary program-shaped text never panics, and

@@ -629,10 +629,23 @@ impl CriRuntime {
             .set("acquisitions", stats.lock_acquisitions)
             .set("contended", stats.lock_contended)
             .set("wait", self.shared.locks.wait_summary().to_json());
+        let vs = curare_lisp::vm_stats();
+        let vm = Json::obj()
+            .set(
+                "engine",
+                match self.interp.engine() {
+                    curare_lisp::Engine::Vm => "vm",
+                    curare_lisp::Engine::Tree => "tree",
+                },
+            )
+            .set("dispatched_ops", vs.dispatched_ops)
+            .set("frames_reused", vs.frames_reused)
+            .set("frames_allocated", vs.frames_allocated);
         RunReport::new(label)
             .section("pool", pool)
             .section("heap", heap)
             .section("locks", locks)
+            .section("vm", vm)
             .into_json()
     }
 }
