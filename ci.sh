@@ -53,7 +53,20 @@ echo "== sanitizer smoke: cross-check oracle over the experiment programs"
 cargo test -q -p curare-check --features sanitize
 cargo build --release -p curare-bench --features sanitize
 target/release/experiments sanitize > /dev/null
-# Rebuild without the feature so later steps use the unsanitized binary.
+
+echo "== chaos harness: lints, tests, differential smoke, sanitize cross-check"
+cargo clippy -p curare-runtime --features chaos --all-targets -- -D warnings
+cargo clippy -p curare-bench --features chaos --all-targets -- -D warnings
+cargo test -q -p curare-runtime --features chaos
+cargo build --release -p curare-bench --features "chaos sanitize"
+CHAOS_DIR="$(mktemp -d)"
+(cd "$CHAOS_DIR" && "$REPO_DIR/target/release/experiments" chaos --seeds 4 --json > /dev/null)
+target/release/experiments validate "$CHAOS_DIR/BENCH_chaos.json" \
+  schema bench host_threads seeds profile runs degrade_demo
+rm -rf "$CHAOS_DIR"
+target/release/experiments sanitize --chaos-seed 7 > /dev/null
+
+# Rebuild without the features so later steps use the plain binary.
 cargo build --release -p curare-bench
 
 echo "CI OK"

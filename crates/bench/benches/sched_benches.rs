@@ -102,6 +102,47 @@ fn sanitizer_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of the chaos harness: the same tiny-grain pool run on a
+/// binary without the `chaos` feature ("compiled_out": the injection
+/// sites do not exist), with the feature but no plan installed
+/// ("disarmed": one relaxed load and a branch per site), and with a
+/// quiet plan armed ("armed_quiet": the full decision stream at zero
+/// injection rates). Build with `--features bench-ext,chaos` for the
+/// latter two; with `bench-ext` alone all columns measure the
+/// compiled-out baseline — the E8 acceptance bound is that
+/// `compiled_out` sits within noise of the pre-chaos baseline.
+fn chaos_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_overhead");
+    g.sample_size(10);
+    let n = 5_000i64;
+
+    #[cfg(feature = "chaos")]
+    let variants: &[&str] = &["disarmed", "armed_quiet"];
+    #[cfg(not(feature = "chaos"))]
+    let variants: &[&str] = &["compiled_out"];
+    for &label in variants {
+        g.bench_function(label, |b| {
+            #[cfg(feature = "chaos")]
+            if label == "armed_quiet" {
+                use curare::runtime::chaos::{self, ChaosProfile, FaultPlan};
+                chaos::install(Some(FaultPlan::new(0, ChaosProfile::quiet("bench"))));
+            }
+            let (interp, _) = transformed_interp(&padded_walker(0));
+            let rt = CriRuntime::new(Arc::clone(&interp), 4);
+            b.iter(|| {
+                let l = int_list(&interp, n);
+                rt.run("padded", &[l]).expect("run");
+            });
+            drop(rt);
+            #[cfg(feature = "chaos")]
+            if label == "armed_quiet" {
+                curare::runtime::chaos::install(None);
+            }
+        });
+    }
+    g.finish();
+}
+
 /// Tree-walking evaluator vs the register bytecode VM on the
 /// invocation hot path: tiny-grain tail recursion (the E8 shape) and
 /// call-heavy non-tail recursion, single-threaded so only the engine
@@ -171,6 +212,7 @@ criterion_group!(
     sched_contention,
     trace_overhead,
     sanitizer_overhead,
+    chaos_overhead,
     eval_vs_vm,
     tlab_allocation
 );

@@ -10,6 +10,8 @@
 //! cargo run ... --features sanitize ... experiments sanitize     # oracle
 //! cargo run ... experiments interp [--json]       # tree vs VM sweep
 //! cargo run ... experiments differential FILE...  # engine parity gate
+//! cargo run ... --features chaos ... experiments chaos [--json]
+//!                                  # seeded fault-injection sweep
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` document of every threaded
@@ -41,6 +43,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("differential") {
         return differential_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return chaos_cmd(&args[1..]);
     }
     // The largest pool any experiment spawns is 8 servers; the tracer
     // clamps larger lane indices to the external lane anyway.
@@ -296,6 +301,38 @@ fn sanitize_cmd(args: &[String]) -> ExitCode {
     use curare::runtime::SchedMode;
 
     let json = args.iter().any(|a| a == "--json");
+    // `--chaos-seed N` arms the no-panic `reorder` fault profile for
+    // every cell: the soundness verdict must be schedule-independent,
+    // so a perturbed interleaving has to stay sound too. (Panic
+    // profiles are excluded — a retried body would record its heap
+    // accesses twice.)
+    let chaos_seed: Option<u64> = match args.iter().position(|a| a == "--chaos-seed") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("experiments: --chaos-seed needs a number");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    #[cfg(not(feature = "chaos"))]
+    if chaos_seed.is_some() {
+        eprintln!(
+            "experiments: --chaos-seed needs the chaos harness; rebuild with\n  \
+             cargo run --release -p curare-bench --features \"sanitize chaos\" \
+             --bin experiments -- sanitize --chaos-seed N"
+        );
+        return ExitCode::FAILURE;
+    }
+    #[cfg(feature = "chaos")]
+    if let Some(seed) = chaos_seed {
+        use curare::runtime::chaos::{self, ChaosProfile, FaultPlan};
+        chaos::install(Some(FaultPlan::new(seed, ChaosProfile::named("reorder").unwrap())));
+        if !json {
+            println!("chaos: seed {seed}, profile 'reorder' armed for every cell");
+        }
+    }
     type ArgsFor = fn(&Interp, i64) -> Vec<Value>;
     fn int_args(interp: &Interp, n: i64) -> Vec<Value> {
         vec![int_list(interp, n)]
@@ -349,6 +386,10 @@ fn sanitize_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    #[cfg(feature = "chaos")]
+    if chaos_seed.is_some() {
+        curare::runtime::chaos::install(None);
+    }
     if !json {
         let verdict = if all_sound {
             "sound (no observed-but-unpredicted unordered pairs)"
@@ -372,6 +413,251 @@ fn sanitize_cmd(_args: &[String]) -> ExitCode {
     eprintln!(
         "experiments: the heap-access sanitizer is compiled out; rebuild with\n  \
          cargo run --release -p curare-bench --features sanitize --bin experiments -- sanitize"
+    );
+    ExitCode::FAILURE
+}
+
+/// `experiments chaos [--json] [--seeds N] [--profile P]` — the
+/// fault-injection differential sweep: every experiment program, under
+/// both schedulers, across N seeded fault plans, must produce exactly
+/// the sequential oracle's observation; plus one collapse run proving
+/// the poison → drain → degrade fallback still returns the right
+/// answer. Writes `BENCH_chaos.json`; exits 0 iff every cell matched.
+#[cfg(feature = "chaos")]
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    use curare::runtime::chaos::{self, ChaosProfile, FaultPlan};
+    use curare::runtime::{RuntimeConfig, SchedMode};
+
+    let json = args.iter().any(|a| a == "--json");
+    let flag_val =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let seeds: u64 = match flag_val("--seeds").map(|s| s.parse()) {
+        None => 32,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("experiments: --seeds needs a number");
+            return ExitCode::from(2);
+        }
+    };
+    let profile_name = flag_val("--profile").unwrap_or_else(|| "mixed".into());
+    if ChaosProfile::named(&profile_name).is_none() {
+        eprintln!(
+            "experiments: unknown chaos profile '{profile_name}' (one of {:?})",
+            ChaosProfile::NAMES
+        );
+        return ExitCode::from(2);
+    }
+
+    type BuildFor = fn(&Interp, i64) -> Vec<Value>;
+    type ObserveFor = fn(&Interp, &[Value]) -> String;
+    fn int_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n)]
+    }
+    fn remq_args(interp: &Interp, n: i64) -> Vec<Value> {
+        let heap = interp.heap();
+        vec![
+            heap.cons(Value::NIL, Value::NIL),
+            heap.sym_value("a"),
+            sym_list(interp, n as usize, &["a", "b", "c"]),
+        ]
+    }
+    fn show_first(interp: &Interp, args: &[Value]) -> String {
+        interp.heap().display(args[0])
+    }
+    fn show_sum(interp: &Interp, _args: &[Value]) -> String {
+        let v = interp.load_str("*sum*").expect("*sum* readable");
+        interp.heap().display(v)
+    }
+    fn show_dest_cdr(interp: &Interp, args: &[Value]) -> String {
+        interp.heap().display(interp.heap().cdr(args[0]).expect("dest is a cons"))
+    }
+    let fk = distance_k_writer(2);
+    // (name, source, pooled entry, n, argument builder, observation,
+    // per-run setup). The entry is the transformed one, so the oracle
+    // runs the same code path sequentially (default hooks run
+    // cri-enqueue/future inline).
+    type Program<'a> = (&'a str, &'a str, &'a str, i64, BuildFor, ObserveFor, Option<&'a str>);
+    let programs: [Program; 5] = [
+        ("figure-5", FIGURE_5, "f", 96, int_args, show_first, None),
+        ("rotate", ROTATE, "rotate", 96, int_args, show_first, None),
+        ("sum-walk", SUM_WALK, "walk", 96, int_args, show_sum, Some("(defparameter *sum* 0)")),
+        ("distance-2", &fk, "fk", 96, int_args, show_first, None),
+        ("remq", FIGURE_12_REMQ, "remq-d", 64, remq_args, show_dest_cdr, None),
+    ];
+
+    if !json {
+        println!(
+            "chaos differential sweep: {} programs x 2 schedulers x {seeds} seeds, \
+             profile '{profile_name}' (4 servers):",
+            programs.len()
+        );
+    }
+    let mut all_match = true;
+    let mut runs = Vec::new();
+    for (name, src, entry, n, build, observe, setup) in programs {
+        let expect = with_big_stack(|| {
+            let (interp, _) = transformed_interp(src);
+            if let Some(s) = setup {
+                interp.load_str(s).expect("setup loads");
+            }
+            let args = build(&interp, n);
+            interp.call(entry, &args).expect("sequential oracle runs");
+            observe(&interp, &args)
+        });
+        for mode in [SchedMode::Central, SchedMode::Sharded] {
+            let mode_name = match mode {
+                SchedMode::Central => "central",
+                SchedMode::Sharded => "sharded",
+            };
+            let mut matched = 0u64;
+            let mut faults = 0u64;
+            let mut retries = 0u64;
+            let mut poisoned = 0u64;
+            for seed in 0..seeds {
+                let profile = ChaosProfile::named(&profile_name).expect("validated above");
+                chaos::install(Some(FaultPlan::new(seed, profile)));
+                let (interp, _) = transformed_interp(src);
+                if let Some(s) = setup {
+                    interp.load_str(s).expect("setup loads");
+                }
+                let args = build(&interp, n);
+                let rt = CriRuntime::with_config(
+                    Arc::clone(&interp),
+                    4,
+                    RuntimeConfig { mode, ..RuntimeConfig::default() },
+                );
+                let run = rt.run(entry, &args);
+                let got = observe(&interp, &args);
+                let stats = rt.stats();
+                drop(rt);
+                chaos::install(None);
+                faults += stats.faults_injected;
+                retries += stats.task_retries;
+                poisoned += stats.servers_poisoned;
+                if run.is_ok() && got == expect {
+                    matched += 1;
+                } else {
+                    all_match = false;
+                    eprintln!(
+                        "  MISMATCH {name}/{mode_name} seed {seed}: {}",
+                        match run {
+                            Ok(()) => format!("got {got}, want {expect}"),
+                            Err(e) => format!("run failed: {e}"),
+                        }
+                    );
+                }
+            }
+            let row = Json::obj()
+                .set("program", name)
+                .set("mode", mode_name)
+                .set("seeds", seeds)
+                .set("matched", matched)
+                .set("faults_injected", faults)
+                .set("task_retries", retries)
+                .set("servers_poisoned", poisoned);
+            if json {
+                println!("{row}");
+            } else {
+                println!(
+                    "  {name:>12} {mode_name:>8}: {matched}/{seeds} matched, \
+                     {faults} faults, {retries} retries, {poisoned} poisoned"
+                );
+            }
+            runs.push(row);
+        }
+    }
+
+    // The degradation demo: a profile that panics every task on every
+    // server collapses the pool below its floor; the drain must still
+    // produce the exact sequential answer and flag the run degraded.
+    let demo = {
+        chaos::install(Some(FaultPlan::new(1, ChaosProfile::named("collapse").unwrap())));
+        let (interp, _) = transformed_interp(SUM_WALK);
+        interp.load_str("(defparameter *sum* 0)").expect("setup loads");
+        let n = 100i64;
+        let args = int_args(&interp, n);
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            4,
+            RuntimeConfig { retry_limit: 1, ..RuntimeConfig::default() },
+        );
+        let run = rt.run("walk", &args);
+        let got = show_sum(&interp, &args);
+        let stats = rt.stats();
+        let report_degraded = rt
+            .run_report("collapse-demo")
+            .get("pool")
+            .and_then(|p| p.get("degraded"))
+            .and_then(|d| d.as_bool())
+            .unwrap_or(false);
+        drop(rt);
+        chaos::install(None);
+        let want = (n * (n + 1) / 2).to_string();
+        let ok = run.is_ok() && got == want && stats.degraded && report_degraded;
+        if !ok {
+            all_match = false;
+            eprintln!(
+                "  DEGRADE DEMO FAILED: run {:?}, got {got} want {want}, \
+                 degraded {} report {report_degraded}",
+                run.as_ref().map_err(|e| e.to_string()),
+                stats.degraded
+            );
+        }
+        Json::obj()
+            .set("program", "sum-walk")
+            .set("profile", "collapse")
+            .set("value_ok", run.is_ok() && got == want)
+            .set("degraded", stats.degraded)
+            .set("report_degraded", report_degraded)
+            .set("servers_poisoned", stats.servers_poisoned)
+    };
+    if !json {
+        let d = &demo;
+        println!(
+            "  degrade demo: value_ok={} degraded={} report_degraded={}",
+            d.get("value_ok").and_then(|v| v.as_bool()).unwrap_or(false),
+            d.get("degraded").and_then(|v| v.as_bool()).unwrap_or(false),
+            d.get("report_degraded").and_then(|v| v.as_bool()).unwrap_or(false),
+        );
+    }
+
+    let doc = Json::obj()
+        .set("schema", "curare-bench/1")
+        .set("bench", "chaos")
+        .set("host_threads", hardware_threads())
+        .set("seeds", seeds)
+        .set("profile", profile_name.as_str())
+        .set("runs", Json::Arr(runs))
+        .set("degrade_demo", demo);
+    if let Err(e) = std::fs::write("BENCH_chaos.json", format!("{doc}\n")) {
+        eprintln!("experiments: BENCH_chaos.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("  wrote BENCH_chaos.json");
+        println!(
+            "overall: {}",
+            if all_match {
+                "every chaos run matched the sequential oracle"
+            } else {
+                "MISMATCH — a fault schedule changed an observable result"
+            }
+        );
+    }
+    if all_match {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Without the `chaos` feature no faults can be injected, so the sweep
+/// would be an expensive no-op; refuse instead of pretending.
+#[cfg(not(feature = "chaos"))]
+fn chaos_cmd(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "experiments: the chaos harness is compiled out; rebuild with\n  \
+         cargo run --release -p curare-bench --features chaos --bin experiments -- chaos"
     );
     ExitCode::FAILURE
 }

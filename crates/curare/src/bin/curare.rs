@@ -22,6 +22,13 @@
 //!                    heap, lock-wait, vm, and timeline sections)
 //!   --engine E       invocation engine: 'vm' (default; register
 //!                    bytecode) or 'tree' (the tree-walking oracle)
+//!   --chaos-seed N   install a seeded fault plan for the pool run
+//!                    (needs a binary built with --features chaos)
+//!   --chaos-profile P  fault profile for --chaos-seed: delays,
+//!                    panics, stalls, shuffle, reorder, mixed
+//!                    (default), or collapse
+//!   --stall-budget-ms M  arm the stall watchdog: servers stuck past
+//!                    M ms produce curare-stall/1 dumps on stderr
 //! ```
 
 use std::io::{BufRead, Write};
@@ -127,9 +134,32 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut engine: Option<curare::lisp::Engine> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_profile = String::from("mixed");
+    let mut stall_budget_ms: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--chaos-seed needs a number")?,
+                );
+                i += 2;
+            }
+            "--chaos-profile" => {
+                chaos_profile = args.get(i + 1).ok_or("--chaos-profile needs a name")?.clone();
+                i += 2;
+            }
+            "--stall-budget-ms" => {
+                stall_budget_ms = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--stall-budget-ms needs a number")?,
+                );
+                i += 2;
+            }
             "--engine" => {
                 engine = Some(match args.get(i + 1).map(String::as_str) {
                     Some("vm") => curare::lisp::Engine::Vm,
@@ -167,6 +197,15 @@ fn run(args: &[String]) -> Result<(), String> {
     if (trace_path.is_some() || metrics_path.is_some()) && servers == 0 {
         return Err("--trace/--metrics need a pool run (--servers N with --call)".into());
     }
+    if (chaos_seed.is_some() || stall_budget_ms.is_some()) && servers == 0 {
+        return Err("--chaos-seed/--stall-budget-ms need a pool run (--servers N)".into());
+    }
+    #[cfg(not(feature = "chaos"))]
+    if chaos_seed.is_some() {
+        return Err("chaos support is compiled out; rebuild with --features chaos".into());
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = &chaos_profile;
 
     curare::lisp::set_thread_stack_budget(6 << 20);
     let interp = Arc::new(Interp::new());
@@ -208,13 +247,45 @@ fn run(args: &[String]) -> Result<(), String> {
             curare::obs::install(Some(Arc::clone(&t)));
             t
         });
-        let rt = CriRuntime::new(Arc::clone(&interp), servers);
-        rt.run(fname, &argv).map_err(|e| e.to_string())?;
+        // Install the fault plan before the pool spawns so server
+        // threads see it from their first task.
+        #[cfg(feature = "chaos")]
+        if let Some(seed) = chaos_seed {
+            let profile = curare::runtime::chaos::ChaosProfile::named(&chaos_profile)
+                .ok_or_else(|| format!("unknown chaos profile '{chaos_profile}'"))?;
+            curare::runtime::chaos::install(Some(curare::runtime::chaos::FaultPlan::new(
+                seed, profile,
+            )));
+        }
+        let config = curare::runtime::RuntimeConfig {
+            stall_budget: stall_budget_ms.map(std::time::Duration::from_millis),
+            ..curare::runtime::RuntimeConfig::default()
+        };
+        let rt = CriRuntime::with_config(Arc::clone(&interp), servers, config);
+        let run_result = rt.run(fname, &argv).map_err(|e| e.to_string());
         let stats = rt.stats();
         eprintln!(
             ";; pool: {} tasks, peak queue {}, {} lock acquisitions",
             stats.tasks, stats.peak_queue, stats.lock_acquisitions
         );
+        #[cfg(feature = "chaos")]
+        if let Some(seed) = chaos_seed {
+            eprintln!(
+                ";; chaos: seed {seed}, profile {chaos_profile}: {} faults injected, \
+                 {} retries, {} servers poisoned, degraded: {}",
+                stats.faults_injected, stats.task_retries, stats.servers_poisoned, stats.degraded
+            );
+        }
+        if stall_budget_ms.is_some() {
+            for dump in rt.stall_dumps() {
+                eprintln!("{dump}");
+            }
+        }
+        #[cfg(feature = "chaos")]
+        if chaos_seed.is_some() {
+            curare::runtime::chaos::install(None);
+        }
+        run_result?;
         if let Some(tracer) = tracer {
             curare::obs::install(None);
             let snaps = tracer.snapshot();

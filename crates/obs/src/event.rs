@@ -37,10 +37,22 @@ pub enum EventKind {
     /// A heap arena refilled a thread-local allocation buffer
     /// (`arg` = slots reserved).
     TlabRefill = 9,
+    /// The chaos harness injected a fault at a decision point
+    /// (`arg` = decision-point code; see `curare_runtime::chaos`).
+    FaultInjected = 10,
+    /// A panicked retry-eligible task was requeued for another attempt
+    /// (`arg` = function id).
+    TaskRetry = 11,
+    /// A server exhausted its retry budget (or hit a non-retryable
+    /// panic) and left the pool (`arg` = servers still alive).
+    ServerPoisoned = 12,
+    /// The pool collapsed below its floor and fell back to sequential
+    /// draining on the caller thread (`arg` = servers still alive).
+    Degraded = 13,
 }
 
 /// Number of distinct kinds (for per-kind count tables).
-pub const KIND_COUNT: usize = 10;
+pub const KIND_COUNT: usize = 14;
 
 impl EventKind {
     /// The stable wire name used in exported JSON.
@@ -56,6 +68,10 @@ impl EventKind {
             EventKind::LockWaitBegin => "lock_wait_begin",
             EventKind::LockWaitEnd => "lock_wait_end",
             EventKind::TlabRefill => "tlab_refill",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::TaskRetry => "task_retry",
+            EventKind::ServerPoisoned => "server_poisoned",
+            EventKind::Degraded => "degraded",
         }
     }
 
@@ -72,6 +88,10 @@ impl EventKind {
             7 => EventKind::LockWaitBegin,
             8 => EventKind::LockWaitEnd,
             9 => EventKind::TlabRefill,
+            10 => EventKind::FaultInjected,
+            11 => EventKind::TaskRetry,
+            12 => EventKind::ServerPoisoned,
+            13 => EventKind::Degraded,
             _ => return None,
         })
     }

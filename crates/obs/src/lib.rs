@@ -55,4 +55,4 @@ pub use sanitize::{
     record_touch, sanitizing_enabled, set_invocation, AccessLog, SanEvent, SanRecord,
 };
 pub use timeline::Timeline;
-pub use tracer::{install, record, set_lane, tracing_enabled, Tracer};
+pub use tracer::{install, installed, record, set_lane, tracing_enabled, Tracer};

@@ -98,6 +98,17 @@ pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The currently installed tracer, if any — for diagnostic consumers
+/// (the runtime's stall watchdog attaches the stalled lane's recent
+/// events to its dump) that need to *read* the rings mid-run rather
+/// than record into them.
+pub fn installed() -> Option<Arc<Tracer>> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    CURRENT.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
 /// Declare the calling thread's lane: pool server `i` passes `i + 1`;
 /// `0` is the external lane (the thread-spawn default).
 pub fn set_lane(lane: usize) {

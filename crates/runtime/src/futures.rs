@@ -48,22 +48,56 @@ impl FutureTable {
         self.slots.read().get(id as usize).cloned()
     }
 
-    /// Resolve future `id` with a value.
-    pub fn resolve(&self, id: u64, v: Value) {
+    /// Resolve future `id` with a value. First write wins: returns
+    /// false (and changes nothing) when the future is already resolved
+    /// or failed, so a retried producer cannot overwrite the result a
+    /// waiter may already have observed.
+    pub fn resolve(&self, id: u64, v: Value) -> bool {
+        #[cfg(feature = "chaos")]
+        crate::chaos::on_future_resolve();
         if let Some(slot) = self.slot(id) {
-            *slot.state.lock() = FutureState::Done(v);
+            let mut st = slot.state.lock();
+            if !matches!(&*st, FutureState::Pending) {
+                return false;
+            }
+            *st = FutureState::Done(v);
+            drop(st);
             slot.cv.notify_all();
             curare_obs::record(curare_obs::EventKind::FutureResolve, id);
+            return true;
         }
+        false
     }
 
-    /// Fail future `id` with an error.
-    pub fn fail(&self, id: u64, e: LispError) {
+    /// Fail future `id` with an error. First write wins, as in
+    /// [`FutureTable::resolve`].
+    pub fn fail(&self, id: u64, e: LispError) -> bool {
+        #[cfg(feature = "chaos")]
+        crate::chaos::on_future_resolve();
         if let Some(slot) = self.slot(id) {
-            *slot.state.lock() = FutureState::Failed(e);
+            let mut st = slot.state.lock();
+            if !matches!(&*st, FutureState::Pending) {
+                return false;
+            }
+            *st = FutureState::Failed(e);
+            drop(st);
             slot.cv.notify_all();
             curare_obs::record(curare_obs::EventKind::FutureResolve, id);
+            return true;
         }
+        false
+    }
+
+    /// Ids of futures still pending — for stall dumps and the abort
+    /// path (which must fail them so waiters unblock rather than hang).
+    pub fn pending_ids(&self) -> Vec<u64> {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(&*s.state.lock(), FutureState::Pending))
+            .map(|(i, _)| i as u64)
+            .collect()
     }
 
     /// Block until future `id` resolves; returns its value.
@@ -157,6 +191,41 @@ mod tests {
     fn unknown_future_errors() {
         let t = FutureTable::new();
         assert!(t.touch(99).is_err());
+        assert!(!t.resolve(99, Value::T));
+        assert!(!t.fail(99, LispError::User("x".into())));
+    }
+
+    #[test]
+    fn double_resolve_rejected_first_write_wins() {
+        let t = FutureTable::new();
+        let id = id_of(t.create());
+        assert!(t.resolve(id, Value::int(1)));
+        assert!(!t.resolve(id, Value::int(2)), "second resolve must be rejected");
+        assert!(!t.fail(id, LispError::User("late".into())), "fail after resolve rejected");
+        assert_eq!(t.touch(id).unwrap(), Value::int(1));
+    }
+
+    #[test]
+    fn resolve_after_fail_rejected() {
+        let t = FutureTable::new();
+        let id = id_of(t.create());
+        assert!(t.fail(id, LispError::User("boom".into())));
+        assert!(!t.resolve(id, Value::int(7)), "resolve after fail must be rejected");
+        assert!(matches!(t.touch(id), Err(LispError::User(m)) if m == "boom"));
+    }
+
+    #[test]
+    fn pending_ids_tracks_unresolved() {
+        let t = FutureTable::new();
+        let a = id_of(t.create());
+        let b = id_of(t.create());
+        let c = id_of(t.create());
+        assert_eq!(t.pending_ids(), vec![a, b, c]);
+        t.resolve(b, Value::T);
+        assert_eq!(t.pending_ids(), vec![a, c]);
+        t.fail(a, LispError::User("x".into()));
+        t.resolve(c, Value::NIL);
+        assert!(t.pending_ids().is_empty());
     }
 
     #[test]

@@ -40,16 +40,19 @@
 //! );
 //! ```
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod futures;
 pub mod locktable;
 pub mod pool;
 pub mod queue;
 pub mod spawner;
 pub mod unordered;
+pub mod watchdog;
 
 pub use futures::FutureTable;
 pub use locktable::{Location, LockTable};
-pub use pool::{CriHooks, CriRuntime, PoolStats, SchedMode};
+pub use pool::{CriHooks, CriRuntime, PoolStats, RuntimeConfig, SchedMode};
 pub use queue::{QueueSet, Task};
 pub use spawner::{SpawnHooks, SpawnRuntime};
 pub use unordered::{UnorderedHooks, UnorderedRuntime};

@@ -162,6 +162,8 @@ impl LockTable {
         if Value::from_bits(loc.cell).is_nil() {
             return;
         }
+        #[cfg(feature = "chaos")]
+        crate::chaos::on_lock_acquire();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let entry = self.entry(loc);
         // Record contention (probe without blocking first).
@@ -235,6 +237,24 @@ impl LockTable {
     /// p50, p95).
     pub fn wait_summary(&self) -> HistogramSummary {
         self.wait_hist.summary()
+    }
+
+    /// Snapshot of currently held locations, as (location hash, write
+    /// depth, reader count) — for the stall watchdog's dump. Racy by
+    /// nature (each shard is locked in turn), which is fine for a
+    /// diagnostic of a pool that is by hypothesis stuck.
+    pub fn held_snapshot(&self) -> Vec<(u64, usize, usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (loc, entry) in shard.iter() {
+                let st = entry.state.lock();
+                if st.write_depth > 0 || st.readers > 0 {
+                    out.push((loc_hash(loc), st.write_depth, st.readers));
+                }
+            }
+        }
+        out
     }
 }
 

@@ -37,9 +37,11 @@
 //! baseline for the E8/E12 comparisons.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use curare_lisp::sync::{Condvar, Mutex};
 use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
@@ -48,6 +50,9 @@ use curare_obs::{EventKind, Json, RunReport};
 use crate::futures::FutureTable;
 use crate::locktable::{Location, LockTable};
 use crate::queue::{QueueSet, ShardedQueues, Task};
+use crate::watchdog::{
+    self, BeatGuard, ServerBeat, PHASE_EXECUTING, PHASE_LOCK_WAIT, PHASE_TOUCH_WAIT,
+};
 
 /// Counters describing one `run` (and the pool's lifetime totals).
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,6 +82,50 @@ pub struct PoolStats {
     pub lock_wait_total_ns: u64,
     /// Longest single contended lock wait, ns.
     pub lock_wait_max_ns: u64,
+    /// Panicked retry-eligible tasks requeued for another attempt.
+    pub task_retries: u64,
+    /// Servers that left the pool after exhausting a task's retry
+    /// budget (or a non-retryable panic).
+    pub servers_poisoned: u64,
+    /// `curare-stall/1` dumps emitted by the watchdog.
+    pub stall_dumps: u64,
+    /// Faults injected by the installed chaos plan (0 without the
+    /// `chaos` feature or with no plan installed; process-global, so
+    /// concurrent pools under one plan share the count).
+    pub faults_injected: u64,
+    /// True once the pool collapsed below its floor and fell back to
+    /// sequential draining on the waiting thread.
+    pub degraded: bool,
+}
+
+/// Pool construction options beyond the server count.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Work-distribution structure.
+    pub mode: SchedMode,
+    /// Arm the stall watchdog: a server stuck in one non-idle phase
+    /// longer than this budget produces a `curare-stall/1` dump.
+    /// `None` (the default) spawns no watchdog thread and keeps the
+    /// hot path free of heartbeat writes.
+    pub stall_budget: Option<Duration>,
+    /// How many times a retry-eligible panicked task is requeued
+    /// before its server is poisoned instead.
+    pub retry_limit: u8,
+    /// Degrade once fewer than this many servers are alive: the
+    /// waiting thread drains the queues sequentially so the run still
+    /// completes with the sequentially-correct answer.
+    pub degrade_floor: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            mode: SchedMode::Sharded,
+            stall_budget: None,
+            retry_limit: 2,
+            degrade_floor: 1,
+        }
+    }
 }
 
 /// Which work-distribution structure the pool runs on.
@@ -166,6 +215,19 @@ thread_local! {
     static SPARE: RefCell<Vec<Vec<Task>>> = const { RefCell::new(Vec::new()) };
 }
 
+#[cfg(feature = "chaos")]
+thread_local! {
+    /// (pool key, server index) when this thread is a pool's server —
+    /// the poison policy applies only to servers of the panicking
+    /// task's own pool, never to external helpers.
+    static SERVER_OF: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, usize::MAX)) };
+    /// Latched once this server thread has been poisoned, so nested
+    /// panics caught while it unwinds its helping stack cannot
+    /// double-decrement the alive count.
+    static THREAD_POISONED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 fn take_spare() -> Vec<Task> {
     SPARE.with(|s| s.borrow_mut().pop()).unwrap_or_default()
 }
@@ -209,6 +271,29 @@ struct Shared {
     aborting: AtomicBool,
     locks: LockTable,
     futures: FutureTable,
+    // ---- robustness layer (chaos / watchdog / degradation) ----
+    /// Times a retry-eligible panicked task is requeued before poison.
+    /// Consulted only by the chaos-gated panic policy.
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    retry_limit: u8,
+    /// Degrade once `alive` drops below this. Consulted only by the
+    /// chaos-gated poison path.
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    degrade_floor: usize,
+    /// True when a stall budget armed the watchdog; gates every beat
+    /// write so the unwatched hot path pays one branch.
+    watched: bool,
+    /// Per-server heartbeats (empty when unwatched).
+    beats: Vec<Arc<ServerBeat>>,
+    alive: AtomicUsize,
+    poisoned: AtomicU64,
+    retries: AtomicU64,
+    stalls: AtomicU64,
+    degraded: AtomicBool,
+    stall_dumps: Mutex<Vec<Json>>,
+    /// Functions declared idempotent: real (non-injected) panics in
+    /// these are retry-eligible too.
+    idempotent: Mutex<HashSet<FuncId>>,
 }
 
 impl Shared {
@@ -263,10 +348,17 @@ impl Shared {
 
     /// Put a chained task back on the queues (it carries its
     /// producer's pending count) — used when the chaining server must
-    /// return to its caller instead of executing it.
+    /// return to its caller instead of executing it, and by the retry
+    /// policy (a requeued panicked task keeps its held pending count).
     fn requeue_chained(&self, task: Task) {
         self.sched.push(task);
         self.notify_workers(1);
+        if self.degraded.load(Ordering::Acquire) {
+            // A degraded pool's tasks are drained by the thread in
+            // `wait_idle`, which sleeps on `done_cv`, not `work_cv`.
+            let _g = self.done_m.lock();
+            self.done_cv.notify_all();
+        }
     }
 
     /// Fail and drop tasks that never reached the pending counter.
@@ -295,6 +387,139 @@ impl Shared {
             // to pair with the condvar wait.
             let _guard = self.done_m.lock();
             self.done_cv.notify_all();
+        }
+    }
+
+    /// Remove the calling server thread from the pool: decrement the
+    /// alive count (once per thread, however many panics it catches on
+    /// the way out) and, when the pool drops below its floor, flip to
+    /// degraded mode and wake the `wait_idle` thread to start the
+    /// sequential drain. A no-op on threads that are not this pool's
+    /// servers.
+    #[cfg(feature = "chaos")]
+    fn poison_current_server(self: &Arc<Self>) {
+        let (pool, index) = SERVER_OF.with(std::cell::Cell::get);
+        if pool != self.key() || THREAD_POISONED.with(std::cell::Cell::get) {
+            return;
+        }
+        THREAD_POISONED.with(|p| p.set(true));
+        if let Some(beat) = self.beats.get(index) {
+            beat.alive.store(false, Ordering::Relaxed);
+        }
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+        let now_alive = self.alive.fetch_sub(1, Ordering::AcqRel) - 1;
+        curare_obs::record(EventKind::ServerPoisoned, now_alive as u64);
+        if now_alive < self.degrade_floor && !self.degraded.swap(true, Ordering::AcqRel) {
+            curare_obs::record(EventKind::Degraded, now_alive as u64);
+            let _g = self.done_m.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Build one `curare-stall/1` dump for server `index`, stuck in
+    /// `phase` for `age_ns`: every server's heartbeat, currently held
+    /// locks, still-pending futures, scheduler occupancy, and the
+    /// stalled lane's most recent trace events (when a tracer is
+    /// installed).
+    fn stall_dump(&self, index: usize, age_ns: u64, budget_ns: u64, now: u64) -> Json {
+        let servers: Vec<Json> = self
+            .beats
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                Json::obj()
+                    .set("server", i)
+                    .set("alive", b.alive.load(Ordering::Relaxed))
+                    .set("phase", watchdog::phase_name(b.phase.load(Ordering::Relaxed)))
+                    .set("detail", b.detail.load(Ordering::Relaxed))
+                    .set("age_ns", b.age_ns(now))
+            })
+            .collect();
+        let held: Vec<Json> = self
+            .locks
+            .held_snapshot()
+            .into_iter()
+            .take(64)
+            .map(|(hash, wdepth, readers)| {
+                Json::obj().set("loc", hash).set("write_depth", wdepth).set("readers", readers)
+            })
+            .collect();
+        let pending_futures: Vec<Json> =
+            self.futures.pending_ids().into_iter().take(64).map(Json::from).collect();
+        let recent: Vec<Json> = curare_obs::installed()
+            .and_then(|t| {
+                let snaps = t.snapshot();
+                snaps.get(index + 1).map(|snap| {
+                    let skip = snap.events.len().saturating_sub(32);
+                    snap.events[skip..]
+                        .iter()
+                        .map(|e| {
+                            Json::obj()
+                                .set("ts_ns", e.ts_ns)
+                                .set("kind", e.kind.name())
+                                .set("arg", e.arg)
+                        })
+                        .collect()
+                })
+            })
+            .unwrap_or_default();
+        let stalled = &self.beats[index];
+        Json::obj()
+            .set("schema", "curare-stall/1")
+            .set("server", index)
+            .set("phase", watchdog::phase_name(stalled.phase.load(Ordering::Relaxed)))
+            .set("detail", stalled.detail.load(Ordering::Relaxed))
+            .set("age_ns", age_ns)
+            .set("budget_ns", budget_ns)
+            .set("alive", self.alive.load(Ordering::Acquire))
+            .set("pending_tasks", self.pending.load(Ordering::Acquire))
+            .set("queued", self.sched.has_work())
+            .set("degraded", self.degraded.load(Ordering::Acquire))
+            .set("servers", Json::Arr(servers))
+            .set("held_locks", Json::Arr(held))
+            .set("pending_futures", Json::Arr(pending_futures))
+            .set("recent_events", Json::Arr(recent))
+    }
+}
+
+/// The watchdog thread body: scan the heartbeats every quarter budget
+/// and dump any live server whose last transition is older than the
+/// budget while in a non-idle phase. One dump per stall — the
+/// per-server latch re-arms when the beat progresses or goes idle.
+/// Detection only: recovery belongs to the retry/poison/degrade
+/// machinery at the catch sites, because a stalled-but-alive server
+/// cannot be safely killed from outside.
+fn watchdog_loop(shared: &Arc<Shared>, budget: Duration) {
+    let budget_ns = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
+    let tick = (budget / 4).max(Duration::from_millis(5));
+    let mut fired = vec![false; shared.beats.len()];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(tick);
+        let now = curare_obs::now_ns();
+        for (i, beat) in shared.beats.iter().enumerate() {
+            if !beat.alive.load(Ordering::Relaxed)
+                || beat.phase.load(Ordering::Relaxed) == watchdog::PHASE_IDLE
+            {
+                fired[i] = false;
+                continue;
+            }
+            if beat.age_ns(now) < budget_ns {
+                fired[i] = false;
+                continue;
+            }
+            if fired[i] {
+                continue;
+            }
+            fired[i] = true;
+            let dump = shared.stall_dump(i, beat.age_ns(now), budget_ns, now);
+            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            let mut dumps = shared.stall_dumps.lock();
+            if dumps.len() < 64 {
+                dumps.push(dump);
+            }
         }
     }
 }
@@ -358,7 +583,8 @@ impl RuntimeHooks for CriHooks {
         if inv != 0 {
             curare_obs::record_spawn(inv, None);
         }
-        if let Some(task) = self.try_batch(Task { fid, args, site, future: None, inv }) {
+        if let Some(task) = self.try_batch(Task { fid, args, site, future: None, inv, attempts: 0 })
+        {
             self.shared.submit_now(task);
         }
         Ok(())
@@ -376,7 +602,9 @@ impl RuntimeHooks for CriHooks {
         if inv != 0 {
             curare_obs::record_spawn(inv, Some(id));
         }
-        if let Some(task) = self.try_batch(Task { fid, args, site: 0, future: Some(id), inv }) {
+        if let Some(task) =
+            self.try_batch(Task { fid, args, site: 0, future: Some(id), inv, attempts: 0 })
+        {
             self.shared.submit_now(task);
         }
         Ok(fut)
@@ -393,6 +621,12 @@ impl RuntimeHooks for CriHooks {
                 if !self.shared.futures.is_resolved(id) {
                     curare_obs::record(EventKind::FutureBlock, id);
                 }
+                // Heartbeat: the wait-entry timestamp is deliberately
+                // NOT refreshed by the idle sleep below — a touch that
+                // waits without making progress must age into a stall.
+                // Helped tasks refresh it on completion (their guard's
+                // exit), because helping *is* progress.
+                let _beat = self.shared.watched.then(|| BeatGuard::enter(PHASE_TOUCH_WAIT, id));
                 loop {
                     if let Some(result) = self.shared.futures.try_get(id) {
                         curare_obs::record_touch(id);
@@ -438,6 +672,7 @@ impl RuntimeHooks for CriHooks {
         // Publish buffered work first: a blocking lock acquisition
         // must never hold successors hostage in a local buffer.
         self.flush_batch();
+        let _beat = self.shared.watched.then(|| BeatGuard::enter(PHASE_LOCK_WAIT, cell.bits()));
         self.shared.locks.lock(Location::new(cell, field), exclusive);
         Ok(())
     }
@@ -462,6 +697,7 @@ pub struct CriRuntime {
     interp: Arc<Interp>,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     servers: usize,
 }
 
@@ -480,14 +716,26 @@ impl CriRuntime {
     /// Spawn a pool on an explicit [`SchedMode`] (the `Central`
     /// baseline exists for the E8/E12 scheduler measurements).
     pub fn with_mode(interp: Arc<Interp>, servers: usize, mode: SchedMode) -> Self {
+        Self::with_config(interp, servers, RuntimeConfig { mode, ..RuntimeConfig::default() })
+    }
+
+    /// Spawn a pool with full [`RuntimeConfig`] control (scheduler
+    /// mode, stall watchdog, retry limit, degradation floor).
+    pub fn with_config(interp: Arc<Interp>, servers: usize, config: RuntimeConfig) -> Self {
         let servers = servers.max(1);
-        let sched = match mode {
+        let sched = match config.mode {
             SchedMode::Central => Scheduler::Central(Mutex::new(QueueSet::new())),
             SchedMode::Sharded => Scheduler::Sharded(ShardedQueues::new()),
         };
+        let watched = config.stall_budget.is_some();
+        let beats = if watched {
+            (0..servers).map(|_| Arc::new(ServerBeat::new())).collect()
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             sched,
-            mode,
+            mode: config.mode,
             idle: Mutex::new(()),
             work_cv: Condvar::new(),
             done_m: Mutex::new(()),
@@ -502,6 +750,17 @@ impl CriRuntime {
             aborting: AtomicBool::new(false),
             locks: LockTable::new(),
             futures: FutureTable::new(),
+            retry_limit: config.retry_limit,
+            degrade_floor: config.degrade_floor,
+            watched,
+            beats,
+            alive: AtomicUsize::new(servers),
+            poisoned: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            stall_dumps: Mutex::new(Vec::new()),
+            idempotent: Mutex::new(HashSet::new()),
         });
         interp.set_hooks(Arc::new(CriHooks { shared: Arc::clone(&shared) }));
 
@@ -516,7 +775,14 @@ impl CriRuntime {
                     .expect("spawn server thread")
             })
             .collect();
-        CriRuntime { interp, shared, workers, servers }
+        let watchdog = config.stall_budget.map(|budget| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cri-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, budget))
+                .expect("spawn watchdog thread")
+        });
+        CriRuntime { interp, shared, workers, watchdog, servers }
     }
 
     /// Number of servers.
@@ -551,7 +817,14 @@ impl CriRuntime {
         if inv != 0 {
             curare_obs::record_spawn(inv, None);
         }
-        self.shared.submit_now(Task { fid, args: args.to_vec(), site: 0, future: None, inv });
+        self.shared.submit_now(Task {
+            fid,
+            args: args.to_vec(),
+            site: 0,
+            future: None,
+            inv,
+            attempts: 0,
+        });
         self.wait_idle();
         match self.shared.error.lock().take() {
             Some(e) => Err(e),
@@ -574,12 +847,48 @@ impl CriRuntime {
         self.interp.hooks().touch(&self.interp, v)
     }
 
-    /// Block until no invocation is pending.
+    /// Block until no invocation is pending. On a degraded pool (too
+    /// few live servers) the waiting thread itself drains the queues
+    /// sequentially, so the run still completes with the
+    /// sequentially-correct answer.
     pub fn wait_idle(&self) {
-        let mut g = self.shared.done_m.lock();
-        while self.shared.pending.load(Ordering::Acquire) > 0 {
-            self.shared.done_cv.wait(&mut g);
+        loop {
+            if self.shared.degraded.load(Ordering::Acquire) {
+                self.drain_degraded();
+            }
+            let mut g = self.shared.done_m.lock();
+            loop {
+                if self.shared.pending.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                if self.shared.degraded.load(Ordering::Acquire) && self.shared.sched.has_work() {
+                    break; // go drain on this thread
+                }
+                self.shared.done_cv.wait(&mut g);
+            }
         }
+    }
+
+    /// Sequential fallback: execute every queued task (and its chains)
+    /// on the calling thread, with fault injection suppressed so
+    /// progress is guaranteed even under an always-panic profile.
+    /// Tasks requeued by poisoned servers before degradation are
+    /// already on the queues (the retry policy requeues *before*
+    /// flipping the degraded flag), so nothing is lost or duplicated.
+    fn drain_degraded(&self) {
+        let drain = || {
+            while let Some(t) = self.shared.sched.pop() {
+                let mut tally = Tally::default();
+                let mut next = Some(t);
+                while let Some(t) = next.take() {
+                    next = execute_task(&self.interp, &self.shared, t, &mut tally);
+                }
+            }
+        };
+        #[cfg(feature = "chaos")]
+        crate::chaos::with_suppressed(drain);
+        #[cfg(not(feature = "chaos"))]
+        drain();
     }
 
     /// Lifetime statistics.
@@ -595,7 +904,40 @@ impl CriRuntime {
             tlab_refills: self.interp.heap().tlab_refills(),
             lock_wait_total_ns: self.shared.locks.wait_total_ns(),
             lock_wait_max_ns: self.shared.locks.wait_max_ns(),
+            task_retries: self.shared.retries.load(Ordering::Relaxed),
+            servers_poisoned: self.shared.poisoned.load(Ordering::Relaxed),
+            stall_dumps: self.shared.stalls.load(Ordering::Relaxed),
+            faults_injected: installed_faults(),
+            degraded: self.shared.degraded.load(Ordering::Acquire),
         }
+    }
+
+    /// Declare `fname` idempotent-by-construction (a pure reader per
+    /// the conflict analysis): real panics in it become retry-eligible,
+    /// not just chaos-injected pre-body ones. No-op for undefined
+    /// names.
+    pub fn declare_idempotent(&self, fname: &str) {
+        let sym = self.interp.heap().intern(fname);
+        if let Some(fid) = self.interp.lookup_func(sym) {
+            self.shared.idempotent.lock().insert(fid);
+        }
+    }
+
+    /// True once the pool collapsed below its floor and fell back to
+    /// sequential draining.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Acquire)
+    }
+
+    /// Servers still alive (not poisoned or shut down).
+    pub fn alive(&self) -> usize {
+        self.shared.alive.load(Ordering::Acquire)
+    }
+
+    /// The `curare-stall/1` dumps the watchdog has emitted (capped at
+    /// 64 per pool lifetime).
+    pub fn stall_dumps(&self) -> Vec<Json> {
+        self.shared.stall_dumps.lock().clone()
     }
 
     /// Machine-readable run report (`curare-report/1`): the pool
@@ -617,7 +959,12 @@ impl CriRuntime {
             .set("chained_tasks", stats.chained_tasks)
             .set("batched_submits", stats.batched_submits)
             .set("sched_lock_waits", stats.sched_lock_waits)
-            .set("tlab_refills", stats.tlab_refills);
+            .set("tlab_refills", stats.tlab_refills)
+            .set("task_retries", stats.task_retries)
+            .set("servers_poisoned", stats.servers_poisoned)
+            .set("stall_dumps", stats.stall_dumps)
+            .set("faults_injected", stats.faults_injected)
+            .set("degraded", stats.degraded);
         let hs = self.interp.heap().stats();
         let heap = Json::obj()
             .set("conses", hs.conses)
@@ -660,17 +1007,25 @@ impl Drop for CriRuntime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
         // Restore ordinary semantics on the interpreter.
         self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
     }
 }
 
-fn server_loop(interp: &Interp, shared: &Shared, index: usize) {
+fn server_loop(interp: &Interp, shared: &Arc<Shared>, index: usize) {
     // Servers get a large native stack; let the evaluator use most of
     // it for any residual non-tail recursion in task bodies.
     curare_lisp::eval::set_thread_stack_budget(SERVER_STACK - (4 << 20));
     // Trace lane: server i records into ring i + 1 (0 is external).
     curare_obs::set_lane(index + 1);
+    #[cfg(feature = "chaos")]
+    SERVER_OF.with(|s| s.set((shared.key(), index)));
+    if shared.watched {
+        watchdog::set_current_beat(shared.beats.get(index).cloned());
+    }
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -680,6 +1035,10 @@ fn server_loop(interp: &Interp, shared: &Shared, index: usize) {
             let mut next = Some(t);
             while let Some(t) = next.take() {
                 next = execute_task(interp, shared, t, &mut tally);
+            }
+            #[cfg(feature = "chaos")]
+            if THREAD_POISONED.with(std::cell::Cell::get) {
+                return;
             }
             continue;
         }
@@ -703,18 +1062,60 @@ fn server_loop(interp: &Interp, shared: &Shared, index: usize) {
 /// count is already held. Statistics accumulate in `tally` and are
 /// flushed before the chain-ending `finish_one`, so they are exact by
 /// the time `run` observes zero pending tasks.
-fn execute_task(interp: &Interp, shared: &Shared, task: Task, tally: &mut Tally) -> Option<Task> {
+fn execute_task(
+    interp: &Interp,
+    shared: &Arc<Shared>,
+    task: Task,
+    tally: &mut Tally,
+) -> Option<Task> {
+    // While a chaos plan is armed, keep a copy for the retry policy
+    // (a panicked retry-eligible task is requeued from the copy; the
+    // original's args are consumed by the call below).
+    #[cfg(feature = "chaos")]
+    let retry_copy = crate::chaos::armed().then(|| task.clone());
     let Task { fid, args, future, inv, .. } = task;
     let sharded = shared.mode == SchedMode::Sharded;
-    let key = shared as *const Shared as usize;
+    let key = shared.key();
     if sharded {
         BATCH.with(|b| b.borrow_mut().push(BatchFrame { key, tasks: take_spare() }));
     }
+    let _beat = shared.watched.then(|| BeatGuard::enter(PHASE_EXECUTING, fid as u64));
     curare_obs::record(EventKind::TaskStart, fid as u64);
     // Bind the sanitizer invocation for the duration of the call,
     // saving the caller's binding: a helping touch executes tasks
     // nested inside another invocation's body.
     let prev_inv = curare_obs::set_invocation(inv);
+    // With the chaos feature, the body runs under `catch_unwind` and
+    // injected faults fire *inside* the catch, before the body — a
+    // retried task is therefore exactly-once with respect to user
+    // effects. Without the feature this is a plain call.
+    #[cfg(feature = "chaos")]
+    let result = {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::chaos::on_task_start();
+            interp.call_fid_owned(fid, args)
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                curare_obs::set_invocation(prev_inv);
+                curare_obs::record(EventKind::TaskStop, fid as u64);
+                if sharded {
+                    let mut frame =
+                        BATCH.with(|b| b.borrow_mut().pop()).expect("balanced batch frames");
+                    debug_assert_eq!(frame.key, key, "frames pop in push order");
+                    shared.drop_unpublished(std::mem::take(&mut frame.tasks));
+                    put_spare(frame.tasks);
+                }
+                // The executed/chained counts tallied so far belong to
+                // completed tasks of this chain; publish them before
+                // any path that returns without a later flush.
+                shared.flush_tally(tally);
+                return handle_panic(interp, shared, payload, retry_copy, future, tally);
+            }
+        }
+    };
+    #[cfg(not(feature = "chaos"))]
     let result = interp.call_fid_owned(fid, args);
     curare_obs::set_invocation(prev_inv);
     curare_obs::record(EventKind::TaskStop, fid as u64);
@@ -772,6 +1173,100 @@ fn execute_task(interp: &Interp, shared: &Shared, task: Task, tally: &mut Tally)
         shared.finish_one();
     }
     chained
+}
+
+/// The panic policy behind `execute_task`'s catch. The caller has
+/// already settled the obs bookkeeping, dropped the batch frame, and
+/// flushed the tally; this decides what happens to the task itself:
+///
+/// - **retry** (injected pre-body panic, or any panic in a declared-
+///   idempotent function, within budget): requeue the saved copy with
+///   a tiny linear backoff — it keeps the held pending count, so the
+///   run's termination accounting is untouched;
+/// - **poison** (budget exhausted on one of this pool's servers):
+///   requeue the task *first*, then remove the server, so the degrade
+///   wakeup always finds the task queued;
+/// - **final attempt** (budget exhausted on an external helper, or on
+///   a server already leaving): execute inline with injection
+///   suppressed — guaranteed progress under an always-panic profile;
+/// - **abort** (non-retryable): fail the future so waiters unblock
+///   (the FutureTable orphan fix), surface the panic as the run error,
+///   drain the queues, and poison the server — a genuine panic may
+///   have corrupted its state.
+#[cfg(feature = "chaos")]
+fn handle_panic(
+    interp: &Interp,
+    shared: &Arc<Shared>,
+    payload: Box<dyn std::any::Any + Send>,
+    retry_copy: Option<Task>,
+    future: Option<u64>,
+    tally: &mut Tally,
+) -> Option<Task> {
+    let injected = payload.downcast_ref::<crate::chaos::InjectedPanic>().copied();
+    let retryable = retry_copy.as_ref().is_some_and(|copy| {
+        injected.is_some_and(|ip| ip.retryable) || shared.idempotent.lock().contains(&copy.fid)
+    });
+    if retryable {
+        let mut copy = retry_copy.expect("retryable implies a saved copy");
+        copy.attempts = copy.attempts.saturating_add(1);
+        if copy.attempts <= shared.retry_limit {
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            curare_obs::record(EventKind::TaskRetry, copy.fid as u64);
+            std::thread::sleep(Duration::from_micros(50 * copy.attempts as u64));
+            shared.requeue_chained(copy);
+            return None;
+        }
+        let (pool, _) = SERVER_OF.with(std::cell::Cell::get);
+        if pool == shared.key() && !THREAD_POISONED.with(std::cell::Cell::get) {
+            shared.requeue_chained(copy);
+            shared.poison_current_server();
+            return None;
+        }
+        return crate::chaos::with_suppressed(|| execute_task(interp, shared, copy, tally));
+    }
+    let msg = if injected.is_some() {
+        "injected non-retryable fault".to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    let err = LispError::User(format!("task panicked: {msg}"));
+    if let Some(id) = future {
+        shared.futures.fail(id, err.clone());
+    }
+    shared.aborting.store(true, Ordering::Release);
+    {
+        let mut e = shared.error.lock();
+        if e.is_none() {
+            *e = Some(err);
+        }
+    }
+    let dropped = shared.sched.drain_all();
+    for t in &dropped {
+        if let Some(id) = t.future {
+            shared.futures.fail(id, LispError::User("aborted by earlier error".into()));
+        }
+    }
+    if !dropped.is_empty() {
+        shared.pending.fetch_sub(dropped.len() as u64, Ordering::AcqRel);
+    }
+    shared.poison_current_server();
+    shared.finish_one();
+    None
+}
+
+/// Faults injected by the process-global chaos plan (0 without the
+/// feature or a plan).
+fn installed_faults() -> u64 {
+    #[cfg(feature = "chaos")]
+    {
+        crate::chaos::installed().map(|p| p.injected()).unwrap_or(0)
+    }
+    #[cfg(not(feature = "chaos"))]
+    0
 }
 
 #[cfg(test)]

@@ -39,6 +39,8 @@ pub struct Task {
     pub future: Option<u64>,
     /// Sanitizer invocation id (0 when no sanitizer is installed).
     pub inv: u64,
+    /// Execution attempts so far (> 0 only for chaos-injected retries).
+    pub attempts: u8,
 }
 
 /// Sites at or above this index share the top bitmask bit.
@@ -90,6 +92,10 @@ impl QueueSet {
 
     /// Dequeue from the lowest-indexed non-empty queue.
     pub fn pop(&mut self) -> Option<Task> {
+        #[cfg(feature = "chaos")]
+        if let Some(r) = crate::chaos::pop_shuffle() {
+            return self.pop_shuffled(r);
+        }
         while self.mask != 0 {
             let site = self.mask.trailing_zeros() as usize;
             if site < SHARED_BIT {
@@ -112,6 +118,27 @@ impl QueueSet {
             }
         }
         None
+    }
+
+    /// Chaos dequeue: take the head of the `r`-th non-empty site
+    /// instead of the lowest-indexed one. Within-site FIFO is
+    /// preserved (always `pop_front`); only the cross-site preference
+    /// is perturbed — the ordering the §4.1 discipline does *not*
+    /// promise, which is exactly what makes this a legal adversary.
+    #[cfg(feature = "chaos")]
+    fn pop_shuffled(&mut self, r: u64) -> Option<Task> {
+        let nonempty: Vec<usize> =
+            (0..self.queues.len()).filter(|&s| !self.queues[s].is_empty()).collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let site = nonempty[(r % nonempty.len() as u64) as usize];
+        let t = self.queues[site].pop_front()?;
+        self.len -= 1;
+        if self.queues[site].is_empty() && site < SHARED_BIT {
+            self.mask &= !site_bit(site);
+        }
+        Some(t)
     }
 
     /// Total queued tasks.
@@ -224,6 +251,14 @@ impl ShardedQueues {
 
     /// Dequeue from the lowest-indexed non-empty site.
     pub fn pop(&self) -> Option<Task> {
+        #[cfg(feature = "chaos")]
+        if let Some(r) = crate::chaos::pop_shuffle() {
+            return self.pop_shuffled(r);
+        }
+        self.pop_inner()
+    }
+
+    fn pop_inner(&self) -> Option<Task> {
         loop {
             let mask = self.mask.load(Ordering::Acquire);
             if mask == 0 {
@@ -285,6 +320,38 @@ impl ShardedQueues {
         None
     }
 
+    /// Chaos dequeue: start the site scan at a rotated offset so the
+    /// cross-site preference is perturbed while within-site FIFO is
+    /// preserved (`scan` always pops from the front). Falls back to
+    /// the normal pop (without redrawing a shuffle decision, which
+    /// could recurse unboundedly under an always-shuffle profile) when
+    /// the rotated scan finds nothing, so the mid-publish race
+    /// handling stays in one place.
+    #[cfg(feature = "chaos")]
+    fn pop_shuffled(&self, r: u64) -> Option<Task> {
+        let sites: Vec<Arc<SiteQueue>> = {
+            let sites = self.sites.read();
+            sites.iter().cloned().collect()
+        };
+        if !sites.is_empty() {
+            let n = sites.len();
+            let start = (r % n as u64) as usize;
+            for i in 0..n {
+                let site = (start + i) % n;
+                let mut q = sites[site].q.lock();
+                if let Some(t) = q.pop_front() {
+                    if q.is_empty() && site < SHARED_BIT {
+                        self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                    }
+                    drop(q);
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return Some(t);
+                }
+            }
+        }
+        self.pop_inner()
+    }
+
     /// True when a published (or mid-publish) task exists.
     pub fn has_work(&self) -> bool {
         self.len.load(Ordering::Acquire) > 0
@@ -337,7 +404,7 @@ mod tests {
     use super::*;
 
     fn task(site: usize, tag: i64) -> Task {
-        Task { fid: 0, args: vec![Value::int(tag)], site, future: None, inv: 0 }
+        Task { fid: 0, args: vec![Value::int(tag)], site, future: None, inv: 0, attempts: 0 }
     }
 
     #[test]
