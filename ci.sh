@@ -34,11 +34,16 @@ echo "== engine differential: tree-walker vs bytecode VM on the examples"
 target/release/experiments differential examples/lisp/*.lisp examples/lisp/fixtures/*.lisp
 
 echo "== engine sweep: experiments interp writes a valid BENCH_interp.json"
+# Regression gate: the VM must stay >= 2x the tree-walker (geomean).
 SWEEP_DIR="$(mktemp -d)"
-(cd "$SWEEP_DIR" && "$REPO_DIR/target/release/experiments" interp > /dev/null)
+(cd "$SWEEP_DIR" && "$REPO_DIR/target/release/experiments" interp \
+  --min-speedup 2 > /dev/null)
 target/release/experiments validate "$SWEEP_DIR/BENCH_interp.json" \
   schema bench host_threads runs
 rm -rf "$SWEEP_DIR"
+
+echo "== fusion ablation: experiments hir (fused vs --no-fuse op counts)"
+target/release/experiments hir > /dev/null
 
 echo "== diagnostics smoke: curare check exit contract"
 # Shipped examples are clean (exit 0)…

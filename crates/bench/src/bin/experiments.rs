@@ -8,8 +8,11 @@
 //! cargo run ... experiments e8 --trace t.json --metrics m.json   # traced
 //! cargo run ... experiments validate FILE KEY...                 # CI gate
 //! cargo run ... --features sanitize ... experiments sanitize     # oracle
-//! cargo run ... experiments interp [--json]       # tree vs VM sweep
+//! cargo run ... experiments interp [--json] [--min-speedup X]
+//!                                  # tree vs VM sweep (+ CI gate)
+//! cargo run ... experiments hir [--json]  # typed-HIR/fusion ablation
 //! cargo run ... experiments differential FILE...  # engine parity gate
+//!                                  # (tree vs fused VM vs --no-fuse VM)
 //! cargo run ... --features chaos ... experiments chaos [--json]
 //!                                  # seeded fault-injection sweep
 //! ```
@@ -40,6 +43,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("interp") {
         return interp_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("hir") {
+        return hir_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("differential") {
         return differential_cmd(&args[1..]);
@@ -139,15 +145,41 @@ fn validate_cmd(args: &[String]) -> ExitCode {
     }
 }
 
-/// `experiments interp [--json]` — time the tree-walking evaluator
-/// against the bytecode VM on tiny-grain, E8-shaped microbenchmarks
-/// (the per-invocation work the §4.1 queue-bottleneck analysis is
-/// about) and write the sweep to `BENCH_interp.json`
-/// (`curare-bench/1`). The CI gate validates the document's keys.
+/// `experiments interp [--json] [--min-speedup X]` — time the
+/// tree-walking evaluator against the bytecode VM on tiny-grain,
+/// E8-shaped microbenchmarks (the per-invocation work the §4.1
+/// queue-bottleneck analysis is about) and write the sweep to
+/// `BENCH_interp.json` (`curare-bench/2`, with per-program dispatched
+/// / typed / fused VM op counts — the process-wide counters reset
+/// between programs so each row is a per-call delta). The CI gate
+/// validates the document's keys and enforces `--min-speedup` against
+/// the geometric-mean tree→VM speedup.
 fn interp_cmd(args: &[String]) -> ExitCode {
     use curare::lisp::Engine;
 
-    let json = args.iter().any(|a| a == "--json");
+    let mut json = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--min-speedup" => {
+                min_speedup = args.get(i + 1).and_then(|s| s.parse().ok());
+                if min_speedup.is_none() {
+                    eprintln!("experiments: --min-speedup needs a number");
+                    return ExitCode::from(2);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("experiments: unknown interp option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     const SUM: &str = "(defun s (l acc) (if l (s (cdr l) (+ acc (car l))) acc))";
     const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
     type ArgsFor = fn(&Interp, i64) -> Vec<Value>;
@@ -192,53 +224,226 @@ fn interp_cmd(args: &[String]) -> ExitCode {
         })
     };
 
+    // Per-program dynamic op counts for one entry call on the VM.
+    // The process-wide counters are reset between programs so rows
+    // carry deltas, not a cumulative total across the sweep.
+    let count_vm_ops = |src: &str, entry: &str, n: i64, argf: ArgsFor| {
+        with_big_stack(|| {
+            let interp = Interp::new();
+            interp.set_engine(Some(Engine::Vm));
+            interp.set_recursion_limit(10_000_000);
+            interp.load_str(src).expect("program loads");
+            let args = argf(&interp, n);
+            curare::lisp::vm_stats_reset();
+            interp.call(entry, &args).expect("counted call");
+            curare::lisp::vm_stats()
+        })
+    };
+
     if !json {
         println!("interpreter engines: tree-walker vs bytecode VM (best of 5)");
-        println!("  {:>12} {:>8} {:>12} {:>12} {:>9}", "program", "n", "tree", "vm", "speedup");
+        println!(
+            "  {:>12} {:>8} {:>12} {:>12} {:>9} {:>10} {:>8} {:>8}",
+            "program", "n", "tree", "vm", "speedup", "vm-ops", "typed", "fused"
+        );
     }
     let mut runs = Vec::new();
+    let mut speedups = Vec::new();
     for (name, src, entry, n, argf) in programs {
         let tree = time_engine(src, entry, n, argf, Engine::Tree);
         let vm = time_engine(src, entry, n, argf, Engine::Vm);
+        let vs = count_vm_ops(src, entry, n, argf);
         let speedup = tree.as_secs_f64() / vm.as_secs_f64().max(1e-12);
+        speedups.push(speedup);
         let row = Json::obj()
             .set("program", name)
             .set("n", n as u64)
             .set("tree_ns", tree.as_nanos() as u64)
             .set("vm_ns", vm.as_nanos() as u64)
-            .set("speedup", speedup);
+            .set("speedup", speedup)
+            .set("vm_dispatched_ops", vs.dispatched_ops)
+            .set("vm_typed_ops", vs.typed_ops)
+            .set("vm_fused_ops", vs.fused_ops);
         if json {
             println!("{row}");
         } else {
-            println!("  {name:>12} {n:>8} {tree:>12?} {vm:>12?} {speedup:>8.2}x");
+            println!(
+                "  {name:>12} {n:>8} {tree:>12?} {vm:>12?} {speedup:>8.2}x {:>10} {:>8} {:>8}",
+                vs.dispatched_ops, vs.typed_ops, vs.fused_ops
+            );
         }
         runs.push(row);
     }
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+    if !json {
+        println!("  geometric-mean speedup: {geomean:.2}x");
+    }
     let doc = Json::obj()
-        .set("schema", "curare-bench/1")
+        .set("schema", "curare-bench/2")
         .set("bench", "interp")
         .set("host_threads", hardware_threads())
+        .set("geomean_speedup", geomean)
         .set("runs", Json::Arr(runs));
     match std::fs::write("BENCH_interp.json", format!("{doc}\n")) {
         Ok(()) => {
             if !json {
                 println!("  wrote BENCH_interp.json");
             }
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("experiments: BENCH_interp.json: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+    if let Some(min) = min_speedup {
+        if geomean < min {
+            eprintln!(
+                "experiments: interp regression: geomean VM speedup {geomean:.2}x < required {min:.2}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("  interp gate: geomean {geomean:.2}x >= {min:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments hir [--json]` — the typed-HIR / superinstruction
+/// ablation: run the interp microbenchmarks on the VM with fusion on
+/// and off, reporting static code size (total / typed / fused ops in
+/// the entry function) and dynamic per-call dispatch counts for each
+/// configuration (`curare-hir/1` rows). This quantifies exactly what
+/// the tentpole buys: fused rows should dispatch fewer ops for the
+/// same call, at identical results (the differential gate checks the
+/// identical-results half).
+fn hir_cmd(args: &[String]) -> ExitCode {
+    use curare::lisp::Engine;
+
+    let json = args.iter().any(|a| a == "--json");
+    const SUM: &str = "(defun s (l acc) (if l (s (cdr l) (+ acc (car l))) acc))";
+    const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+    type ArgsFor = fn(&Interp, i64) -> Vec<Value>;
+    fn list_arg(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n)]
+    }
+    fn list_acc_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![int_list(interp, n), Value::int(0)]
+    }
+    fn int_arg(_: &Interp, n: i64) -> Vec<Value> {
+        vec![Value::int(n)]
+    }
+    fn remq_args(interp: &Interp, n: i64) -> Vec<Value> {
+        vec![interp.heap().sym_value("a"), sym_list(interp, n as usize, &["a", "b", "c"])]
+    }
+    let padded = padded_walker(8);
+    let programs: [(&str, &str, &str, i64, ArgsFor); 5] = [
+        ("bare-walk", "(defun w (l) (when l (w (cdr l))))", "w", 20_000, list_arg),
+        ("sum", SUM, "s", 20_000, list_acc_args),
+        ("padded-8", &padded, "padded", 20_000, list_arg),
+        ("fib", FIB, "fib", 20, int_arg),
+        ("remq", FIGURE_12_REMQ, "remq", 2_000, remq_args),
+    ];
+
+    // (static total/typed/fused ops of the entry fn, dynamic per-call
+    // stats, best-of-5 call time) for one fusion setting.
+    let measure = |src: &str, entry: &str, n: i64, argf: ArgsFor, fuse: bool| {
+        with_big_stack(move || {
+            let prev = curare::lisp::fusion_enabled();
+            curare::lisp::set_fusion_enabled(fuse);
+            let interp = Interp::new();
+            interp.set_engine(Some(Engine::Vm));
+            interp.set_recursion_limit(10_000_000);
+            interp.load_str(src).expect("program loads");
+            // Compilation happened at load time; restore the flag
+            // before anything else observes it.
+            curare::lisp::set_fusion_enabled(prev);
+            let args = argf(&interp, n);
+            interp.call(entry, &args).expect("warmup call");
+            let id = interp.lookup_func_by_name(entry).expect("entry defined");
+            let code = interp.func_entry(id).code.clone().expect("entry compiled");
+            let total = code.ops.len() as u64;
+            let styped = code.ops.iter().filter(|o| o.is_typed()).count() as u64;
+            let sfused = code.ops.iter().filter(|o| o.is_fused()).count() as u64;
+            curare::lisp::vm_stats_reset();
+            interp.call(entry, &args).expect("counted call");
+            let vs = curare::lisp::vm_stats();
+            let mut best = Duration::MAX;
+            for _ in 0..5 {
+                best = best.min(time_once(|| {
+                    interp.call(entry, &args).expect("timed call");
+                }));
+            }
+            (total, styped, sfused, vs, best)
+        })
+    };
+
+    if !json {
+        println!("typed HIR + superinstruction ablation (VM, fused vs --no-fuse)");
+        println!(
+            "  {:>12} {:>14} {:>14} {:>12} {:>12} {:>8}",
+            "program", "code f/u", "typed/fused", "ops fused", "ops unfused", "speedup"
+        );
+    }
+    let mut rows = Vec::new();
+    for (name, src, entry, n, argf) in programs {
+        let (fu_total, fu_typed, fu_fused, fu_vs, fu_t) = measure(src, entry, n, argf, true);
+        let (un_total, _, _, un_vs, un_t) = measure(src, entry, n, argf, false);
+        let speedup = un_t.as_secs_f64() / fu_t.as_secs_f64().max(1e-12);
+        let row = Json::obj()
+            .set("schema", "curare-hir/1")
+            .set("program", name)
+            .set("n", n as u64)
+            .set("code_ops_fused", fu_total)
+            .set("code_ops_unfused", un_total)
+            .set("code_typed_ops", fu_typed)
+            .set("code_fused_ops", fu_fused)
+            .set("dispatched_fused", fu_vs.dispatched_ops)
+            .set("dispatched_unfused", un_vs.dispatched_ops)
+            .set("dyn_typed_ops", fu_vs.typed_ops)
+            .set("dyn_fused_ops", fu_vs.fused_ops)
+            .set("fused_ns", fu_t.as_nanos() as u64)
+            .set("unfused_ns", un_t.as_nanos() as u64)
+            .set("fusion_speedup", speedup);
+        if json {
+            println!("{row}");
+        } else {
+            println!(
+                "  {name:>12} {:>14} {:>14} {:>12} {:>12} {speedup:>7.2}x",
+                format!("{fu_total}/{un_total}"),
+                format!("{fu_typed}/{fu_fused}"),
+                fu_vs.dispatched_ops,
+                un_vs.dispatched_ops
+            );
+        }
+        rows.push(row);
+    }
+    // The ablation is informative, not a gate: fusion must never
+    // *increase* dispatch for the same call.
+    let regressed: Vec<&Json> = rows
+        .iter()
+        .filter(|r| {
+            let get = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+            get("dispatched_fused") > get("dispatched_unfused")
+        })
+        .collect();
+    if !regressed.is_empty() {
+        eprintln!(
+            "experiments: hir: fusion increased dispatched ops on {} row(s)",
+            regressed.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// `experiments differential FILE...` — load every file under the
-/// tree-walker and the bytecode VM in fresh interpreters and require
-/// identical outcomes: same result (or error), same printed output,
-/// and the same global bindings (rendered through the heap, so any
-/// structure reachable from a global is compared too). The CI gate
-/// runs this over `examples/lisp/*.lisp`.
+/// tree-walker, the fused bytecode VM, and the `--no-fuse` VM in
+/// fresh interpreters and require identical outcomes: same result (or
+/// error), same printed output, and the same global bindings
+/// (rendered through the heap, so any structure reachable from a
+/// global is compared too). The three-way comparison makes the fusion
+/// escape hatch a checked equivalence, not just an off switch. The CI
+/// gate runs this over `examples/lisp/*.lisp`.
 fn differential_cmd(args: &[String]) -> ExitCode {
     use curare::lisp::Engine;
 
@@ -246,14 +451,19 @@ fn differential_cmd(args: &[String]) -> ExitCode {
         eprintln!("usage: experiments differential FILE...");
         return ExitCode::from(2);
     }
-    let run_engine = |src: &str, engine: Engine| -> String {
-        with_big_stack(|| {
+    let run_engine = |src: &str, engine: Engine, fuse: bool| -> String {
+        with_big_stack(move || {
+            // Fusion applies at compile (= load) time; restore the
+            // previous setting before returning.
+            let prev = curare::lisp::fusion_enabled();
+            curare::lisp::set_fusion_enabled(fuse);
             let interp = Interp::new();
             interp.set_engine(Some(engine));
             let outcome = match interp.load_str(src) {
                 Ok(v) => format!("ok: {}", interp.heap().display(v)),
                 Err(e) => format!("err: {e}"),
             };
+            curare::lisp::set_fusion_enabled(prev);
             let output = interp.take_output().join("\n");
             let mut globals: Vec<String> = interp
                 .globals_snapshot()
@@ -275,13 +485,17 @@ fn differential_cmd(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let tree = run_engine(&src, Engine::Tree);
-        let vm = run_engine(&src, Engine::Vm);
-        if tree == vm {
+        let tree = run_engine(&src, Engine::Tree, true);
+        let vm = run_engine(&src, Engine::Vm, true);
+        let vm_nofuse = run_engine(&src, Engine::Vm, false);
+        if tree == vm && vm == vm_nofuse {
             println!("{path}: engines agree ({})", tree.lines().next().unwrap_or(""));
         } else {
             all_ok = false;
-            eprintln!("{path}: ENGINE DIVERGENCE\n--- tree ---\n{tree}\n--- vm ---\n{vm}");
+            eprintln!(
+                "{path}: ENGINE DIVERGENCE\n--- tree ---\n{tree}\n--- vm (fused) ---\n{vm}\n\
+                 --- vm (--no-fuse) ---\n{vm_nofuse}"
+            );
         }
     }
     if all_ok {

@@ -22,6 +22,9 @@
 //!                    heap, lock-wait, vm, and timeline sections)
 //!   --engine E       invocation engine: 'vm' (default; register
 //!                    bytecode) or 'tree' (the tree-walking oracle)
+//!   --no-fuse        disable superinstruction fusion in the bytecode
+//!                    compiler (differential escape hatch; also
+//!                    available process-wide as CURARE_NO_FUSE=1)
 //!   --chaos-seed N   install a seeded fault plan for the pool run
 //!                    (needs a binary built with --features chaos)
 //!   --chaos-profile P  fault profile for --chaos-seed: delays,
@@ -134,6 +137,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut engine: Option<curare::lisp::Engine> = None;
+    let mut no_fuse = false;
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_profile = String::from("mixed");
     let mut stall_budget_ms: Option<u64> = None;
@@ -167,6 +171,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     _ => return Err("--engine needs 'vm' or 'tree'".into()),
                 });
                 i += 2;
+            }
+            "--no-fuse" => {
+                no_fuse = true;
+                i += 1;
             }
             "--servers" => {
                 servers = args
@@ -208,6 +216,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let _ = &chaos_profile;
 
     curare::lisp::set_thread_stack_budget(6 << 20);
+    if no_fuse {
+        // Before the interpreter exists: functions compile (and fuse)
+        // at load time.
+        curare::lisp::set_fusion_enabled(false);
+    }
     let interp = Arc::new(Interp::new());
     if let Some(e) = engine {
         // Process-wide so pool server threads inherit it too.

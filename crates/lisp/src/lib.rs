@@ -45,6 +45,7 @@ pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod heap;
+pub mod hir;
 pub mod interp;
 pub mod lower;
 pub mod sync;
@@ -52,6 +53,7 @@ pub mod unparse;
 pub mod value;
 pub mod vm;
 
+pub use compile::{fusion_enabled, set_fusion_enabled};
 pub use error::{LispError, Result};
 pub use eval::{set_thread_stack_budget, Evaluator};
 pub use heap::{Heap, HeapStats, StructType};
@@ -60,4 +62,4 @@ pub use interp::{
 };
 pub use lower::{Lowerer, TopForm};
 pub use value::{FuncId, SymId, Val, Value};
-pub use vm::{vm_stats, Vm, VmStats};
+pub use vm::{vm_stats, vm_stats_reset, Vm, VmStats};

@@ -987,6 +987,42 @@ pub fn builtin_signature(name: &str) -> Option<(BuiltinOp, usize, usize)> {
     })
 }
 
+/// True for builtins the HIR constant folder may evaluate at compile
+/// time over integer-literal arguments: pure (no heap allocation, no
+/// I/O, no interpreter state) and closed over the integers. `/` and
+/// `mod` are deliberately absent — their division-by-zero errors must
+/// surface at run time — as is everything touching conses, strings,
+/// hashes, vectors, randomness, or futures.
+pub fn builtin_foldable(op: BuiltinOp) -> bool {
+    use BuiltinOp::*;
+    matches!(
+        op,
+        Add | Sub
+            | Mul
+            | Min
+            | Max
+            | Abs
+            | Add1
+            | Sub1
+            | Lt
+            | Gt
+            | Le
+            | Ge
+            | NumEq
+            | NumNe
+            | Eq
+            | Eql
+            | Equal
+            | Null
+            | Atom
+            | Consp
+            | Symbolp
+            | Numberp
+            | Stringp
+            | Functionp
+    )
+}
+
 /// Parse the field operand of `cri-lock`: `'car`, `'cdr`, or a struct
 /// field index `k` (encoding `2 + k`).
 fn field_code(d: &Sexpr) -> Result<u32> {

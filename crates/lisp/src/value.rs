@@ -224,6 +224,19 @@ impl Value {
         self.tag() == Tag::Int as u64
     }
 
+    /// The sign-extended integer payload, *without* checking the tag.
+    ///
+    /// For the VM's typed fast-path ops: when the compiler's type
+    /// propagation has proven the operand is an integer, this skips
+    /// the tag dispatch. Misuse on a non-integer yields a garbage
+    /// integer (never UB) — the differential oracle would catch that
+    /// as a wrong answer, not a crash.
+    pub fn as_int_raw(self) -> i64 {
+        // The payload occupies the top 60 bits, so one arithmetic
+        // shift both drops the tag and sign-extends.
+        (self.0 as i64) >> TAG_BITS
+    }
+
     /// The integer payload, if this is an integer.
     pub fn as_int(self) -> Option<i64> {
         match self.decode() {

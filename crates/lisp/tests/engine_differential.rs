@@ -402,3 +402,53 @@ fn random_programs_agree() {
         assert_eq!(tree, vm, "engine divergence on random case {case}:\n{src}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Fusion differential: superinstruction fusion is a load-time
+// code-gen choice, so with it disabled (`--no-fuse` / CURARE_NO_FUSE)
+// the VM must produce byte-identical outcomes on the same battery.
+// The flag is process-global and read at compile time; tests that
+// toggle it serialize on a mutex and restore the previous value.
+// ---------------------------------------------------------------------
+
+static FUSION_FLAG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn run_vm_with_fusion(src: &str, fuse: bool) -> (String, String) {
+    let prev = curare_lisp::fusion_enabled();
+    curare_lisp::set_fusion_enabled(fuse);
+    let r = run_engine(src, Engine::Vm);
+    curare_lisp::set_fusion_enabled(prev);
+    r
+}
+
+#[test]
+fn random_programs_agree_without_fusion() {
+    let _guard = FUSION_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = XorShift(0x9E3779B97F4A7C15);
+    for case in 0..300 {
+        let src = gen_program(&mut rng);
+        let fused = run_vm_with_fusion(&src, true);
+        let unfused = run_vm_with_fusion(&src, false);
+        assert_eq!(fused, unfused, "fused/unfused VM divergence on random case {case}:\n{src}");
+        let tree = run_engine(&src, Engine::Tree);
+        assert_eq!(tree, unfused, "tree/--no-fuse divergence on random case {case}:\n{src}");
+    }
+}
+
+/// End-to-end check of the block-boundary rule: `(and a b)` makes the
+/// merge point of the `if` a jump target, so the compiled code keeps a
+/// dispatch slot there, and the fused function still agrees with the
+/// tree-walker on every input combination.
+#[test]
+fn fusion_respects_branch_targets_end_to_end() {
+    let _guard = FUSION_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = curare_lisp::fusion_enabled();
+    curare_lisp::set_fusion_enabled(true);
+    for (a, b) in [("1", "2"), ("1", "nil"), ("nil", "2"), ("nil", "nil")] {
+        let src = format!("(defun f (a b) (if (and a b) (+ 10 1) 2)) (f {a} {b})");
+        let tree = run_engine(&src, Engine::Tree);
+        let vm = run_engine(&src, Engine::Vm);
+        assert_eq!(tree, vm, "divergence on f({a}, {b})");
+    }
+    curare_lisp::set_fusion_enabled(prev);
+}

@@ -244,3 +244,130 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------
+// HIR desugar round trip: desugaring (let*/cond/and/or/when/unless
+// chains plus constant folding) must preserve tree-walker semantics.
+// We lower the source, desugar to HIR, convert back to an AST,
+// unparse it, and require the printed program to evaluate to the
+// same value as the original.
+// ----------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SugarExpr {
+    Int(i32),
+    Var(usize),
+    Add(Box<SugarExpr>, Box<SugarExpr>),
+    Sub(Box<SugarExpr>, Box<SugarExpr>),
+    Lt(Box<SugarExpr>, Box<SugarExpr>),
+    And(Vec<SugarExpr>),
+    Or(Vec<SugarExpr>),
+    Cond(Vec<(SugarExpr, SugarExpr)>, Box<SugarExpr>),
+    LetStar(Vec<SugarExpr>, Box<SugarExpr>),
+    When(Box<SugarExpr>, Box<SugarExpr>),
+    Unless(Box<SugarExpr>, Box<SugarExpr>),
+    Progn(Vec<SugarExpr>),
+}
+
+fn gen_sugar() -> impl Strategy<Value = SugarExpr> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(SugarExpr::Int),
+        (0usize..4).prop_map(SugarExpr::Var),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SugarExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SugarExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SugarExpr::Lt(Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(SugarExpr::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(SugarExpr::Or),
+            (prop::collection::vec((inner.clone(), inner.clone()), 0..3), inner.clone())
+                .prop_map(|(cs, d)| SugarExpr::Cond(cs, Box::new(d))),
+            (prop::collection::vec(inner.clone(), 1..4), inner.clone())
+                .prop_map(|(inits, b)| SugarExpr::LetStar(inits, Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(c, b)| SugarExpr::When(Box::new(c), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(c, b)| SugarExpr::Unless(Box::new(c), Box::new(b))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(SugarExpr::Progn),
+        ]
+    })
+}
+
+/// Render with `depth` sequentially bound variables x0..x(depth-1) in
+/// scope; out-of-scope variable picks degrade to a literal.
+fn render_sugar(e: &SugarExpr, depth: usize) -> String {
+    let r = |e: &SugarExpr| render_sugar(e, depth);
+    match e {
+        SugarExpr::Int(i) => i.to_string(),
+        SugarExpr::Var(i) => {
+            if depth > 0 {
+                format!("x{}", i % depth)
+            } else {
+                "5".to_string()
+            }
+        }
+        SugarExpr::Add(a, b) => format!("(+ {} {})", r(a), r(b)),
+        SugarExpr::Sub(a, b) => format!("(- {} {})", r(a), r(b)),
+        SugarExpr::Lt(a, b) => format!("(< {} {})", r(a), r(b)),
+        SugarExpr::And(es) => {
+            format!("(and {})", es.iter().map(r).collect::<Vec<_>>().join(" "))
+        }
+        SugarExpr::Or(es) => format!("(or {})", es.iter().map(r).collect::<Vec<_>>().join(" ")),
+        SugarExpr::Cond(cs, d) => {
+            let mut clauses: Vec<String> =
+                cs.iter().map(|(c, v)| format!("({} {})", r(c), r(v))).collect();
+            clauses.push(format!("(t {})", r(d)));
+            format!("(cond {})", clauses.join(" "))
+        }
+        SugarExpr::LetStar(inits, b) => {
+            let binds: Vec<String> = inits
+                .iter()
+                .enumerate()
+                .map(|(i, init)| format!("(x{} {})", depth + i, render_sugar(init, depth + i)))
+                .collect();
+            format!("(let* ({}) {})", binds.join(" "), render_sugar(b, depth + inits.len()))
+        }
+        SugarExpr::When(c, b) => format!("(when {} {})", r(c), r(b)),
+        SugarExpr::Unless(c, b) => format!("(unless {} {})", r(c), r(b)),
+        SugarExpr::Progn(es) => {
+            format!("(progn {})", es.iter().map(r).collect::<Vec<_>>().join(" "))
+        }
+    }
+}
+
+/// Tree-walker evaluation to a display string; `None` on error (the
+/// desugared program may fold an overflow into an explicit raise whose
+/// message names a different operator, so errors compare as `None`).
+fn eval_tree(src: &str) -> Option<String> {
+    let it = Interp::new();
+    it.set_engine(Some(Engine::Tree));
+    it.load_str(src).ok().map(|v| it.heap().display(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Desugared HIR, converted back to an AST and reprinted, is
+    /// observationally equal to the original under the tree-walker.
+    #[test]
+    fn desugar_preserves_tree_semantics(e in gen_sugar()) {
+        let src = render_sugar(&e, 0);
+        let heap = Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let ast = lw.lower_expr(&parse_one(&src).unwrap()).unwrap();
+        let h = curare_lisp::hir::desugar(&ast);
+        let back = curare_lisp::hir::to_expr(&h);
+        let printed = curare_lisp::unparse::unparse_expr(&heap, &back).to_string();
+        prop_assert_eq!(
+            eval_tree(&src),
+            eval_tree(&printed),
+            "desugar changed semantics:\n  original: {}\n  desugared: {}",
+            src,
+            printed
+        );
+    }
+}

@@ -986,6 +986,8 @@ impl CriRuntime {
                 },
             )
             .set("dispatched_ops", vs.dispatched_ops)
+            .set("typed_ops", vs.typed_ops)
+            .set("fused_ops", vs.fused_ops)
             .set("frames_reused", vs.frames_reused)
             .set("frames_allocated", vs.frames_allocated);
         RunReport::new(label)
