@@ -71,6 +71,19 @@ target/release/experiments validate "$CHAOS_DIR/BENCH_chaos.json" \
 rm -rf "$CHAOS_DIR"
 target/release/experiments sanitize --chaos-seed 7 > /dev/null
 
+echo "== causal profiler: lints, per-opcode tests, work/span smoke gate"
+cargo clippy -p curare-lisp --features profile-ops --all-targets -- -D warnings
+cargo clippy -p curare-bench --features profile-ops --all-targets -- -D warnings
+cargo test -q -p curare-lisp --features profile-ops
+cargo build --release -p curare-bench --features profile-ops
+PROFILE_DIR="$(mktemp -d)"
+# The subcommand itself fails the run if span > work or parallelism < 1
+# in any cell (the DAG-reconstruction invariants).
+(cd "$PROFILE_DIR" && "$REPO_DIR/target/release/experiments" profile --json > /dev/null)
+target/release/experiments validate "$PROFILE_DIR/BENCH_profile.json" \
+  schema bench host_threads servers runs
+rm -rf "$PROFILE_DIR"
+
 # Rebuild without the features so later steps use the plain binary.
 cargo build --release -p curare-bench
 

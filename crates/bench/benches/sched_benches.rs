@@ -143,6 +143,50 @@ fn chaos_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of the causal profiler: the same tiny-grain pool run with
+/// profiling off (the shipping default — invocation-id allocation and
+/// every Spawn/InvStart/InvStop/TouchWake site reduce to one relaxed
+/// load and a branch) vs armed with a tracer installed (full DAG
+/// event stream). On a `--features bench-ext,profile-ops` build a
+/// third column times the run with per-opcode VM counters on too;
+/// without the feature the opcode path is compiled out entirely. The
+/// acceptance bound is that `disabled` sits within noise of the
+/// pre-profiler baseline.
+fn profile_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile_overhead");
+    g.sample_size(10);
+    let n = 5_000i64;
+
+    #[cfg(feature = "profile-ops")]
+    let variants: &[&str] = &["disabled", "enabled", "enabled_op_counts"];
+    #[cfg(not(feature = "profile-ops"))]
+    let variants: &[&str] = &["disabled", "enabled"];
+    for &label in variants {
+        g.bench_function(label, |b| {
+            let tracer = (label != "disabled").then(|| {
+                let t = curare::obs::Tracer::with_capacity(4, 1 << 16);
+                curare::obs::install(Some(Arc::clone(&t)));
+                curare::obs::set_profiling(true);
+                curare::lisp::set_op_profiling(label == "enabled_op_counts");
+                t
+            });
+            let (interp, _) = transformed_interp(&padded_walker(0));
+            let rt = CriRuntime::new(Arc::clone(&interp), 4);
+            b.iter(|| {
+                let l = int_list(&interp, n);
+                rt.run("padded", &[l]).expect("run");
+            });
+            drop(rt);
+            if tracer.is_some() {
+                curare::lisp::set_op_profiling(false);
+                curare::obs::set_profiling(false);
+                curare::obs::install(None);
+            }
+        });
+    }
+    g.finish();
+}
+
 /// Tree-walking evaluator vs the register bytecode VM on the
 /// invocation hot path: tiny-grain tail recursion (the E8 shape) and
 /// call-heavy non-tail recursion, single-threaded so only the engine
@@ -213,6 +257,7 @@ criterion_group!(
     trace_overhead,
     sanitizer_overhead,
     chaos_overhead,
+    profile_overhead,
     eval_vs_vm,
     tlab_allocation
 );

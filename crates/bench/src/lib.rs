@@ -213,6 +213,7 @@ impl ObsSink {
         };
         obs::install(None);
         let snaps = tracer.snapshot();
+        obs::warn_if_dropped(&snaps, "experiments");
         if let Some(path) = &self.trace_path {
             write(path, &obs::chrome::chrome_trace(&snaps))?;
             println!("wrote chrome trace to {path} ({} events recorded)", tracer.recorded());
@@ -223,7 +224,8 @@ impl ObsSink {
                 .borrow_mut()
                 .take()
                 .unwrap_or_else(|| RunReport::new("no-threaded-run").into_json())
-                .set("timeline", Timeline::from_trace(&snaps).to_json());
+                .set("timeline", Timeline::from_trace(&snaps).to_json())
+                .set("trace", obs::trace_health_section(&snaps));
             write(path, &report)?;
             println!("wrote metrics report to {path}");
         }
@@ -297,7 +299,7 @@ mod tests {
         sink.finish().unwrap();
         for (path, keys) in [
             (&trace, &["traceEvents", "otherData"][..]),
-            (&metrics, &["schema", "label", "pool", "timeline"][..]),
+            (&metrics, &["schema", "label", "pool", "timeline", "trace"][..]),
         ] {
             let text = std::fs::read_to_string(path).unwrap();
             obs::validate_keys(&text, keys).unwrap();

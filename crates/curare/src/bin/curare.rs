@@ -19,7 +19,13 @@
 //!   --trace PATH     write a Chrome trace_event JSON of the pool run
 //!                    (open in chrome://tracing or Perfetto)
 //!   --metrics PATH   write the run's curare-report/1 JSON (pool,
-//!                    heap, lock-wait, vm, and timeline sections)
+//!                    heap, lock-wait, vm, timeline, and trace-health
+//!                    sections)
+//!   --profile PATH   write a curare-profile/1 JSON of the pool run:
+//!                    the spawn/touch DAG's work, span (critical
+//!                    path), parallelism = work/span, and per-edge
+//!                    critical-path attribution; with a profile-ops
+//!                    build the hottest VM opcodes ride along
 //!   --engine E       invocation engine: 'vm' (default; register
 //!                    bytecode) or 'tree' (the tree-walking oracle)
 //!   --no-fuse        disable superinstruction fusion in the bytecode
@@ -136,6 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut sequential = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut engine: Option<curare::lisp::Engine> = None;
     let mut no_fuse = false;
     let mut chaos_seed: Option<u64> = None;
@@ -199,11 +206,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 metrics_path = Some(args.get(i + 1).ok_or("--metrics needs a file path")?.clone());
                 i += 2;
             }
+            "--profile" => {
+                profile_path = Some(args.get(i + 1).ok_or("--profile needs a file path")?.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if (trace_path.is_some() || metrics_path.is_some()) && servers == 0 {
-        return Err("--trace/--metrics need a pool run (--servers N with --call)".into());
+    if (trace_path.is_some() || metrics_path.is_some() || profile_path.is_some()) && servers == 0 {
+        return Err("--trace/--metrics/--profile need a pool run (--servers N with --call)".into());
     }
     if (chaos_seed.is_some() || stall_budget_ms.is_some()) && servers == 0 {
         return Err("--chaos-seed/--stall-budget-ms need a pool run (--servers N)".into());
@@ -255,11 +266,19 @@ fn run(args: &[String]) -> Result<(), String> {
         argv.push(interp.eval_str(&a.to_string()).map_err(|e| e.to_string())?);
     }
     if servers > 0 {
-        let tracer = (trace_path.is_some() || metrics_path.is_some()).then(|| {
-            let t = Tracer::new(servers);
-            curare::obs::install(Some(Arc::clone(&t)));
-            t
-        });
+        let tracer = (trace_path.is_some() || metrics_path.is_some() || profile_path.is_some())
+            .then(|| {
+                let t = Tracer::new(servers);
+                curare::obs::install(Some(Arc::clone(&t)));
+                t
+            });
+        // Arm the causal profiler (spawn/touch/future edge events +
+        // invocation ids) and, on a profile-ops build, per-opcode VM
+        // counters, before the pool spawns.
+        if profile_path.is_some() {
+            curare::obs::set_profiling(true);
+            curare::lisp::set_op_profiling(true);
+        }
         // Install the fault plan before the pool spawns so server
         // threads see it from their first task.
         #[cfg(feature = "chaos")]
@@ -301,7 +320,12 @@ fn run(args: &[String]) -> Result<(), String> {
         run_result?;
         if let Some(tracer) = tracer {
             curare::obs::install(None);
+            if profile_path.is_some() {
+                curare::obs::set_profiling(false);
+                curare::lisp::set_op_profiling(false);
+            }
             let snaps = tracer.snapshot();
+            curare::obs::warn_if_dropped(&snaps, "curare run");
             let write = |path: &str, doc: &Json| -> Result<(), String> {
                 std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))
             };
@@ -310,10 +334,26 @@ fn run(args: &[String]) -> Result<(), String> {
                 eprintln!(";; wrote chrome trace to {path}");
             }
             if let Some(path) = &metrics_path {
-                let report =
-                    rt.run_report(fname).set("timeline", Timeline::from_trace(&snaps).to_json());
+                let report = rt
+                    .run_report(fname)
+                    .set("timeline", Timeline::from_trace(&snaps).to_json())
+                    .set("trace", curare::obs::trace_health_section(&snaps));
                 write(path, &report)?;
                 eprintln!(";; wrote metrics report to {path}");
+            }
+            if let Some(path) = &profile_path {
+                let profile = curare::obs::Profile::from_trace(&snaps);
+                let hot: Vec<Json> = curare::lisp::op_profile_top(8)
+                    .into_iter()
+                    .map(|r| Json::obj().set("op", r.name).set("count", r.count).set("ns", r.ns))
+                    .collect();
+                let doc = profile.to_json().set("label", fname).set("hot_ops", Json::Arr(hot));
+                write(path, &doc)?;
+                eprintln!(
+                    ";; wrote causal profile to {path} (work {} ns, span {} ns, \
+                     parallelism {:.2})",
+                    profile.work_ns, profile.span_ns, profile.parallelism
+                );
             }
         }
         for line in interp.take_output() {

@@ -299,6 +299,66 @@ pub enum Op {
 /// many entries.
 pub const OPCODE_COUNT: usize = 55;
 
+/// Stable display name per opcode, indexed by [`Op::opcode`] — the
+/// labels the `profile-ops` VM profiler reports hot opcodes under.
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "const",
+    "float",
+    "str",
+    "quote",
+    "move",
+    "load_cap",
+    "get_global",
+    "set_global",
+    "jump",
+    "jump_if_nil",
+    "jump_if_true",
+    "return",
+    "call",
+    "tail_call",
+    "builtin",
+    "struct",
+    "make_closure",
+    "func_ref",
+    "future",
+    "enqueue",
+    "lock",
+    "atomic_incf_g",
+    "raise",
+    "car",
+    "cdr",
+    "cons",
+    "set_car",
+    "set_cdr",
+    "null_p",
+    "consp_p",
+    "atom_p",
+    "eq_p",
+    "add1",
+    "sub1",
+    "add2",
+    "sub2",
+    "mul2",
+    "lt2",
+    "gt2",
+    "le2",
+    "ge2",
+    "num_eq2",
+    "touch",
+    "add_int",
+    "sub_int",
+    "mul_int",
+    "inc_int",
+    "dec_int",
+    "cmp_int",
+    "test_jump",
+    "cmp_jump",
+    "const_bin",
+    "car_bin",
+    "cxr_null",
+    "cons_link",
+];
+
 impl Op {
     /// Dense opcode index for direct-threaded dispatch: every variant
     /// maps to a unique value in `0..OPCODE_COUNT`, in declaration

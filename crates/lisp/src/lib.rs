@@ -62,4 +62,7 @@ pub use interp::{
 };
 pub use lower::{Lowerer, TopForm};
 pub use value::{FuncId, SymId, Val, Value};
-pub use vm::{vm_stats, vm_stats_reset, Vm, VmStats};
+pub use vm::{
+    op_profile_reset, op_profile_snapshot, op_profile_top, op_profiling_enabled, set_op_profiling,
+    vm_stats, vm_stats_reset, OpProfileEntry, Vm, VmStats,
+};

@@ -34,6 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::builtins::{apply_builtin, compare_chain, fold_arith, BuiltinCx};
+#[cfg(feature = "profile-ops")]
+use crate::compile::OPCODE_NAMES;
 use crate::compile::{BinKind, CmpKind, Code, Op, TestKind, OPCODE_COUNT};
 use crate::error::{LispError, Result};
 use crate::eval::{self, apply_struct_op, Evaluator};
@@ -93,6 +95,108 @@ pub fn vm_stats_reset() {
     VM_FUSED_OPS.store(0, Ordering::Relaxed);
     VM_FRAMES_REUSED.store(0, Ordering::Relaxed);
     VM_FRAMES_ALLOCATED.store(0, Ordering::Relaxed);
+}
+
+// ----------------------------------------------------------------
+// Per-opcode profiling (`profile-ops` feature)
+// ----------------------------------------------------------------
+
+/// One row of the per-opcode VM profile: how often an opcode
+/// dispatched and how many nanoseconds its handler accumulated.
+///
+/// Handler time is **inclusive**: `call`/`tail_call`/`builtin` rows
+/// include everything executed beneath them, so nested execution
+/// counts toward every enclosing call opcode. Rank by `ns` to find
+/// where the VM spends time; use `count` for dispatch mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProfileEntry {
+    /// Dense opcode index ([`Op::opcode`]).
+    pub opcode: usize,
+    /// Stable display name ([`OPCODE_NAMES`]).
+    pub name: &'static str,
+    /// Dispatch count.
+    pub count: u64,
+    /// Accumulated handler nanoseconds (inclusive).
+    pub ns: u64,
+}
+
+#[cfg(feature = "profile-ops")]
+mod op_profile {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    pub(super) static COUNTS: [AtomicU64; OPCODE_COUNT] = [ZERO; OPCODE_COUNT];
+    pub(super) static NS: [AtomicU64; OPCODE_COUNT] = [ZERO; OPCODE_COUNT];
+}
+
+/// Enable/disable per-opcode profiling. No-op unless the crate was
+/// built with the `profile-ops` feature; with it, each `exec` entry
+/// pays one relaxed load while disabled, and each dispatch pays two
+/// clock reads while enabled (counters batch per code block and flush
+/// to process-wide atomics on exit).
+pub fn set_op_profiling(on: bool) {
+    #[cfg(feature = "profile-ops")]
+    op_profile::ENABLED.store(on, Ordering::Release);
+    #[cfg(not(feature = "profile-ops"))]
+    let _ = on;
+}
+
+/// True while per-opcode profiling is compiled in and enabled.
+#[inline]
+pub fn op_profiling_enabled() -> bool {
+    #[cfg(feature = "profile-ops")]
+    {
+        op_profile::ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "profile-ops"))]
+    {
+        false
+    }
+}
+
+/// Zero the per-opcode counters (between benchmark iterations).
+pub fn op_profile_reset() {
+    #[cfg(feature = "profile-ops")]
+    for i in 0..OPCODE_COUNT {
+        op_profile::COUNTS[i].store(0, Ordering::Relaxed);
+        op_profile::NS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot every opcode with a nonzero dispatch count. Always empty
+/// without the `profile-ops` feature, so report plumbing needs no
+/// feature gates of its own.
+pub fn op_profile_snapshot() -> Vec<OpProfileEntry> {
+    #[cfg(feature = "profile-ops")]
+    {
+        (0..OPCODE_COUNT)
+            .filter_map(|i| {
+                let count = op_profile::COUNTS[i].load(Ordering::Relaxed);
+                (count != 0).then(|| OpProfileEntry {
+                    opcode: i,
+                    name: OPCODE_NAMES[i],
+                    count,
+                    ns: op_profile::NS[i].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "profile-ops"))]
+    {
+        Vec::new()
+    }
+}
+
+/// The `k` hottest opcodes by accumulated nanoseconds (dispatch count
+/// breaks ties). Empty without the `profile-ops` feature.
+pub fn op_profile_top(k: usize) -> Vec<OpProfileEntry> {
+    let mut rows = op_profile_snapshot();
+    rows.sort_by(|a, b| b.ns.cmp(&a.ns).then(b.count.cmp(&a.count)));
+    rows.truncate(k);
+    rows
 }
 
 /// Control flow out of one code block.
@@ -258,6 +362,10 @@ impl<'i> Vm<'i> {
     /// Execute one code block against `regs` through the handler
     /// table.
     fn exec(&mut self, code: &Code, regs: &mut [Value]) -> Result<VmFlow> {
+        #[cfg(feature = "profile-ops")]
+        if op_profiling_enabled() {
+            return self.exec_profiled(code, regs);
+        }
         let mut pc = 0usize;
         loop {
             let op = code.ops[pc];
@@ -267,6 +375,40 @@ impl<'i> Vm<'i> {
                 return Ok(flow);
             }
         }
+    }
+
+    /// The dispatch loop with per-opcode count/ns accounting wrapped
+    /// around each handler. A separate duplicate of `exec`'s loop so
+    /// the unprofiled path keeps its exact shape; counters batch in
+    /// stack-local arrays and flush once per code block.
+    #[cfg(feature = "profile-ops")]
+    #[cold]
+    fn exec_profiled(&mut self, code: &Code, regs: &mut [Value]) -> Result<VmFlow> {
+        let mut counts = [0u64; OPCODE_COUNT];
+        let mut ns = [0u64; OPCODE_COUNT];
+        let mut pc = 0usize;
+        let result = loop {
+            let op = code.ops[pc];
+            pc += 1;
+            self.ops += 1;
+            let idx = op.opcode();
+            counts[idx] += 1;
+            let t0 = curare_obs::now_ns();
+            let step = HANDLERS[idx](self, code, regs, op, &mut pc);
+            ns[idx] += curare_obs::now_ns().saturating_sub(t0);
+            match step {
+                Ok(None) => {}
+                Ok(Some(flow)) => break Ok(flow),
+                Err(e) => break Err(e),
+            }
+        };
+        for i in 0..OPCODE_COUNT {
+            if counts[i] != 0 {
+                op_profile::COUNTS[i].fetch_add(counts[i], Ordering::Relaxed);
+                op_profile::NS[i].fetch_add(ns[i], Ordering::Relaxed);
+            }
+        }
+        result
     }
 }
 
@@ -1363,5 +1505,46 @@ mod tests {
         for (i, op) in samples.iter().enumerate() {
             assert_eq!(op.opcode(), i, "{op:?} numbered out of order");
         }
+    }
+
+    #[test]
+    fn opcode_names_are_unique() {
+        let names = crate::compile::OPCODE_NAMES;
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), OPCODE_COUNT, "duplicate opcode name");
+    }
+
+    // Only without the feature: the sibling profiled test mutates the
+    // global counters in parallel when it is compiled in.
+    #[cfg(not(feature = "profile-ops"))]
+    #[test]
+    fn op_profile_stubs_are_inert() {
+        set_op_profiling(true);
+        assert!(!op_profiling_enabled(), "flag is compiled out");
+        op_profile_reset();
+        assert!(op_profile_top(8).is_empty());
+    }
+
+    #[cfg(feature = "profile-ops")]
+    #[test]
+    fn op_profile_counts_dispatches() {
+        use crate::interp::Interp;
+        let it = Interp::new();
+        it.eval_str("(defun count-up (n acc) (if (= n 0) acc (count-up (- n 1) (+ acc 1))))")
+            .unwrap();
+        set_op_profiling(true);
+        op_profile_reset();
+        let v = it.eval_str("(count-up 1000 0)").unwrap();
+        set_op_profiling(false);
+        assert_eq!(v.as_int(), Some(1000));
+        let rows = op_profile_snapshot();
+        assert!(!rows.is_empty(), "profiled run produced no rows");
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        assert!(total >= 1000, "expected ≥1000 dispatches, got {total}");
+        let top = op_profile_top(3);
+        assert!(top.len() <= 3);
+        assert!(top.windows(2).all(|w| w[0].ns >= w[1].ns), "top-k sorted by ns");
+        op_profile_reset();
+        assert!(op_profile_snapshot().is_empty(), "reset clears rows");
     }
 }

@@ -6,10 +6,22 @@
 //! duration events on one track per server lane, everything else
 //! becomes thread-scoped instants. Timestamps are microseconds (the
 //! format's unit) as floats, so nanosecond resolution survives.
+//!
+//! When a trace was recorded under causal profiling
+//! ([`crate::profile::set_profiling`]), the causal edges export as
+//! **flow events** (`"s"`/`"f"` phases), which Perfetto draws as
+//! arrows between slices: a `spawn` flow from the spawning site to the
+//! child's first execution, and a `touch` flow from a future's
+//! resolution to each touch that woke on it.
 
 use crate::event::EventKind;
 use crate::json::Json;
+use crate::profile::unpack_pair;
 use crate::ring::RingSnapshot;
+
+/// Flow-id namespace for future (resolve → wake) arrows, keeping them
+/// disjoint from spawn arrows keyed by child invocation id.
+const FUTURE_FLOW_BASE: u64 = 1 << 40;
 
 fn us(ts_ns: u64) -> f64 {
     ts_ns as f64 / 1_000.0
@@ -35,6 +47,23 @@ fn instant(name: &str, lane: usize, ts_ns: u64, arg: u64) -> Json {
         .set("tid", lane)
         .set("s", "t")
         .set("args", Json::obj().set("arg", arg))
+}
+
+fn flow(name: &str, ph: &str, lane: usize, ts_ns: u64, id: u64) -> Json {
+    let j = Json::obj()
+        .set("name", name)
+        .set("cat", "causal")
+        .set("ph", ph)
+        .set("id", id)
+        .set("ts", us(ts_ns))
+        .set("pid", 1u64)
+        .set("tid", lane);
+    // Bind the arrow head to the enclosing slice, not the next one.
+    if ph == "f" {
+        j.set("bp", "e")
+    } else {
+        j
+    }
 }
 
 fn thread_name(lane: usize) -> Json {
@@ -84,6 +113,26 @@ pub fn chrome_trace(snapshots: &[RingSnapshot]) -> Json {
                     if let Some((ts, arg)) = open_lock.take() {
                         events.push(complete("lock_wait", lane, ts, e.ts_ns, arg));
                     }
+                }
+                // Causal-profiling kinds: spawn → child start and
+                // resolve → wake become flow arrows; the start/stop
+                // twins duplicate the task slices and BindFuture is
+                // pure metadata, so none of them emit instants.
+                EventKind::Spawn => {
+                    let (_parent, child) = unpack_pair(e.arg);
+                    events.push(flow("spawn", "s", lane, e.ts_ns, child));
+                }
+                EventKind::InvStart => {
+                    events.push(flow("spawn", "f", lane, e.ts_ns, e.arg));
+                }
+                EventKind::InvStop | EventKind::BindFuture => {}
+                EventKind::FutureResolve => {
+                    events.push(instant(e.kind.name(), lane, e.ts_ns, e.arg));
+                    events.push(flow("touch", "s", lane, e.ts_ns, FUTURE_FLOW_BASE + e.arg));
+                }
+                EventKind::TouchWake => {
+                    let (_toucher, fid) = unpack_pair(e.arg);
+                    events.push(flow("touch", "f", lane, e.ts_ns, FUTURE_FLOW_BASE + fid));
                 }
                 kind => events.push(instant(kind.name(), lane, e.ts_ns, e.arg)),
             }
@@ -167,6 +216,49 @@ mod tests {
             .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(names, ["external", "server-0"]);
+    }
+
+    #[test]
+    fn causal_edges_become_flow_arrows() {
+        use crate::profile::pack_pair;
+        let snaps = vec![
+            snap(vec![(5, EventKind::Spawn, pack_pair(0, 3))], 0),
+            snap(
+                vec![
+                    (10, EventKind::TaskStart, 7),
+                    (10, EventKind::InvStart, 3),
+                    (40, EventKind::InvStop, 3),
+                    (40, EventKind::TaskStop, 7),
+                    (45, EventKind::FutureResolve, 9),
+                ],
+                0,
+            ),
+            snap(vec![(60, EventKind::TouchWake, pack_pair(4, 9))], 0),
+        ];
+        let doc = chrome_trace(&snaps);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<(&str, &str, u64)> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").unwrap().as_str(), Some("s" | "f")))
+            .map(|e| {
+                (
+                    e.get("name").unwrap().as_str().unwrap(),
+                    e.get("ph").unwrap().as_str().unwrap(),
+                    e.get("id").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert!(flows.contains(&("spawn", "s", 3)), "spawn start arrow: {flows:?}");
+        assert!(flows.contains(&("spawn", "f", 3)), "spawn finish arrow: {flows:?}");
+        assert!(flows.contains(&("touch", "s", super::FUTURE_FLOW_BASE + 9)));
+        assert!(flows.contains(&("touch", "f", super::FUTURE_FLOW_BASE + 9)));
+        // The finish end binds to the enclosing slice.
+        let f = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("f")).unwrap();
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        // InvStart/InvStop/BindFuture add no instant noise.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e.get("name").unwrap().as_str(), Some("inv_start" | "inv_stop"))));
     }
 
     #[test]

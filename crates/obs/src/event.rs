@@ -49,10 +49,27 @@ pub enum EventKind {
     /// The pool collapsed below its floor and fell back to sequential
     /// draining on the caller thread (`arg` = servers still alive).
     Degraded = 13,
+    /// The current invocation spawned a child invocation (`arg` =
+    /// parent and child invocation ids, [`crate::profile::pack_pair`]).
+    /// Recorded only while causal profiling (or the sanitizer) assigns
+    /// nonzero invocation ids.
+    Spawn = 14,
+    /// A server began executing invocation `arg` (the causal twin of
+    /// [`EventKind::TaskStart`], whose `arg` is the function id).
+    InvStart = 15,
+    /// Invocation `arg` finished (the causal twin of
+    /// [`EventKind::TaskStop`]).
+    InvStop = 16,
+    /// A freshly spawned invocation will resolve a future (`arg` =
+    /// producer invocation id and future id, packed).
+    BindFuture = 17,
+    /// A touch observed its future resolved and resumed (`arg` =
+    /// toucher invocation id and future id, packed).
+    TouchWake = 18,
 }
 
 /// Number of distinct kinds (for per-kind count tables).
-pub const KIND_COUNT: usize = 14;
+pub const KIND_COUNT: usize = 19;
 
 impl EventKind {
     /// The stable wire name used in exported JSON.
@@ -72,6 +89,11 @@ impl EventKind {
             EventKind::TaskRetry => "task_retry",
             EventKind::ServerPoisoned => "server_poisoned",
             EventKind::Degraded => "degraded",
+            EventKind::Spawn => "spawn",
+            EventKind::InvStart => "inv_start",
+            EventKind::InvStop => "inv_stop",
+            EventKind::BindFuture => "bind_future",
+            EventKind::TouchWake => "touch_wake",
         }
     }
 
@@ -92,6 +114,11 @@ impl EventKind {
             11 => EventKind::TaskRetry,
             12 => EventKind::ServerPoisoned,
             13 => EventKind::Degraded,
+            14 => EventKind::Spawn,
+            15 => EventKind::InvStart,
+            16 => EventKind::InvStop,
+            17 => EventKind::BindFuture,
+            18 => EventKind::TouchWake,
             _ => return None,
         })
     }

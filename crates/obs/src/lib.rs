@@ -38,6 +38,7 @@ pub mod clock;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod report;
 pub mod ring;
 pub mod sanitize;
@@ -48,6 +49,10 @@ pub use clock::now_ns;
 pub use event::{Event, EventKind};
 pub use hist::{AtomicHistogram, HistogramSummary};
 pub use json::Json;
+pub use profile::{
+    dropped_total, pack_pair, profiling_enabled, set_profiling, trace_health_section, unpack_pair,
+    warn_if_dropped, EdgeCounts, PathAttribution, Profile, SCHEMA_PROFILE,
+};
 pub use report::{validate_keys, RunReport, SCHEMA_REPORT, SCHEMA_TRACE};
 pub use ring::{RingSnapshot, TraceRing};
 pub use sanitize::{

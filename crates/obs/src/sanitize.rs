@@ -124,7 +124,9 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static CURRENT: Mutex<Option<Arc<AccessLog>>> = Mutex::new(None);
 /// Global invocation-id source; 0 is reserved for "no invocation".
-#[cfg(feature = "sanitize")]
+/// Shared by the sanitizer and the causal profiler
+/// ([`crate::profile`]) — whichever is enabled mints ids from the same
+/// sequence, so a run under both sees one coherent id space.
 static NEXT_INV: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -150,19 +152,18 @@ pub fn sanitizing_enabled() -> bool {
 }
 
 /// A fresh nonzero invocation id for a task being spawned. Returns 0
-/// when no log is installed, so the disabled runtime never pays the
-/// atomic increment.
+/// unless the sanitizer (compiled in and installed) or the causal
+/// profiler ([`crate::profile::set_profiling`]) wants ids, so the
+/// plain runtime never pays the atomic increment.
 #[inline]
 pub fn new_invocation() -> u64 {
     #[cfg(feature = "sanitize")]
-    {
-        if !ENABLED.load(Ordering::Relaxed) {
-            return 0;
-        }
-        NEXT_INV.fetch_add(1, Ordering::Relaxed)
-    }
+    let sanitizing = ENABLED.load(Ordering::Relaxed);
     #[cfg(not(feature = "sanitize"))]
-    {
+    let sanitizing = false;
+    if sanitizing || crate::profile::profiling_enabled() {
+        NEXT_INV.fetch_add(1, Ordering::Relaxed)
+    } else {
         0
     }
 }

@@ -18,7 +18,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 
 use crate::event::EventKind;
 use crate::ring::{RingSnapshot, TraceRing, DEFAULT_CAPACITY};
@@ -70,21 +70,21 @@ static CURRENT: Mutex<Option<Arc<Tracer>>> = Mutex::new(None);
 
 thread_local! {
     static LANE: Cell<usize> = const { Cell::new(0) };
-    static CACHE: RefCell<(u64, Option<Arc<Tracer>>)> = const { RefCell::new((0, None)) };
+    // Weak, not Arc: a thread that recorded once and then goes quiet
+    // must not keep a removed tracer's rings alive. The only strong
+    // reference the tracing layer holds is CURRENT's, so the rings
+    // free deterministically once `install(None)` runs and the caller
+    // drops its own handle (see `uninstall_releases_ring_memory`).
+    static CACHE: RefCell<(u64, Option<Weak<Tracer>>)> = const { RefCell::new((0, None)) };
 }
 
 /// Install (`Some`) or remove (`None`) the process-global tracer.
 /// Returns the previously installed tracer, if any. Instrumentation
 /// in every layer starts/stops emitting immediately; threads refresh
-/// their cached handle on the next event.
-///
-/// **Retention:** after `install(None)` the disabled fast path never
-/// touches the per-thread cache, so a thread that recorded before but
-/// never records again keeps its `Arc<Tracer>` (and the rings' memory)
-/// alive until the thread exits or a later enabled record refreshes
-/// it. Fine for run-then-exit experiment binaries; long-lived
-/// processes cycling many tracers should expect the previous tracer's
-/// memory to linger until every recording thread emits once more.
+/// their cached handle on the next event. Per-thread caches hold only
+/// weak handles, so after `install(None)` the tracer's memory is freed
+/// as soon as the caller drops the returned/retained `Arc` — no
+/// thread has to record again first.
 pub fn install(tracer: Option<Arc<Tracer>>) -> Option<Arc<Tracer>> {
     let mut cur = CURRENT.lock().unwrap_or_else(PoisonError::into_inner);
     ENABLED.store(tracer.is_some(), Ordering::Release);
@@ -144,7 +144,7 @@ pub fn record(kind: EventKind, arg: u64) {
 fn refresh_cache() -> Option<Arc<Tracer>> {
     let generation = GENERATION.load(Ordering::Acquire);
     let tracer = CURRENT.lock().unwrap_or_else(PoisonError::into_inner).clone();
-    CACHE.with(|c| *c.borrow_mut() = (generation, tracer.clone()));
+    CACHE.with(|c| *c.borrow_mut() = (generation, tracer.as_ref().map(Arc::downgrade)));
     tracer
 }
 
@@ -154,7 +154,10 @@ fn record_enabled(kind: EventKind, arg: u64) {
     let tracer = CACHE.with(|c| {
         let cache = c.borrow();
         if cache.0 == generation {
-            cache.1.clone()
+            // While installed, CURRENT holds the strong reference, so
+            // the upgrade can only fail across an install boundary —
+            // and that bumps the generation.
+            cache.1.as_ref().and_then(Weak::upgrade)
         } else {
             drop(cache);
             refresh_cache()
@@ -219,6 +222,33 @@ mod tests {
         assert_eq!(a.snapshot()[0].events.len(), 1);
         assert_eq!(b.snapshot()[0].events.len(), 1);
         assert_eq!(b.snapshot()[0].events[0].arg, 2);
+    }
+
+    #[test]
+    fn uninstall_releases_ring_memory() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let t = Tracer::new(1);
+        let weak = Arc::downgrade(&t);
+        install(Some(Arc::clone(&t)));
+        // Populate another thread's cache, then keep that thread alive
+        // past the uninstall: its cached handle must not pin the rings.
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let recorder = std::thread::spawn(move || {
+            record(EventKind::Enqueue, 1);
+            ready_tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+        });
+        ready_rx.recv().unwrap();
+        let prev = install(None);
+        drop(prev);
+        drop(t);
+        assert!(
+            weak.upgrade().is_none(),
+            "per-thread caches retained the uninstalled tracer's rings"
+        );
+        done_tx.send(()).unwrap();
+        recorder.join().unwrap();
     }
 
     #[test]

@@ -579,11 +579,14 @@ impl RuntimeHooks for CriHooks {
             return Ok(());
         }
         curare_obs::record(EventKind::Enqueue, site as u64);
+        let parent = curare_obs::current_invocation();
         let inv = curare_obs::new_invocation();
         if inv != 0 {
             curare_obs::record_spawn(inv, None);
+            curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
         }
-        if let Some(task) = self.try_batch(Task { fid, args, site, future: None, inv, attempts: 0 })
+        if let Some(task) =
+            self.try_batch(Task { fid, args, site, future: None, inv, parent, attempts: 0 })
         {
             self.shared.submit_now(task);
         }
@@ -598,12 +601,15 @@ impl RuntimeHooks for CriHooks {
             return Ok(fut);
         }
         curare_obs::record(EventKind::Enqueue, 0);
+        let parent = curare_obs::current_invocation();
         let inv = curare_obs::new_invocation();
         if inv != 0 {
             curare_obs::record_spawn(inv, Some(id));
+            curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
+            curare_obs::record(EventKind::BindFuture, curare_obs::pack_pair(inv, id));
         }
         if let Some(task) =
-            self.try_batch(Task { fid, args, site: 0, future: Some(id), inv, attempts: 0 })
+            self.try_batch(Task { fid, args, site: 0, future: Some(id), inv, parent, attempts: 0 })
         {
             self.shared.submit_now(task);
         }
@@ -630,6 +636,12 @@ impl RuntimeHooks for CriHooks {
                 loop {
                     if let Some(result) = self.shared.futures.try_get(id) {
                         curare_obs::record_touch(id);
+                        if curare_obs::profiling_enabled() {
+                            curare_obs::record(
+                                EventKind::TouchWake,
+                                curare_obs::pack_pair(curare_obs::current_invocation(), id),
+                            );
+                        }
                         return result;
                     }
                     if self.shared.shutdown.load(Ordering::Acquire) {
@@ -813,9 +825,11 @@ impl CriRuntime {
         self.shared.aborting.store(false, Ordering::Release);
         *self.shared.error.lock() = None;
 
+        let parent = curare_obs::current_invocation();
         let inv = curare_obs::new_invocation();
         if inv != 0 {
             curare_obs::record_spawn(inv, None);
+            curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
         }
         self.shared.submit_now(Task {
             fid,
@@ -823,6 +837,7 @@ impl CriRuntime {
             site: 0,
             future: None,
             inv,
+            parent,
             attempts: 0,
         });
         self.wait_idle();
@@ -989,7 +1004,21 @@ impl CriRuntime {
             .set("typed_ops", vs.typed_ops)
             .set("fused_ops", vs.fused_ops)
             .set("frames_reused", vs.frames_reused)
-            .set("frames_allocated", vs.frames_allocated);
+            .set("frames_allocated", vs.frames_allocated)
+            // Hottest opcodes by accumulated handler ns; always
+            // present, empty unless built with `profile-ops` and
+            // profiling was on during the run.
+            .set(
+                "hot_ops",
+                Json::Arr(
+                    curare_lisp::op_profile_top(8)
+                        .into_iter()
+                        .map(|r| {
+                            Json::obj().set("op", r.name).set("count", r.count).set("ns", r.ns)
+                        })
+                        .collect(),
+                ),
+            );
         RunReport::new(label)
             .section("pool", pool)
             .section("heap", heap)
@@ -1083,6 +1112,13 @@ fn execute_task(
     }
     let _beat = shared.watched.then(|| BeatGuard::enter(PHASE_EXECUTING, fid as u64));
     curare_obs::record(EventKind::TaskStart, fid as u64);
+    // The causal twin of TaskStart: ties this execution interval to
+    // the invocation id the Spawn event introduced. Nested inside the
+    // TaskStart/TaskStop pair so the profiler's per-lane sweep sees
+    // well-bracketed invocations.
+    if inv != 0 {
+        curare_obs::record(EventKind::InvStart, inv);
+    }
     // Bind the sanitizer invocation for the duration of the call,
     // saving the caller's binding: a helping touch executes tasks
     // nested inside another invocation's body.
@@ -1101,6 +1137,9 @@ fn execute_task(
             Ok(r) => r,
             Err(payload) => {
                 curare_obs::set_invocation(prev_inv);
+                if inv != 0 {
+                    curare_obs::record(EventKind::InvStop, inv);
+                }
                 curare_obs::record(EventKind::TaskStop, fid as u64);
                 if sharded {
                     let mut frame =
@@ -1120,6 +1159,9 @@ fn execute_task(
     #[cfg(not(feature = "chaos"))]
     let result = interp.call_fid_owned(fid, args);
     curare_obs::set_invocation(prev_inv);
+    if inv != 0 {
+        curare_obs::record(EventKind::InvStop, inv);
+    }
     curare_obs::record(EventKind::TaskStop, fid as u64);
     tally.executed += 1;
     let mut chained = None;

@@ -37,8 +37,13 @@ pub struct Task {
     pub site: usize,
     /// Future to resolve with the invocation's value, if any.
     pub future: Option<u64>,
-    /// Sanitizer invocation id (0 when no sanitizer is installed).
+    /// Invocation id (0 unless the sanitizer or causal profiler is
+    /// enabled).
     pub inv: u64,
+    /// Spawning invocation's id — the causal profiler's spawn-edge
+    /// metadata (0 when spawned outside any invocation, or when ids
+    /// are disabled).
+    pub parent: u64,
     /// Execution attempts so far (> 0 only for chaos-injected retries).
     pub attempts: u8,
 }
@@ -404,7 +409,15 @@ mod tests {
     use super::*;
 
     fn task(site: usize, tag: i64) -> Task {
-        Task { fid: 0, args: vec![Value::int(tag)], site, future: None, inv: 0, attempts: 0 }
+        Task {
+            fid: 0,
+            args: vec![Value::int(tag)],
+            site,
+            future: None,
+            inv: 0,
+            parent: 0,
+            attempts: 0,
+        }
     }
 
     #[test]
