@@ -54,6 +54,27 @@ if [ "$rc" -ne 2 ]; then
   echo "expected exit 2 on the shared-root fixture, got $rc" >&2; exit 1
 fi
 
+echo "== lock synthesis: certifier exit contract and the rw/coalesced sweep"
+# Shipped examples certify clean under the synthesized placement…
+target/release/curare check --locks examples/lisp/*.lisp > /dev/null
+# …the undercovered fixture is a C007 error (exit 2)…
+rc=0; target/release/curare check --locks \
+  examples/lisp/fixtures/undercovered-locks.lisp > /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "expected exit 2 on the undercovered-locks fixture, got $rc" >&2; exit 1
+fi
+# …and the redundant all-pairs fixture is C008 warnings only (exit 1).
+rc=0; target/release/curare check --locks \
+  examples/lisp/fixtures/redundant-locks.lisp > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 on the redundant-locks fixture, got $rc" >&2; exit 1
+fi
+LOCKS_DIR="$(mktemp -d)"
+(cd "$LOCKS_DIR" && "$REPO_DIR/target/release/experiments" locksynth --json > /dev/null)
+target/release/experiments validate "$LOCKS_DIR/BENCH_locks.json" \
+  schema bench host_threads servers runs
+rm -rf "$LOCKS_DIR"
+
 echo "== sanitizer smoke: cross-check oracle over the experiment programs"
 cargo test -q -p curare-check --features sanitize
 cargo build --release -p curare-bench --features sanitize

@@ -26,6 +26,14 @@ pub struct AccessRecord {
     pub path: Path,
     /// True for a modification (`setf`/`rplaca`/struct-set).
     pub write: bool,
+    /// True when the access can execute *after* a self-recursive call
+    /// in its invocation — a tail access. Heads execute in invocation
+    /// order (§3.2.2), so head-only (`tail == false`) accesses are
+    /// exactly the ones head ordering serializes; the lock synthesizer
+    /// uses this to drop locks for pairs already ordered. The flag is
+    /// conservative: a branch join or loop that *may* follow a
+    /// self-call marks its accesses tail.
+    pub tail: bool,
 }
 
 /// Everything the collector learned about a function's memory
@@ -74,10 +82,22 @@ pub(crate) enum SlotAlias {
 pub fn collect_accesses(func: &Func) -> AccessSummary {
     let aliases = solve_aliases(func);
     let mut out = AccessSummary::default();
+    let mut cx = Cx { aliases: &aliases, self_sym: func.name_sym, tail: false };
     for e in &func.body {
-        collect_expr(e, &aliases, &mut out);
+        collect_expr(e, &mut cx, &mut out);
     }
     out
+}
+
+/// Collection context: alias facts plus the head/tail position
+/// tracker. `tail` flips to true once a self-recursive call has been
+/// passed in evaluation order and stays true — branch joins thereby
+/// over-approximate toward tail, which is the sound direction (a
+/// head-only claim is a claim of ordering).
+struct Cx<'a> {
+    aliases: &'a BTreeMap<usize, SlotAlias>,
+    self_sym: curare_lisp::SymId,
+    tail: bool,
 }
 
 /// Resolve `expr` to chains `(root_param, paths)` if it is an accessor
@@ -226,85 +246,129 @@ fn expr_mentions_slot(e: &Expr, slot: usize) -> bool {
 /// Record accesses in `e`. Accessor chains are recorded at their
 /// outermost node only (the conflict test's prefix semantics covers
 /// the intermediate reads).
-fn collect_expr(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>, out: &mut AccessSummary) {
+fn collect_expr(e: &Expr, cx: &mut Cx<'_>, out: &mut AccessSummary) {
     match e {
         Expr::Var(VarRef::Global(_), name) => {
             out.globals_read.insert(name.clone());
         }
         Expr::Setq(VarRef::Global(_), name, rhs) => {
             out.globals_written.insert(name.clone());
-            collect_expr(rhs, aliases, out);
+            collect_expr(rhs, cx, out);
         }
         Expr::Builtin(BuiltinOp::AtomicIncfGlobal, args) => {
             // The sanctioned commutative update: neither a read nor a
             // write for ordering purposes (§3.2.3). Only the delta
             // expression is analyzed.
             if let Some(delta) = args.get(1) {
-                collect_expr(delta, aliases, out);
+                collect_expr(delta, cx, out);
             }
         }
         Expr::Builtin(BuiltinOp::Car | BuiltinOp::Cdr, args) => {
-            match chase(e, aliases) {
+            match chase(e, cx.aliases) {
                 Some((root, paths)) => {
                     for path in paths {
-                        out.records.push(AccessRecord { root, path, write: false });
+                        out.records.push(AccessRecord { root, path, write: false, tail: cx.tail });
                     }
                     // The whole chain is recorded; don't descend into
                     // the chain itself (it has no non-chain children).
-                    descend_non_chain(&args[0], aliases, out);
+                    descend_non_chain(&args[0], cx, out);
                 }
                 None => {
                     out.unknown_reads += usize::from(!is_harmless_root(&args[0]));
-                    collect_expr(&args[0], aliases, out);
+                    collect_expr(&args[0], cx, out);
                 }
             }
         }
-        Expr::Struct(StructOp::Ref { .. }, args) => match chase(e, aliases) {
+        Expr::Struct(StructOp::Ref { .. }, args) => match chase(e, cx.aliases) {
             Some((root, paths)) => {
                 for path in paths {
-                    out.records.push(AccessRecord { root, path, write: false });
+                    out.records.push(AccessRecord { root, path, write: false, tail: cx.tail });
                 }
-                descend_non_chain(&args[0], aliases, out);
+                descend_non_chain(&args[0], cx, out);
             }
             None => {
                 out.unknown_reads += usize::from(!is_harmless_root(&args[0]));
-                collect_expr(&args[0], aliases, out);
+                collect_expr(&args[0], cx, out);
             }
         },
         Expr::Builtin(op @ (BuiltinOp::SetCar | BuiltinOp::SetCdr), args) => {
             let letter = if *op == BuiltinOp::SetCar { Accessor::Car } else { Accessor::Cdr };
-            match extend(chase(&args[0], aliases).or_else(|| base_chain(&args[0], aliases)), letter)
-            {
+            // The stored value is evaluated before the store lands;
+            // analyze it first so the write carries the position the
+            // store itself occupies.
+            collect_expr(&args[1], cx, out);
+            match extend(
+                chase(&args[0], cx.aliases).or_else(|| base_chain(&args[0], cx.aliases)),
+                letter,
+            ) {
                 Some((root, paths)) => {
                     for path in paths {
-                        out.records.push(AccessRecord { root, path, write: true });
+                        out.records.push(AccessRecord { root, path, write: true, tail: cx.tail });
                     }
-                    descend_non_chain(&args[0], aliases, out);
+                    descend_non_chain(&args[0], cx, out);
                 }
                 None => {
                     out.unknown_writes += 1;
-                    collect_expr(&args[0], aliases, out);
+                    collect_expr(&args[0], cx, out);
                 }
             }
-            collect_expr(&args[1], aliases, out);
         }
         Expr::Struct(StructOp::Set { ty, field }, args) => {
             let letter = Accessor::Field { ty: *ty, field: *field as u32 };
-            match extend(chase(&args[0], aliases), letter) {
+            collect_expr(&args[1], cx, out);
+            match extend(chase(&args[0], cx.aliases), letter) {
                 Some((root, paths)) => {
                     for path in paths {
-                        out.records.push(AccessRecord { root, path, write: true });
+                        out.records.push(AccessRecord { root, path, write: true, tail: cx.tail });
                     }
-                    descend_non_chain(&args[0], aliases, out);
+                    descend_non_chain(&args[0], cx, out);
                 }
                 None => {
                     out.unknown_writes += 1;
-                    collect_expr(&args[0], aliases, out);
+                    collect_expr(&args[0], cx, out);
                 }
             }
-            collect_expr(&args[1], aliases, out);
         }
-        _ => e.for_children(&mut |c| collect_expr(c, aliases, out)),
+        Expr::Call { name, args, .. }
+        | Expr::Future { name, args, .. }
+        | Expr::Enqueue { name, args, .. } => {
+            // Arguments evaluate in the head of *this* invocation;
+            // everything after a self-call runs concurrently with the
+            // spawned invocations and is tail.
+            for a in args {
+                collect_expr(a, cx, out);
+            }
+            if *name == cx.self_sym {
+                cx.tail = true;
+            }
+        }
+        Expr::If(cond, then_e, else_e) => {
+            // Only one branch executes: a self-call in one branch does
+            // not put the *other* branch after a spawn. Each branch
+            // starts from the state after the condition; what follows
+            // the whole `if` is tail if any taken branch could have
+            // spawned.
+            collect_expr(cond, cx, out);
+            let entry = cx.tail;
+            collect_expr(then_e, cx, out);
+            let then_tail = cx.tail;
+            cx.tail = entry;
+            collect_expr(else_e, cx, out);
+            cx.tail = cx.tail || then_tail;
+        }
+        Expr::While(cond, body) => {
+            // A loop that self-calls interleaves its iterations with
+            // the spawned invocations; conservatively mark the whole
+            // loop tail.
+            if e.calls(cx.self_sym) {
+                cx.tail = true;
+            }
+            collect_expr(cond, cx, out);
+            for b in body {
+                collect_expr(b, cx, out);
+            }
+        }
+        _ => e.for_children(&mut |c| collect_expr(c, cx, out)),
     }
 }
 
@@ -315,14 +379,14 @@ fn base_chain(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>) -> Option<(usize, 
 
 /// Walk down an accessor chain and continue collection below it (at
 /// the first non-chain expression).
-fn descend_non_chain(e: &Expr, aliases: &BTreeMap<usize, SlotAlias>, out: &mut AccessSummary) {
+fn descend_non_chain(e: &Expr, cx: &mut Cx<'_>, out: &mut AccessSummary) {
     match e {
         Expr::Builtin(BuiltinOp::Car | BuiltinOp::Cdr, args) => {
-            descend_non_chain(&args[0], aliases, out)
+            descend_non_chain(&args[0], cx, out)
         }
-        Expr::Struct(StructOp::Ref { .. }, args) => descend_non_chain(&args[0], aliases, out),
+        Expr::Struct(StructOp::Ref { .. }, args) => descend_non_chain(&args[0], cx, out),
         Expr::Var(..) => {}
-        other => collect_expr(other, aliases, out),
+        other => collect_expr(other, cx, out),
     }
 }
 
@@ -500,5 +564,38 @@ mod tests {
     fn global_rooted_write_is_unknown() {
         let s = summary_of("(defun f () (setf (car *g*) 1))");
         assert_eq!(s.unknown_writes, 1);
+    }
+
+    #[test]
+    fn tail_attribution_marks_post_call_accesses() {
+        let s = summary_of(
+            "(defun f (l)
+               (when l
+                 (setf (cadr l) 1)
+                 (f (cdr l))
+                 (print (car l))))",
+        );
+        assert!(s.writes().all(|w| !w.tail), "pre-call write is head: {s:?}");
+        // The cdr read feeding the self-call argument is head; the car
+        // read after the call is tail.
+        assert!(s.reads().any(|r| r.path.to_string() == "cdr" && !r.tail), "{s:?}");
+        assert!(s.reads().any(|r| r.path.to_string() == "car" && r.tail), "{s:?}");
+    }
+
+    #[test]
+    fn while_loop_containing_self_call_is_all_tail() {
+        let s = summary_of(
+            "(defun f (l)
+               (while (consp l)
+                 (setf (car l) 1)
+                 (f (cdr l))))",
+        );
+        assert!(s.writes().all(|w| w.tail), "{s:?}");
+    }
+
+    #[test]
+    fn head_only_function_has_no_tail_accesses() {
+        let s = summary_of("(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+        assert!(s.records.iter().all(|r| !r.tail), "{s:?}");
     }
 }

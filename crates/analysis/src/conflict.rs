@@ -112,23 +112,36 @@ fn distance_bound(write: &Path, other: &Path, tau: &Transfer) -> usize {
 
 /// Detect conflicts between `write` and `other` under `tau`, returning
 /// the minimal distance and persistence.
+///
+/// Two orientations, because the flow-insensitive analysis does not
+/// know which frame runs first:
+///
+/// - **write earlier** (`A₁ ≤ τ^d ∘ A₂`, `A₁` the modification): the
+///   write lands on — or strictly above, on the traversal of — the
+///   path the invocation `d` frames later accesses.
+/// - **write later**: the word the later invocation writes, seen from
+///   the earlier frame, is `τ^d ∘ write`; it conflicts when it IS the
+///   earlier access's word or a pointer word on its traversal — i.e.
+///   some word of `τ^d ∘ write` equals a (non-strict) prefix of
+///   `other`. A *strictly shorter* earlier read of a pointer whose
+///   subtree is later written names a different word and is no
+///   conflict (the deeper traversal-read case is the swapped pair's
+///   write-earlier orientation).
 fn pair_conflict(write: &Path, other: &Path, tau: &Transfer) -> Option<(usize, bool)> {
     let bound = distance_bound(write, other, tau);
-    let mut first = None;
-    for d in 1..=bound {
-        let lang = tau.regex_at_distance(d).then(crate::regex::PathRegex::literal(other));
-        if lang.has_prefix(write) {
-            first = Some(d);
-            break;
+    let hits = |d: usize| {
+        let step = tau.regex_at_distance(d);
+        if step.clone().then(crate::regex::PathRegex::literal(other)).has_prefix(write) {
+            return true;
         }
-    }
-    let d0 = first?;
+        let written = step.then(crate::regex::PathRegex::literal(write));
+        (1..=other.len()).any(|k| written.matches(&Path::from(other.accessors()[..k].to_vec())))
+    };
+    let d0 = (1..=bound).find(|&d| hits(d))?;
     // Persistence: by the prefix-stability argument (once d·|τ|min
     // exceeds |write|, the reachable prefixes stop changing), testing
     // one distance past the bound decides all larger distances.
-    let probe = bound + 1;
-    let lang = tau.regex_at_distance(probe).then(crate::regex::PathRegex::literal(other));
-    Some((d0, lang.has_prefix(write)))
+    Some((d0, hits(bound + 1)))
 }
 
 /// Run the full conflict analysis for `func`.
@@ -344,6 +357,64 @@ mod tests {
                           (setf (cdr dest) cell)))))",
         );
         assert!(!r.is_conflict_free(), "{r:?}");
+    }
+
+    #[test]
+    fn shallow_write_conflicts_with_deeper_read_ahead() {
+        // The write happens in the *later* frame: invocation i reads
+        // (car (cdr l)) — the word invocation i+1 writes with
+        // (setf (car l) ...). τ∘car = cdr.car = the read path exactly.
+        let r = report_of(
+            "(defun fw (l)
+               (when (cdr l)
+                 (fw (cdr l))
+                 (setf (car l) (* (car l) 2))
+                 (car (cdr l))))",
+        );
+        assert_eq!(r.min_distance, Some(1), "{r:?}");
+        assert!(r.conflicts.iter().any(|c| c.write_path.to_string() == "car"
+            && c.other_path.to_string() == "cdr.car"
+            && c.kind == DependencyKind::WriteRead));
+        // The guard's pure-cdr read names spine pointers, not the
+        // written car word: no conflict with it.
+        assert!(!r.conflicts.iter().any(|c| c.other_path.to_string() == "cdr"));
+    }
+
+    #[test]
+    fn read_window_conflict_distance_is_window_depth() {
+        // Reads k=2 cells ahead of the write: the later frame's write,
+        // seen from the reading frame, is cdr^d.car; it equals the
+        // read path cdr.cdr.car only at d = 2.
+        let r = report_of(
+            "(defun fw (l)
+               (when (cdr (cdr l))
+                 (fw (cdr l))
+                 (setf (car l) (* (car l) 2))
+                 (car (cdr (cdr l)))))",
+        );
+        assert!(
+            r.conflicts.iter().any(|c| c.write_path.to_string() == "car"
+                && c.other_path.to_string() == "cdr.cdr.car"
+                && c.distance == 2),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn shorter_pointer_read_is_not_a_conflict_with_deeper_write() {
+        // Invocation i reads the pointer word cdr; invocation i+d
+        // writes cdr^{d+1}.car — a different word. The traversal-read
+        // direction (later frame reads what an earlier frame wrote) is
+        // the forward orientation and fires only when the write is a
+        // prefix of the translated access, which all-cdr strings never
+        // let cdr.car be.
+        let r = report_of(
+            "(defun f (l)
+               (when (cdr l)
+                 (f (cdr l))
+                 (setf (cadr l) 1)))",
+        );
+        assert!(!r.conflicts.iter().any(|c| c.other_path.to_string() == "cdr"), "{r:?}");
     }
 
     #[test]

@@ -20,10 +20,25 @@
 //! | `(transform f...)` | restructure these functions | §6 |
 //! | `(dont-transform f...)` | leave these functions alone | §6 |
 //! | `(structural ty field...)` | fields point to instances of the same structure | §2.1 |
+//! | `(locks f (exclusive v path)...)` | use this lock placement instead of synthesizing one | §3.2.1 |
+//!
+//! A `locks` clause asserts a read-write lock placement: each spec is
+//! `(exclusive v path)` or `(shared v path)` where `v` is a parameter
+//! of `f` and `path` a dotted list path such as `cdr.car`. Inside a
+//! defun the function name is omitted. Declared placements are
+//! *audited*, not trusted: `curare check --locks` certifies them
+//! (C007 when a conflicting unordered pair is uncovered, C008 when a
+//! lock covers no live conflict).
 
 use std::collections::{HashMap, HashSet};
 
 use curare_sexpr::Sexpr;
+
+use crate::path::{parse_list_path, Path};
+
+/// One lock of a declared placement: `(exclusive, root param name,
+/// path)` — the tuple shape `locksynth::declared_placement` consumes.
+pub type DeclaredLock = (bool, String, Path);
 
 /// Errors from malformed declaration forms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +66,8 @@ pub struct DeclDb {
     dont_transform: HashSet<String>,
     /// (type name, field name) pairs declared structural.
     structural: HashSet<(String, String)>,
+    /// Function name -> declared lock placement (§3.2.1).
+    lock_placements: HashMap<String, Vec<DeclaredLock>>,
 }
 
 impl DeclDb {
@@ -135,6 +152,56 @@ impl DeclDb {
                     self.structural.insert((ty.clone(), f.clone()));
                 }
             }
+            "locks" => {
+                let rest = &items[1..];
+                let (f, specs): (String, &[Sexpr]) = match fname {
+                    Some(f) => (f.to_string(), rest),
+                    None => {
+                        let Some(f) = rest.first().and_then(Sexpr::as_symbol) else {
+                            return Err(DeclError(format!(
+                                "(locks f spec...) needs a function name at top level: {clause}"
+                            )));
+                        };
+                        (f.to_string(), &rest[1..])
+                    }
+                };
+                let mut placement = Vec::new();
+                for spec in specs {
+                    let Some(si) = spec.as_list() else {
+                        return Err(DeclError(format!("lock spec must be a list: {spec}")));
+                    };
+                    let mode = si.first().and_then(Sexpr::as_symbol);
+                    let exclusive = match mode {
+                        Some("exclusive") => true,
+                        Some("shared") => false,
+                        _ => {
+                            return Err(DeclError(format!(
+                                "lock spec must start with exclusive or shared: {spec}"
+                            )))
+                        }
+                    };
+                    let (Some(root), Some(path_sym)) = (
+                        si.get(1).and_then(Sexpr::as_symbol),
+                        si.get(2).and_then(Sexpr::as_symbol),
+                    ) else {
+                        return Err(DeclError(format!(
+                            "lock spec is (mode param path), e.g. (exclusive l cdr.car): {spec}"
+                        )));
+                    };
+                    let Some(path) = parse_list_path(path_sym) else {
+                        return Err(DeclError(format!(
+                            "lock path must be dotted list accessors (car/cdr): {path_sym}"
+                        )));
+                    };
+                    if path.is_empty() {
+                        return Err(DeclError(format!(
+                            "lock path ε names the root value, not a lockable location: {spec}"
+                        )));
+                    }
+                    placement.push((exclusive, root.to_string(), path));
+                }
+                self.lock_placements.entry(f).or_default().extend(placement);
+            }
             other => return Err(DeclError(format!("unknown declaration clause: {other}"))),
         }
         Ok(())
@@ -194,6 +261,11 @@ impl DeclDb {
     /// Was `(ty, field)` declared structural?
     pub fn is_structural(&self, ty: &str, field: &str) -> bool {
         self.structural.contains(&(ty.to_string(), field.to_string()))
+    }
+
+    /// The declared lock placement for `f`, if any.
+    pub fn lock_placement(&self, f: &str) -> Option<&[DeclaredLock]> {
+        self.lock_placements.get(f).map(Vec::as_slice)
     }
 
     /// Build a database from a lowered program's collected forms.
@@ -303,6 +375,50 @@ mod tests {
         assert!(db.is_reorderable("frob"), "never-used op accepted silently");
         assert_eq!(db.reorderable_ops(), vec!["+", "frob"]);
         assert!(DeclDb::new().reorderable_ops().is_empty());
+    }
+
+    #[test]
+    fn locks_clause_toplevel_and_function_scoped() {
+        use crate::path::parse_list_path;
+        let mut db = DeclDb::new();
+        db.add_toplevel(
+            &parse_one("(curare-declare (locks f (exclusive l cdr.car) (shared l car)))").unwrap(),
+        )
+        .unwrap();
+        let p = db.lock_placement("f").expect("placement stored");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], (true, "l".to_string(), parse_list_path("cdr.car").unwrap()));
+        assert_eq!(p[1], (false, "l".to_string(), parse_list_path("car").unwrap()));
+        assert!(db.lock_placement("g").is_none());
+
+        let mut db = DeclDb::new();
+        db.add_function_decl(
+            "g",
+            &parse_one("(declare (curare (locks (exclusive l car))))").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(db.lock_placement("g").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_locks_clauses_error() {
+        let mut db = DeclDb::new();
+        // Missing function name at top level.
+        assert!(db
+            .add_toplevel(&parse_one("(curare-declare (locks (exclusive l car)))").unwrap())
+            .is_err());
+        // Bad mode.
+        assert!(db
+            .add_toplevel(&parse_one("(curare-declare (locks f (upgradeable l car)))").unwrap())
+            .is_err());
+        // Non-list path.
+        assert!(db
+            .add_toplevel(&parse_one("(curare-declare (locks f (exclusive l next)))").unwrap())
+            .is_err());
+        // ε path.
+        assert!(db
+            .add_toplevel(&parse_one("(curare-declare (locks f (exclusive l ε)))").unwrap())
+            .is_err());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   single-access-path-property checker;
 //! - [`declare`]: the programmer-declaration database (§6);
 //! - [`analyze`]: the combined per-function verdict with §6-style
-//!   feedback.
+//!   feedback;
+//! - [`locksynth`]: synthesis of the minimal read-write lock
+//!   placement from the conflict report (§3.2.1), with the coverage
+//!   predicate the C007/C008 certifier re-checks.
 //!
 //! # Example: the paper's Figure 5
 //!
@@ -54,6 +57,7 @@ pub mod cfg;
 pub mod conflict;
 pub mod declare;
 pub mod headtail;
+pub mod locksynth;
 pub mod path;
 pub mod regex;
 pub mod sapp;
@@ -65,8 +69,12 @@ pub use canon::Canonicalizer;
 pub use canon_conflict::conflicts_with_canon;
 pub use cfg::Cfg;
 pub use conflict::{analyze_conflicts, Conflict, ConflictReport, DependencyKind};
-pub use declare::{DeclDb, DeclError};
+pub use declare::{DeclDb, DeclError, DeclaredLock};
 pub use headtail::{head_tail, HeadTail};
+pub use locksynth::{
+    certify, covering_pair, declared_placement, naive as naive_placement, synthesize, CertIssue,
+    LockMode, OrderingContext, PairInfo, PairOrder, Placement, SynthLock,
+};
 pub use path::{Accessor, Path};
 pub use regex::PathRegex;
 pub use sapp::{check_sapp, SappReport, SappViolation};

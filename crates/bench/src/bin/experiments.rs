@@ -18,6 +18,11 @@
 //! cargo run ... experiments profile [--json]
 //!                                  # causal profiler: work/span vs the
 //!                                  # static concurrency bound
+//! cargo run ... experiments locksynth [--json]
+//!                                  # lock-synthesis sweep: predicted
+//!                                  # min-distance bound vs realized
+//!                                  # parallelism, exclusive vs rw vs
+//!                                  # coalesced placements
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` document of every threaded
@@ -58,6 +63,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("profile") {
         return profile_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("locksynth") {
+        return locksynth_cmd(&args[1..]);
     }
     // The largest pool any experiment spawns is 8 servers; the tracer
     // clamps larger lane indices to the external lane anyway.
@@ -593,9 +601,11 @@ fn sanitize_cmd(args: &[String]) -> ExitCode {
                 println!("{doc}");
             } else {
                 println!(
-                    "  {name:>12} {mode_name:>8}: sound={} precision={:.2} events={} pairs={}{}",
+                    "  {name:>12} {mode_name:>8}: sound={} precision={:.2} unobserved={:.2} \
+                     events={} pairs={}{}",
                     check.sound(),
                     check.precision(),
+                    check.unobserved_ratio(),
                     check.events,
                     check.pairs_checked,
                     if check.capped { " (capped)" } else { "" }
@@ -1045,6 +1055,223 @@ fn profile_cmd(args: &[String]) -> ExitCode {
              above 1 the static distance bound was conservative (locks only serialize the\n\
              conflicting step of each body, the rest overlaps); well below 1 the run was\n\
              queue- or future-bound on these tiny grains — the queue% column says which.\n"
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `experiments locksynth [--json]` — the lock-synthesis sweep
+/// (§3.2.1): for the read-window walker family (each invocation
+/// writes its own car and reads the cars `k` and `k+1` cells ahead),
+/// compare the synthesized placement (exclusive writer + shared
+/// readers) and its bracket-coalesced variant against the naive
+/// all-pairs exclusive placement, across k ∈ {1,2,4,8}.
+///
+/// Parallelism is measured in the deterministic CRI-model simulator
+/// (the same event-driven engine E4 uses), because the placement's
+/// effect is a change of *effective conflict distance*: under the
+/// naive all-exclusive placement, adjacent invocations lock the same
+/// read-ahead word exclusively (invocation i's far word is i+1's near
+/// word), pinning the effective distance to 1 for every k; under the
+/// rw placement readers never exclude readers, so the only remaining
+/// exclusion is the writer against its distance-k readers and the
+/// §3.2.1 bound min(d₁…d_u) = k is restored. The simulator turns
+/// those distances into achieved concurrency, host-independently — a
+/// wall-clock comparison would just measure the host (on a 1-core
+/// container every variant runs at 1x).
+///
+/// Each threaded run still executes for real and must match the
+/// sequential oracle; its lock counters make the placement's traffic
+/// shift observable (shared vs exclusive acquisitions, coalescing's
+/// bracket reduction), and the causal profiler's work/makespan ratio
+/// is recorded for multi-core hosts. Writes `BENCH_locks.json`;
+/// exits 0 iff every run applied its placement and matched the
+/// oracle.
+fn locksynth_cmd(args: &[String]) -> ExitCode {
+    use curare::runtime::{RuntimeConfig, SchedMode};
+
+    let json = args.iter().any(|a| a == "--json");
+    const SERVERS: usize = 4;
+    const N: i64 = 256;
+    const READS: usize = 8;
+    /// Timing samples per cell; the reported row is the median by
+    /// realized parallelism (correctness is checked on every sample).
+    const SAMPLES: usize = 3;
+
+    // Predicted bound from the *untransformed* source — the paper's
+    // `min(d₁…d_u)` claim under test.
+    let predicted_for = |src: &str| -> (f64, Option<usize>) {
+        let heap = curare::lisp::Heap::new();
+        let mut lw = Lowerer::new(&heap);
+        let prog =
+            lw.lower_program(&parse_all(src).expect("program parses")).expect("program lowers");
+        let a = analyze_function(&prog.funcs[0], &DeclDb::new());
+        (a.concurrency_bound(), a.conflicts.min_distance)
+    };
+    // Sequential oracle: the untransformed walker on the same list
+    // (the program is single-writer-per-cell, so every sound schedule
+    // must reproduce this exactly).
+    let sequential_result = |src: &str| -> String {
+        let interp = Interp::new();
+        interp.load_str(src).expect("source loads");
+        let l = int_list(&interp, N);
+        interp.call("fw", &[l]).expect("sequential run");
+        interp.heap().display(l)
+    };
+
+    if !json {
+        println!(
+            "lock synthesis sweep: naive exclusive all-pairs vs synthesized rw vs coalesced\n\
+             (read-window walker, {SERVERS} servers, n={N}, {READS} reads per window side):"
+        );
+        println!(
+            "  {:>3} {:>10} {:>9} {:>5} {:>7} {:>8} {:>8} {:>9} {:>6}",
+            "k", "variant", "predicted", "d-eff", "sim-par", "acquis", "shared", "realized", "ok"
+        );
+    }
+
+    let mut ok = true;
+    let mut runs = Vec::new();
+    let mut best_rw = 0.0f64;
+    let mut best_co = 0.0f64;
+    for k in [1usize, 2, 4, 8] {
+        let rw_src = read_window_walker(k, READS);
+        let excl_src = read_window_walker_naive_locks(k, READS);
+        let (predicted, min_d) = predicted_for(&rw_src);
+        let expect = sequential_result(&rw_src);
+        let mut sim_of = Vec::new();
+        for (variant, src, coalesce, d_eff) in [
+            // All-exclusive locking makes adjacent invocations
+            // exclude each other on the shared read-ahead word:
+            // effective distance 1 regardless of k.
+            ("exclusive", &excl_src, false, 1),
+            ("rw", &rw_src, false, k),
+            ("coalesced", &rw_src, true, k),
+        ] {
+            // Deterministic CRI-model concurrency for this placement:
+            // head = guard + spawn, tail = the 2*READS+1 lock
+            // brackets, exclusion radius = the effective distance.
+            let sim = simulate(
+                &SimConfig::new(N as u64, SERVERS as u64, 1, 2 * READS as u64 + 1)
+                    .with_conflict_distance(d_eff as u64),
+            );
+            let sim_par = sim.achieved_concurrency;
+            // (realized, wall_ns, stats, profile) per sample.
+            let mut samples = Vec::new();
+            let mut cell_ok = true;
+            for _ in 0..SAMPLES {
+                curare::obs::set_profiling(true);
+                let tracer = Tracer::with_capacity(SERVERS, 1 << 16);
+                curare::obs::install(Some(Arc::clone(&tracer)));
+                let (interp, out) = if coalesce {
+                    transformed_interp_coalesced(src)
+                } else {
+                    transformed_interp(src)
+                };
+                let locked = out
+                    .report("fw")
+                    .is_some_and(|r| r.devices.iter().any(|d| matches!(d, Device::Locks(_))));
+                let l = int_list(&interp, N);
+                // Central mode: no task chaining, so adjacent
+                // invocations land on different servers and their
+                // read brackets genuinely overlap — the schedule
+                // where lock *modes* (not just placement) matter.
+                let rt = CriRuntime::with_config(
+                    Arc::clone(&interp),
+                    SERVERS,
+                    RuntimeConfig { mode: SchedMode::Central, ..RuntimeConfig::default() },
+                );
+                let dt = time_once(|| rt.run("fw", &[l]).expect("pool run"));
+                let stats = rt.stats();
+                drop(rt);
+                curare::obs::install(None);
+                curare::obs::set_profiling(false);
+                let snaps = tracer.snapshot();
+                curare::obs::warn_if_dropped(&snaps, &format!("locksynth k={k} {variant}"));
+                let profile = curare::obs::Profile::from_trace(&snaps);
+                let got = interp.heap().display(l);
+                let matched = got == expect;
+                if !locked {
+                    eprintln!(
+                        "  NOT LOCKED k={k} {variant}: the pipeline did not apply a placement"
+                    );
+                }
+                if !matched {
+                    eprintln!("  DIVERGED k={k} {variant}:\n    want {expect}\n    got  {got}");
+                }
+                cell_ok &= matched && locked;
+                let realized = profile.work_ns as f64 / (profile.makespan_ns as f64).max(1.0);
+                samples.push((realized, dt, stats, profile));
+            }
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (realized, dt, stats, profile) = samples.swap_remove(SAMPLES / 2);
+            sim_of.push(sim_par);
+            ok &= cell_ok;
+            let row = Json::obj()
+                .set("k", k as u64)
+                .set("variant", variant)
+                .set("n", N as u64)
+                .set("predicted_bound", predicted)
+                .set("min_distance", min_d.unwrap_or(0) as u64)
+                .set("effective_distance", d_eff as u64)
+                .set("sim_parallelism", sim_par)
+                .set("realized_parallelism", realized)
+                .set("wall_ns", dt.as_nanos() as u64)
+                .set("lock_acquisitions", stats.lock_acquisitions)
+                .set("lock_shared_acquisitions", stats.lock_shared_acquisitions)
+                .set("lock_contended", stats.lock_contended)
+                .set("lock_wait_ns", stats.lock_wait_total_ns)
+                .set("result_ok", cell_ok)
+                .set("profile", profile.to_json());
+            if json {
+                println!("{row}");
+            } else {
+                println!(
+                    "  {k:>3} {variant:>10} {predicted:>9.2} {d_eff:>5} {sim_par:>7.2} {:>8} \
+                     {:>8} {realized:>9.2} {:>6}",
+                    stats.lock_acquisitions, stats.lock_shared_acquisitions, cell_ok
+                );
+            }
+            runs.push(row);
+        }
+        let excl = sim_of[0].max(1e-9);
+        let rw_speed = sim_of[1] / excl;
+        let co_speed = sim_of[2] / excl;
+        best_rw = best_rw.max(rw_speed);
+        best_co = best_co.max(co_speed);
+        if !json {
+            println!(
+                "      k={k}: rw {rw_speed:.2}x, coalesced {co_speed:.2}x over exclusive all-pairs"
+            );
+        }
+    }
+
+    let doc = Json::obj()
+        .set("schema", "curare-bench/1")
+        .set("bench", "locksynth")
+        .set("host_threads", hardware_threads())
+        .set("servers", SERVERS as u64)
+        .set("best_rw_speedup", best_rw)
+        .set("best_coalesced_speedup", best_co)
+        .set("runs", Json::Arr(runs));
+    if let Err(e) = std::fs::write("BENCH_locks.json", format!("{doc}\n")) {
+        eprintln!("experiments: BENCH_locks.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("  wrote BENCH_locks.json");
+        println!(
+            "expected shape: exclusive all-pairs locking pins the effective conflict\n\
+             distance to 1 (adjacent invocations exclude on the shared read-ahead word),\n\
+             so its simulated concurrency stays ~1 at every k; the rw placement restores\n\
+             the \u{a7}3.2.1 bound min(d) = k and reaches min(k, servers) (best here: rw\n\
+             {best_rw:.2}x, coalesced {best_co:.2}x over exclusive). In the threaded runs\n\
+             the rw placements move most acquisitions to the shared path and coalescing\n\
+             halves the bracket count; wall-clock discrimination needs >1 host core.\n"
         );
     }
     if ok {

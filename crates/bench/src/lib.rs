@@ -65,6 +65,90 @@ pub fn distance_k_writer(k: usize) -> String {
     )
 }
 
+/// The dotted path string `cdr.….cdr.car` with `k` cdr links — the
+/// car of the cell `k` links ahead, in `(curare-declare (locks ...))`
+/// syntax.
+pub fn cdr_car_path(k: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..k {
+        s.push_str("cdr.");
+    }
+    s.push_str("car");
+    s
+}
+
+/// Terms each read statement of the window walker sums — the knob
+/// that makes its lock brackets long enough to actually overlap: a
+/// single `(car …)` bracket is a handful of VM ops and two
+/// invocations virtually never collide inside it, so exclusive and
+/// shared modes would be indistinguishable noise.
+pub const WINDOW_READ_TERMS: usize = 16;
+
+/// Build the read-window walker for the lock-synthesis sweep: each
+/// invocation doubles its own car (a declared-commutative RMW, so the
+/// order-insensitivity gate accepts it) and performs `reads` discarded
+/// read statements over the cars `k` and `k+1` cells ahead — the very
+/// words the invocations `k` and `k+1` later write. Each statement
+/// sums [`WINDOW_READ_TERMS`] loads of its word, so the lock bracket
+/// wrapping it is a real critical section; adjacent invocations read
+/// the *same* word (invocation `i`'s far word is invocation `i+1`'s
+/// near word), so under exclusive locks these brackets chain-serialize
+/// across the whole list while shared locks let them overlap. The
+/// minimal conflict distance is `k`, and the synthesized placement is
+/// one exclusive lock on the write destination plus *shared* locks on
+/// the two read-ahead words: a read-heavy program where rw modes
+/// genuinely matter.
+pub fn read_window_walker(k: usize, reads: usize) -> String {
+    let mut near = "l".to_string();
+    for _ in 0..k {
+        near = format!("(cdr {near})");
+    }
+    let far = format!("(cdr {near})");
+    let sum_of = |word: &str| {
+        let mut s = String::from("(+");
+        for _ in 0..WINDOW_READ_TERMS {
+            s.push_str(&format!(" (car {word})"));
+        }
+        s.push_str(") ");
+        s
+    };
+    // Interleave the two sides in runs of two. Emitting all near
+    // reads then all far reads would phase-shift same-word brackets
+    // of adjacent invocations (i's far block is its second half,
+    // i+1's near block its first) so they rarely overlap in time;
+    // interleaving spreads both words across the whole body. Runs of
+    // two keep consecutive equal-lockset statements for the bracket
+    // coalescer to merge.
+    let mut body = String::new();
+    for _ in 0..reads.div_ceil(2) {
+        for word in [&near, &near, &far, &far] {
+            body.push_str(&sum_of(word));
+        }
+    }
+    format!(
+        "(curare-declare (reorderable *))
+         (defun fw (l)
+           (when {far}
+             (fw (cdr l))
+             (setf (car l) (* (car l) 2))
+             {body}))"
+    )
+}
+
+/// The same walker under the naive all-pairs placement, declared
+/// explicitly: every conflicting path takes an *exclusive* lock, so
+/// the two readers of each cell serialize against each other — the
+/// baseline the synthesized rw placement is measured against.
+pub fn read_window_walker_naive_locks(k: usize, reads: usize) -> String {
+    format!(
+        "(curare-declare (locks fw (exclusive l car) (exclusive l {}) (exclusive l {})))
+         {}",
+        cdr_car_path(k),
+        cdr_car_path(k + 1),
+        read_window_walker(k, reads)
+    )
+}
+
 /// Run `f` on a thread with a large native stack (deep sequential
 /// recursion in the original, untransformed programs needs it).
 pub fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
@@ -101,6 +185,17 @@ pub fn padded_walker(pad: usize) -> String {
 /// loaded.
 pub fn transformed_interp(src: &str) -> (Arc<Interp>, CurareOutput) {
     let out = Curare::new().transform_source(src).expect("program transforms");
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).expect("transformed program loads");
+    (interp, out)
+}
+
+/// Like [`transformed_interp`], but with adjacent same-lock-set
+/// brackets coalesced (the `experiments locksynth` "coalesced"
+/// variant).
+pub fn transformed_interp_coalesced(src: &str) -> (Arc<Interp>, CurareOutput) {
+    let out =
+        Curare::new().with_coalesced_locks(true).transform_source(src).expect("program transforms");
     let interp = Arc::new(Interp::new());
     interp.load_str(&out.source()).expect("transformed program loads");
     (interp, out)
@@ -255,6 +350,48 @@ mod tests {
             let a = analyze_function(&prog.funcs[0], &DeclDb::new());
             assert_eq!(a.conflicts.min_distance, Some(k), "k = {k}");
         }
+    }
+
+    #[test]
+    fn read_window_walker_locks_at_every_sweep_depth() {
+        for k in [1usize, 2, 4, 8] {
+            for (label, src, want_exclusive) in [
+                ("rw", read_window_walker(k, 4), false),
+                ("naive", read_window_walker_naive_locks(k, 4), true),
+            ] {
+                let out = Curare::new().transform_source(&src).expect(&src);
+                let r = out.report("fw").unwrap();
+                let locks = r
+                    .devices
+                    .iter()
+                    .find_map(|d| match d {
+                        Device::Locks(l) => Some(l.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| panic!("k={k} {label}: no locks: {}", r.feedback));
+                assert_eq!(locks.len(), 3, "k={k} {label}: {locks:?}");
+                let shared = locks.iter().filter(|l| !l.exclusive).count();
+                assert_eq!(shared, if want_exclusive { 0 } else { 2 }, "k={k} {label}: {locks:?}");
+                // The conflict distance — the §3.2.1 concurrency
+                // bound — is the window depth.
+                let heap = curare::lisp::Heap::new();
+                let mut lw = curare::lisp::Lowerer::new(&heap);
+                let prog = lw.lower_program(&parse_all(&src).unwrap()).unwrap();
+                let a = analyze_function(&prog.funcs[0], &DeclDb::new());
+                assert_eq!(a.conflicts.min_distance, Some(k), "k = {k} {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_window_walker_runs_sequentially() {
+        let (interp, out) = transformed_interp(&read_window_walker(2, 3));
+        assert!(out.report("fw").unwrap().converted);
+        let l = int_list(&interp, 16);
+        interp.call("fw", &[l]).unwrap();
+        // Cells 0..13 are doubled (the guard stops the walk 3 cells
+        // from the end); the list was 16..1, so the head becomes 32.
+        assert_eq!(interp.heap().display(l), "(32 30 28 26 24 22 20 18 16 14 12 10 8 3 2 1)");
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! | C004 | warning | a `reorderable` declaration names an op the program never uses (stale/undefined) |
 //! | C005 | warning | an order-sensitive post-call write could not be delayed or future-synced |
 //! | C006 | warning | a call to a function the program does not define is treated conservatively |
+//! | C007 | error   | a lock placement is unsound: a conflicting unordered pair has no covering lock pair |
+//! | C008 | warning | a lock placement is non-minimal: a lock covers no live unordered conflict |
 //!
-//! C002 is the only error: an aliased root breaks the soundness
-//! premise of the whole conflict analysis (§2.1), whereas the warnings
-//! mark lost concurrency or conservative assumptions.
+//! C002 and C007 are the errors: an aliased root breaks the soundness
+//! premise of the whole conflict analysis (§2.1), and an uncovered
+//! unordered conflict is a data race the placement was supposed to
+//! exclude (§3.2.1); the warnings mark lost concurrency or
+//! conservative assumptions.
 
 use curare_obs::Json;
 
@@ -53,6 +57,10 @@ pub enum Code {
     C005,
     /// Unknown free function treated conservatively.
     C006,
+    /// Lock placement unsound: unordered conflicting pair uncovered.
+    C007,
+    /// Lock placement non-minimal: a lock covers no live conflict.
+    C008,
 }
 
 impl Code {
@@ -65,13 +73,15 @@ impl Code {
             Code::C004 => "C004",
             Code::C005 => "C005",
             Code::C006 => "C006",
+            Code::C007 => "C007",
+            Code::C008 => "C008",
         }
     }
 
     /// Severity is a fixed property of the code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::C002 => Severity::Error,
+            Code::C002 | Code::C007 => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -219,7 +229,8 @@ mod tests {
     #[test]
     fn severity_is_fixed_per_code() {
         assert_eq!(Code::C002.severity(), Severity::Error);
-        for c in [Code::C001, Code::C003, Code::C004, Code::C005, Code::C006] {
+        assert_eq!(Code::C007.severity(), Severity::Error);
+        for c in [Code::C001, Code::C003, Code::C004, Code::C005, Code::C006, Code::C008] {
             assert_eq!(c.severity(), Severity::Warning, "{}", c.name());
         }
     }

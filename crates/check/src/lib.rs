@@ -6,10 +6,14 @@
 //! - [`collect::check_source`] runs every static analysis the
 //!   transformation pipeline relies on and reports its conservative
 //!   assumptions and silent degradations as structured
-//!   [`diag::Diagnostic`]s with stable codes (C001–C006), rendered as
+//!   [`diag::Diagnostic`]s with stable codes (C001–C008), rendered as
 //!   human text or `curare-diag/1` JSON. The `curare check`
 //!   subcommand is a thin wrapper over this with the exit contract
 //!   0 = clean, 1 = warnings, 2 = errors.
+//!   [`lockcert::check_locks_source`] adds the §3.2.1 lock-placement
+//!   certifier on top (C007 unsound / C008 non-minimal, plus
+//!   machine-checkable `curare-locks/1` placement documents) — the
+//!   `curare check --locks` surface.
 //!
 //! - [`sanitizer`] validates the analysis itself: with the `sanitize`
 //!   feature, every heap-word access in a CRI run is recorded
@@ -22,11 +26,16 @@
 
 pub mod collect;
 pub mod diag;
+pub mod lockcert;
 pub mod sanitizer;
 
 pub use collect::{check_source, CheckError};
 pub use diag::{Code, Diagnostic, DiagnosticSet, Severity};
-pub use sanitizer::{cross_check, predicted_pairs, CrossCheck, PredictedPairs, UnpredictedPair};
+pub use lockcert::{check_locks_source, LockCertReport};
+pub use sanitizer::{
+    covered_keys, cross_check, lock_coverage, predicted_pairs, CrossCheck, LockCheck,
+    PredictedPairs, UnpredictedPair,
+};
 
 #[cfg(feature = "sanitize")]
-pub use sanitizer::sanitized_run;
+pub use sanitizer::{sanitized_lock_check, sanitized_run};

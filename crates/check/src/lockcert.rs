@@ -1,0 +1,187 @@
+//! The lock-placement certifier behind `curare check --locks`
+//! (C007/C008).
+//!
+//! For every recursive function with conflicts, the certifier
+//! re-derives the placement the pipeline would run under — the
+//! programmer's declared `(locks f ...)` placement when one exists,
+//! the synthesized CRI placement otherwise — and re-checks it against
+//! the conflict report with `curare_analysis::locksynth::certify`:
+//!
+//! - **C007 (error)**: a conflicting pair that no ordering device
+//!   covers (unordered under CRI head ordering) has no coinciding lock
+//!   pair establishing mutual exclusion. Running under this placement
+//!   races.
+//! - **C008 (warning)**: a lock covers no live unordered conflict —
+//!   the naive all-pairs placement would still emit it, but it only
+//!   costs acquisitions.
+//!
+//! Diagnostics fire only for placements that are actually *in force*:
+//! declared placements (always audited — the transform applies them as
+//! written), and synthesized placements the pipeline exploits
+//! (`Device::Locks`). Hypothetical placements of functions the
+//! pipeline resolves with head ordering or future synchronization are
+//! reported as machine-checkable `curare-locks/1` documents but raise
+//! nothing.
+
+use curare_analysis::analyze::analyze_function_with_canon;
+use curare_analysis::locksynth::{certify, declared_placement, synthesize, OrderingContext};
+use curare_analysis::{Canonicalizer, DeclDb};
+use curare_lisp::{Heap, Lowerer};
+use curare_obs::Json;
+use curare_sexpr::parse_all;
+use curare_transform::{Curare, Device};
+
+use crate::collect::{check_source, CheckError};
+use crate::diag::{Code, Diagnostic, DiagnosticSet};
+
+/// The `--locks` result: the ordinary diagnostics plus the certifier's
+/// findings, and one `curare-locks/1` document per conflicting
+/// function.
+#[derive(Debug, Clone)]
+pub struct LockCertReport {
+    /// Base diagnostics merged with C007/C008 findings.
+    pub diags: DiagnosticSet,
+    /// One placement document per conflicting recursive function.
+    pub placements: Vec<Json>,
+}
+
+/// Run `check_source` plus the lock-placement certifier.
+pub fn check_locks_source(file: &str, src: &str) -> Result<LockCertReport, CheckError> {
+    let mut diags = check_source(file, src)?;
+
+    let forms = parse_all(src).map_err(|e| CheckError(format!("parse error: {e}")))?;
+    let heap = Heap::new();
+    let prog = {
+        let mut lw = Lowerer::new(&heap);
+        lw.lower_program(&forms).map_err(|e| CheckError(e.to_string()))?
+    };
+    let decls = DeclDb::from_program(&prog).map_err(|e| CheckError(e.to_string()))?;
+    let canon =
+        (!decls.inverse_pairs().is_empty()).then(|| Canonicalizer::from_decls(&decls, &heap));
+    // Which functions does the pipeline actually lock? (Declared
+    // placements are audited regardless.)
+    let transformed = Curare::new().transform_forms(&forms).ok();
+    let pipeline_locks = |name: &str| {
+        transformed
+            .as_ref()
+            .and_then(|out| out.report(name))
+            .is_some_and(|r| r.devices.iter().any(|d| matches!(d, Device::Locks(_))))
+    };
+
+    let mut placements = Vec::new();
+    for func in &prog.funcs {
+        let analysis = analyze_function_with_canon(func, &decls, canon.as_ref());
+        if analysis.conflicts.conflicts.is_empty() {
+            continue;
+        }
+        let params: Vec<&str> = func.params.iter().map(String::as_str).collect();
+        let declared = decls.lock_placement(&analysis.name);
+        let placement = match declared {
+            Some(d) => declared_placement(&analysis, &params, d, OrderingContext::cri()),
+            None => synthesize(&analysis, &params, OrderingContext::cri()),
+        };
+        let in_force = declared.is_some() || pipeline_locks(&analysis.name);
+        if in_force {
+            let span = format!("function {}", analysis.name);
+            for issue in certify(&placement, &analysis) {
+                let code = if issue.unsound { Code::C007 } else { Code::C008 };
+                diags.push(Diagnostic::new(code, span.clone(), issue.message).with_related(
+                    format!(
+                        "placement source: {}",
+                        if placement.declared { "declared (locks ...)" } else { "synthesized" }
+                    ),
+                ));
+            }
+        }
+        placements.push(placement.to_json());
+    }
+    Ok(LockCertReport { diags, placements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn clean_program_raises_no_lock_diags() {
+        let src = "(defun f (l) (when l (print (car l)) (f (cdr l))))";
+        let r = check_locks_source("t.lisp", src).unwrap();
+        assert!(!r.diags.diags.iter().any(|d| matches!(d.code, Code::C007 | Code::C008)));
+        assert!(r.placements.is_empty(), "no conflicts, no placements");
+    }
+
+    #[test]
+    fn head_ordered_conflicts_get_a_placement_doc_but_no_diag() {
+        // Figure 5: conflicts exist but head ordering covers them; the
+        // synthesized placement (empty) is reported, nothing fires.
+        let src = "(defun f (l)
+                     (cond ((null l) nil)
+                           ((null (cdr l)) (f (cdr l)))
+                           (t (setf (cadr l) (+ (car l) (cadr l)))
+                              (f (cdr l)))))";
+        let r = check_locks_source("t.lisp", src).unwrap();
+        assert_eq!(r.placements.len(), 1);
+        assert!(!r.diags.diags.iter().any(|d| matches!(d.code, Code::C007 | Code::C008)));
+        let doc = &r.placements[0];
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("curare-locks/1"));
+        assert_eq!(doc.get("certified_clean").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn undercovering_declared_placement_is_a_c007_error() {
+        // The declared placement takes only a *shared* lock on the
+        // write destination: readers never exclude readers, so the
+        // conflicting pair stays uncovered.
+        let src = "(curare-declare (locks f (shared l cdr.car)))
+                   (defun f (l)
+                     (when (cdr l)
+                       (f (cdr l))
+                       (setf (cadr l) (* (cadr l) 2))
+                       (car l)))";
+        let r = check_locks_source("t.lisp", src).unwrap();
+        let c007: Vec<_> = r.diags.diags.iter().filter(|d| d.code == Code::C007).collect();
+        assert!(!c007.is_empty(), "{:?}", r.diags.diags);
+        assert_eq!(c007[0].severity, Severity::Error);
+        assert_eq!(r.diags.exit_code(), 2);
+    }
+
+    #[test]
+    fn redundant_declared_lock_is_a_c008_warning() {
+        // Figure 5 resolves by head ordering; a declared all-pairs
+        // placement is pure overhead — every lock covers no live
+        // (unordered) conflict.
+        let src = "(curare-declare (locks f (exclusive l car) (exclusive l cdr.car)))
+                   (defun f (l)
+                     (cond ((null l) nil)
+                           ((null (cdr l)) (f (cdr l)))
+                           (t (setf (cadr l) (+ (car l) (cadr l)))
+                              (f (cdr l)))))";
+        let r = check_locks_source("t.lisp", src).unwrap();
+        let c008: Vec<_> = r.diags.diags.iter().filter(|d| d.code == Code::C008).collect();
+        assert_eq!(c008.len(), 2, "{:?}", r.diags.diags);
+        assert!(r.diags.diags.iter().all(|d| d.code != Code::C007));
+        assert_eq!(r.diags.exit_code(), 1);
+    }
+
+    #[test]
+    fn pipeline_applied_synthesized_placement_certifies_clean() {
+        let src = "(curare-declare (reorderable *))
+                   (defun f (l)
+                     (when (cdr l)
+                       (f (cdr l))
+                       (setf (car l) (* (car l) 2))
+                       (setf (cadr l) (* (cadr l) 3))))";
+        let r = check_locks_source("t.lisp", src).unwrap();
+        assert!(
+            !r.diags.diags.iter().any(|d| matches!(d.code, Code::C007 | Code::C008)),
+            "{:?}",
+            r.diags.diags
+        );
+        assert_eq!(r.placements.len(), 1);
+        let doc = &r.placements[0];
+        assert_eq!(doc.get("certified_clean").and_then(Json::as_bool), Some(true));
+        let locks = doc.get("locks").and_then(Json::as_arr).unwrap();
+        assert_eq!(locks.len(), 2, "{doc}");
+    }
+}

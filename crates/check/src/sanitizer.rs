@@ -122,6 +122,11 @@ pub struct CrossCheck {
     pub predicted: PredictedPairs,
     /// Distinct keys of observed conflicting pairs (ordered or not).
     pub observed: BTreeSet<PairKey>,
+    /// The subset of `observed` with no happens-before order between
+    /// the two sides — the pairs that only mutual exclusion (a lock
+    /// placement) or atomicity can be excusing. This is what the lock
+    /// coverage check audits.
+    pub unordered_observed: BTreeSet<PairKey>,
     /// Examples of unordered, unpredicted pairs (capped at 16).
     pub unpredicted: Vec<UnpredictedPair>,
     /// Total count of unordered, unpredicted pairs.
@@ -153,6 +158,13 @@ impl CrossCheck {
         hit as f64 / self.predicted.keys.len() as f64
     }
 
+    /// The imprecision ratio: predicted-but-unobserved over predicted
+    /// (0.0 when nothing was predicted). A high ratio means the static
+    /// analysis paid for synchronization the run never needed.
+    pub fn unobserved_ratio(&self) -> f64 {
+        1.0 - self.precision()
+    }
+
     /// Stable single-line JSON, suitable as a `curare-report/1`
     /// section (schema marker `curare-sanitize/1`).
     pub fn to_json(&self) -> Json {
@@ -178,12 +190,14 @@ impl CrossCheck {
             .set("schema", "curare-sanitize/1")
             .set("sound", self.sound())
             .set("precision", self.precision())
+            .set("unobserved_ratio", self.unobserved_ratio())
             .set("events", self.events)
             .set("pairs_checked", self.pairs_checked)
             .set("capped", self.capped)
             .set("predicted_top", self.predicted.top)
             .set("predicted_pairs", predicted)
             .set("observed_pairs", self.observed.len())
+            .set("unordered_observed", self.unordered_observed.len())
             .set("unpredicted_total", self.unpredicted_total)
             .set("unpredicted", examples)
     }
@@ -297,6 +311,7 @@ pub fn cross_check(lanes: &[Vec<SanRecord>], predicted: &PredictedPairs) -> Cros
     let mut check = CrossCheck {
         predicted: predicted.clone(),
         observed: BTreeSet::new(),
+        unordered_observed: BTreeSet::new(),
         unpredicted: Vec::new(),
         unpredicted_total: 0,
         pairs_checked: 0,
@@ -321,12 +336,12 @@ pub fn cross_check(lanes: &[Vec<SanRecord>], predicted: &PredictedPairs) -> Cros
                 check.pairs_checked += 1;
                 let key = pair_key(a.tag, b.tag);
                 check.observed.insert(key);
-                if predicted.top || predicted.keys.contains(&key) {
-                    continue;
+                let ordered = reaches(&succs, &mut reach_memo, a.seg, b.seg)
+                    || reaches(&succs, &mut reach_memo, b.seg, a.seg);
+                if !ordered {
+                    check.unordered_observed.insert(key);
                 }
-                if reaches(&succs, &mut reach_memo, a.seg, b.seg)
-                    || reaches(&succs, &mut reach_memo, b.seg, a.seg)
-                {
+                if predicted.top || predicted.keys.contains(&key) || ordered {
                     continue;
                 }
                 check.unpredicted_total += 1;
@@ -375,6 +390,120 @@ fn reaches(
     }
     memo.insert((from, to), found);
     found
+}
+
+/// Keys of conflicting pairs that the lock placements in force for
+/// this program cover (declared placements, or the synthesized CRI
+/// placement of functions whose conflicts are not fully ordered).
+/// Atomic rewrites are excluded separately by the pair scan, and
+/// head-ordered / future-synced pairs are ordered in the recorded
+/// happens-before DAG — so an observed *unordered* pair is legitimate
+/// exactly when one of these keys matches it.
+pub fn covered_keys(src: &str) -> Result<BTreeSet<PairKey>, String> {
+    use curare_analysis::locksynth::{declared_placement, synthesize, OrderingContext};
+
+    let forms = parse_all(src).map_err(|e| e.to_string())?;
+    let heap = Heap::new();
+    let prog = {
+        let mut lw = Lowerer::new(&heap);
+        lw.lower_program(&forms).map_err(|e| e.to_string())?
+    };
+    let decls = DeclDb::from_program(&prog).map_err(|e| e.to_string())?;
+    let canon =
+        (!decls.inverse_pairs().is_empty()).then(|| Canonicalizer::from_decls(&decls, &heap));
+    let mut out = BTreeSet::new();
+    for func in &prog.funcs {
+        let analysis = analyze_function_with_canon(func, &decls, canon.as_ref());
+        if analysis.conflicts.conflicts.is_empty() {
+            continue;
+        }
+        let params: Vec<&str> = func.params.iter().map(String::as_str).collect();
+        let placement = match decls.lock_placement(&analysis.name) {
+            Some(d) => declared_placement(&analysis, &params, d, OrderingContext::cri()),
+            None => synthesize(&analysis, &params, OrderingContext::cri()),
+        };
+        for pair in placement.pairs.iter().filter(|p| p.covered) {
+            if let (Some(w), Some(o)) =
+                (pair.conflict.write_path.last(), pair.conflict.other_path.last())
+            {
+                out.insert(pair_key(w.field_code() as u64, o.field_code() as u64));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The dynamic half of the lock certifier: a sanitized run diffed
+/// against the placements in force.
+#[derive(Debug, Clone)]
+pub struct LockCheck {
+    /// The ordinary sanitizer cross-check of the same run.
+    pub check: CrossCheck,
+    /// Pair keys the placements cover.
+    pub covered: BTreeSet<PairKey>,
+    /// Observed, happens-before-unordered pairs no placement covers —
+    /// races the locks were supposed to exclude.
+    pub uncovered: Vec<PairKey>,
+}
+
+impl LockCheck {
+    /// Did every observed unordered conflict fall under a lock?
+    pub fn covered_ok(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// Stable single-line JSON (schema `curare-lockcheck/1`).
+    pub fn to_json(&self) -> Json {
+        let covered: Vec<Json> = self
+            .covered
+            .iter()
+            .map(|&(a, b)| Json::obj().set("a", a as f64).set("b", b as f64))
+            .collect();
+        let uncovered: Vec<Json> = self
+            .uncovered
+            .iter()
+            .map(|&(a, b)| Json::obj().set("a", a as f64).set("b", b as f64))
+            .collect();
+        Json::obj()
+            .set("schema", "curare-lockcheck/1")
+            .set("covered_ok", self.covered_ok())
+            .set("sound", self.check.sound())
+            .set("unordered_observed", self.check.unordered_observed.len())
+            .set("covered_keys", covered)
+            .set("uncovered", uncovered)
+            .set("sanitize", self.check.to_json())
+    }
+}
+
+/// Diff a finished cross-check against the placements in force for
+/// `src`: every observed unordered pair must be lock-covered (or the
+/// prediction was ⊤, in which case the static side already gave up on
+/// precision and the ordinary soundness verdict is all we can say).
+pub fn lock_coverage(src: &str, check: CrossCheck) -> Result<LockCheck, String> {
+    let covered = covered_keys(src)?;
+    let uncovered: Vec<PairKey> = check
+        .unordered_observed
+        .iter()
+        .filter(|k| !covered.contains(k) && !check.predicted.top)
+        .copied()
+        .collect();
+    Ok(LockCheck { check, covered, uncovered })
+}
+
+/// Replay a program under its transformed form (locks and all) with
+/// the sanitizer installed, and fail the coverage check if any
+/// observed happens-before-unordered conflict escapes the synthesized
+/// or declared lock placement. Serialize calls like [`sanitized_run`].
+#[cfg(feature = "sanitize")]
+pub fn sanitized_lock_check(
+    src: &str,
+    entry: &str,
+    servers: usize,
+    mode: curare_runtime::SchedMode,
+    args_for: impl FnOnce(&curare_lisp::Interp) -> Vec<curare_lisp::Value>,
+) -> Result<LockCheck, String> {
+    let check = sanitized_run(src, entry, servers, mode, args_for)?;
+    lock_coverage(src, check)
 }
 
 /// Run a program's transformed form on a CRI pool with the sanitizer
@@ -694,5 +823,43 @@ mod sanitized_tests {
     fn aliased_parameters_are_caught_under_central_scheduling_too() {
         let check = run_mix(SchedMode::Central);
         assert!(!check.sound(), "unpredicted: {:?}", check.unpredicted);
+    }
+
+    /// The lock-rescue program replayed under the sanitizer: the
+    /// bracketed tail RMWs produce observed, happens-before-unordered
+    /// conflicting pairs, and every one of them must fall under the
+    /// synthesized placement.
+    const LOCKED_RMWS: &str = "(curare-declare (reorderable *))
+                               (defun f (l)
+                                 (when (cdr l)
+                                   (f (cdr l))
+                                   (setf (car l) (* (car l) 2))
+                                   (setf (cadr l) (* (cadr l) 3))))";
+
+    #[test]
+    fn synthesized_placement_covers_every_observed_conflict() {
+        for mode in [SchedMode::Central, SchedMode::Sharded] {
+            let _g = RUN_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+            let lc = sanitized_lock_check(LOCKED_RMWS, "f", 3, mode, |interp| {
+                vec![interp.load_str(&list_src(32)).unwrap()]
+            })
+            .expect("sanitized lock check");
+            assert!(lc.check.sound(), "unpredicted: {:?}", lc.check.unpredicted);
+            assert!(lc.covered_ok(), "uncovered: {:?}", lc.uncovered);
+            assert!(lc.covered.contains(&(0, 0)), "{:?}", lc.covered);
+        }
+    }
+
+    #[test]
+    fn lock_coverage_flags_unordered_pairs_without_a_placement() {
+        // The aliasing fixture has no placement at all: its unordered
+        // observed pair must surface as uncovered, not be absorbed.
+        let check = run_mix(SchedMode::Sharded);
+        let lc = lock_coverage(MIX, check).expect("coverage diff");
+        assert!(!lc.covered_ok(), "{:?}", lc.covered);
+        let text = lc.to_json().to_string();
+        let doc = Json::parse(&text).expect("round-trip");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("curare-lockcheck/1"));
+        assert_eq!(doc.get("covered_ok").and_then(Json::as_bool), Some(false));
     }
 }

@@ -3,14 +3,20 @@
 //!
 //! ```text
 //! curare analyze  FILE              # per-function §6-style feedback
-//! curare check FILE... [--json]    # structured diagnostics (C001–C006)
+//! curare check FILE... [--locks] [--json]  # structured diagnostics (C001–C008)
 //! curare transform FILE            # transformed source on stdout
 //! curare run FILE [options]        # load + evaluate, optionally on a pool
 //! curare repl                      # interactive mini-Lisp
 //!
 //! check exits 0 when every file is clean, 1 when any warning was
 //! reported, 2 on any error (or unreadable/unparsable input); --json
-//! prints one curare-diag/1 line per file instead of prose.
+//! prints one curare-diag/1 line per file instead of prose. With
+//! --locks the §3.2.1 lock-placement certifier runs too: declared or
+//! pipeline-applied placements are re-checked against the conflict
+//! report (C007 = unsound, error; C008 = non-minimal, warning), and
+//! every conflicting function's placement is printed as a
+//! machine-checkable curare-locks/1 document (one JSON line each under
+//! --json, a summary line otherwise).
 //!
 //! run options:
 //!   --servers N      execute `--call` on an N-server CRI pool
@@ -89,25 +95,48 @@ fn analyze(args: &[String]) -> Result<(), String> {
 
 fn check(args: &[String]) -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
-    let files: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    let locks = args.iter().any(|a| a == "--locks");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--json" && *a != "--locks").collect();
     if files.is_empty() {
-        eprintln!("usage: curare check FILE... [--json]");
+        eprintln!("usage: curare check FILE... [--locks] [--json]");
         return ExitCode::from(2);
     }
     let mut worst = 0u8;
     for path in files {
-        let set =
+        let report =
             std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")).and_then(|src| {
-                curare::check::check_source(path, &src).map_err(|e| format!("{path}: {e}"))
-            });
-        match set {
-            Ok(set) => {
-                if json {
-                    println!("{}", set.to_json());
+                if locks {
+                    curare::check::check_locks_source(path, &src)
+                        .map_err(|e| format!("{path}: {e}"))
                 } else {
-                    print!("{}", set.render());
+                    curare::check::check_source(path, &src)
+                        .map(|diags| curare::check::LockCertReport { diags, placements: vec![] })
+                        .map_err(|e| format!("{path}: {e}"))
                 }
-                worst = worst.max(set.exit_code());
+            });
+        match report {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.diags.to_json());
+                    for doc in &report.placements {
+                        println!("{doc}");
+                    }
+                } else {
+                    print!("{}", report.diags.render());
+                    for doc in &report.placements {
+                        let f = doc.get("function").and_then(Json::as_str).unwrap_or("?");
+                        let clean = doc.get("certified_clean").and_then(Json::as_bool);
+                        let n = doc.get("locks").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+                        let naive =
+                            doc.get("naive_locks").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+                        println!(
+                            "{path}: locks: function {f}: {n} lock(s) (naive {naive}), \
+                             certified clean: {}",
+                            if clean == Some(true) { "yes" } else { "NO" }
+                        );
+                    }
+                }
+                worst = worst.max(report.diags.exit_code());
             }
             Err(e) => {
                 // Unreadable or unparsable input: nothing to diagnose,

@@ -124,6 +124,10 @@ const SHARDS: usize = 64;
 pub struct LockTable {
     shards: Vec<Mutex<HashMap<Location, Arc<LockEntry>>>>,
     acquisitions: AtomicU64,
+    /// Subset of `acquisitions` taken in shared mode — the synthesized
+    /// rw placements are judged by how much of the lock traffic they
+    /// move off the exclusive path.
+    shared_acquisitions: AtomicU64,
     contended: AtomicU64,
     /// Wait durations of contended acquisitions. A bare event count
     /// cannot tell a 1 ns collision from a 10 ms convoy; the
@@ -146,6 +150,7 @@ impl LockTable {
         LockTable {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             acquisitions: AtomicU64::new(0),
+            shared_acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             wait_hist: AtomicHistogram::new(),
         }
@@ -165,6 +170,9 @@ impl LockTable {
         #[cfg(feature = "chaos")]
         crate::chaos::on_lock_acquire();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if !exclusive {
+            self.shared_acquisitions.fetch_add(1, Ordering::Relaxed);
+        }
         let entry = self.entry(loc);
         // Record contention (probe without blocking first).
         let contended = {
@@ -216,6 +224,11 @@ impl LockTable {
     /// Total lock acquisitions so far.
     pub fn acquisitions(&self) -> u64 {
         self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions taken in shared (read) mode.
+    pub fn shared_acquisitions(&self) -> u64 {
+        self.shared_acquisitions.load(Ordering::Relaxed)
     }
 
     /// Acquisitions that had to wait.
@@ -428,5 +441,79 @@ mod tests {
         t.lock(l, false); // reentrant shared under own write lock
         assert!(t.unlock(l, false));
         assert!(t.unlock(l, true));
+    }
+
+    /// The point of synthesizing *shared* mode for read-only sides of a
+    /// conflict: readers admitted under a shared lock must overlap, not
+    /// queue. Every thread parks inside the critical section until all
+    /// of them are inside — if shared mode serialized, this would
+    /// deadlock rather than pass.
+    #[test]
+    fn readers_do_not_block_readers() {
+        const READERS: usize = 4;
+        let t = Arc::new(LockTable::new());
+        let l = loc(31, 0);
+        let inside = Arc::new(std::sync::Barrier::new(READERS));
+        let threads: Vec<_> = (0..READERS)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let inside = Arc::clone(&inside);
+                std::thread::spawn(move || {
+                    t.lock(l, false);
+                    // Blocks until all READERS hold the lock at once.
+                    inside.wait();
+                    assert!(t.unlock(l, false));
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.shared_acquisitions(), READERS as u64);
+        assert_eq!(t.acquisitions(), READERS as u64);
+    }
+
+    /// Wait durations must be observed for *read* acquisitions too —
+    /// the locksynth experiments compare rw against exclusive
+    /// placements by contended wait time, which would be meaningless if
+    /// only writer waits landed in the histogram.
+    #[test]
+    fn read_acquisition_waits_land_in_histogram() {
+        let t = Arc::new(LockTable::new());
+        let l = loc(37, 1);
+        t.lock(l, true);
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            t2.lock(l, false); // shared acquisition, blocked by writer
+            assert!(t2.unlock(l, false));
+        });
+        while t.contended() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        assert!(t.unlock(l, true));
+        h.join().unwrap();
+        let s = t.wait_summary();
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= 10_000_000, "reader wait must be measured: {s:?}");
+        assert_eq!(t.shared_acquisitions(), 1);
+    }
+
+    /// Coalescing maps several source-level lock paths onto one
+    /// physical location. The owning server then brackets the same
+    /// location more than once per statement; acquisitions after the
+    /// first must be reentrant (in either mode) or coalesced
+    /// placements would self-deadlock.
+    #[test]
+    fn coalesced_paths_are_reentrant_for_owner() {
+        let t = LockTable::new();
+        let l = loc(41, 0);
+        t.lock(l, true); // outer bracket: coalesced write path
+        t.lock(l, true); // second coalesced path, same location
+        t.lock(l, false); // read side of the same coalesced group
+        assert!(t.unlock(l, false));
+        assert!(t.unlock(l, true));
+        assert!(t.unlock(l, true));
+        assert!(!t.unlock(l, true), "bracket balance must still be enforced");
     }
 }

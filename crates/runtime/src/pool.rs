@@ -63,6 +63,10 @@ pub struct PoolStats {
     pub peak_queue: usize,
     /// Lock acquisitions performed.
     pub lock_acquisitions: u64,
+    /// Subset of `lock_acquisitions` taken in shared (read) mode —
+    /// how much of the lock traffic an rw placement moves off the
+    /// exclusive path.
+    pub lock_shared_acquisitions: u64,
     /// Lock acquisitions that had to wait.
     pub lock_contended: u64,
     /// Tasks run directly by their producing server, skipping the
@@ -912,6 +916,7 @@ impl CriRuntime {
             tasks: self.shared.executed.load(Ordering::Relaxed),
             peak_queue: self.shared.sched.peak(),
             lock_acquisitions: self.shared.locks.acquisitions(),
+            lock_shared_acquisitions: self.shared.locks.shared_acquisitions(),
             lock_contended: self.shared.locks.contended(),
             chained_tasks: self.shared.chained.load(Ordering::Relaxed),
             batched_submits: self.shared.batched_submits.load(Ordering::Relaxed),
@@ -989,6 +994,7 @@ impl CriRuntime {
             .set("tlab_refills", stats.tlab_refills);
         let locks = Json::obj()
             .set("acquisitions", stats.lock_acquisitions)
+            .set("shared_acquisitions", stats.lock_shared_acquisitions)
             .set("contended", stats.lock_contended)
             .set("wait", self.shared.locks.wait_summary().to_json());
         let vs = curare_lisp::vm_stats();

@@ -86,7 +86,11 @@ struct Ctx<'a> {
 
 /// Access summary of arbitrary forms, obtained by lowering a probe
 /// function with the same parameter list.
-fn probe_accesses(heap: &Heap, params: &[String], forms: &[Sexpr]) -> Option<AccessSummary> {
+pub(crate) fn probe_accesses(
+    heap: &Heap,
+    params: &[String],
+    forms: &[Sexpr],
+) -> Option<AccessSummary> {
     let mut items = vec![
         sx::sym("defun"),
         sx::sym("%curare-probe"),

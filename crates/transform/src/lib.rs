@@ -47,7 +47,10 @@ pub use delay::{delay_transform, has_tail_statements, DelayResult};
 pub use dps::{dps_transform, DpsError, DpsResult};
 pub use fold::{fold_to_walker, FoldError, FoldResult};
 pub use futuresync::{future_sync, FutureSyncResult};
-pub use locks::{insert_locks, lock_set, LockResult, LockSpec, TransformError};
+pub use locks::{
+    insert_locks, insert_placement, lock_rescue, lock_set, placement_specs, LockResult, LockSpec,
+    TransformError,
+};
 pub use pipeline::{Curare, CurareOutput, Device, FunctionReport, PipelineError};
 pub use rec2iter::{recursion_to_iteration, Rec2IterError};
 pub use reorder::{reorder_transform, ReorderResult};

@@ -33,7 +33,7 @@ use crate::delay::{delay_transform, has_tail_statements};
 use crate::dps::dps_transform;
 use crate::fold::fold_to_walker;
 use crate::futuresync::future_sync;
-use crate::locks::{analyze_defun, LockSpec};
+use crate::locks::{analyze_defun, lock_rescue, LockSpec};
 use crate::reorder::reorder_transform;
 
 /// Which device(s) the pipeline applied to a function.
@@ -132,6 +132,7 @@ impl std::error::Error for PipelineError {}
 pub struct Curare {
     heap: Heap,
     decls: DeclDb,
+    coalesce_locks: bool,
 }
 
 impl Default for Curare {
@@ -143,7 +144,15 @@ impl Default for Curare {
 impl Curare {
     /// A transformer with an empty declaration database.
     pub fn new() -> Self {
-        Curare { heap: Heap::new(), decls: DeclDb::new() }
+        Curare { heap: Heap::new(), decls: DeclDb::new(), coalesce_locks: false }
+    }
+
+    /// Merge adjacent lock brackets with identical lock sets when the
+    /// lock device applies (coarser critical sections, fewer
+    /// acquisitions; exclusion is unchanged). Off by default.
+    pub fn with_coalesced_locks(mut self, on: bool) -> Self {
+        self.coalesce_locks = on;
+        self
     }
 
     /// The declaration database (for inspection).
@@ -315,27 +324,41 @@ impl Curare {
                     current = delayed.form;
                 }
                 if has_tail_statements(&current, &name) {
-                    // Device: future synchronization (§3.1) — tails
-                    // must run in unwind order.
-                    match future_sync(&current) {
-                        Some(synced) => {
-                            devices.push(Device::FutureSync(synced.wrapped));
-                            current = synced.form;
-                        }
-                        None => {
-                            return Ok((
-                                vec![current],
-                                FunctionReport {
-                                    name,
-                                    verdict,
-                                    devices,
-                                    converted: false,
-                                    feedback: format!(
-                                        "{feedback}  post-call conflicting statements could not be synchronized\n"
-                                    ),
-                                    unsynced_tail: true,
-                                },
-                            ));
+                    // Device: synthesized lock placement (§3.2.1).
+                    // Future sync serializes the tails completely;
+                    // when the conflict report certifies a minimal
+                    // rw placement AND the tails are provably
+                    // order-insensitive (or the programmer declared a
+                    // placement), statement-scoped lock brackets keep
+                    // the tails parallel instead.
+                    if let Some(locked) =
+                        lock_rescue(&self.heap, &current, &self.decls, self.coalesce_locks)
+                    {
+                        devices.push(Device::Locks(locked.locks.clone()));
+                        current = locked.form;
+                    } else {
+                        // Device: future synchronization (§3.1) — tails
+                        // must run in unwind order.
+                        match future_sync(&current) {
+                            Some(synced) => {
+                                devices.push(Device::FutureSync(synced.wrapped));
+                                current = synced.form;
+                            }
+                            None => {
+                                return Ok((
+                                    vec![current],
+                                    FunctionReport {
+                                        name,
+                                        verdict,
+                                        devices,
+                                        converted: false,
+                                        feedback: format!(
+                                            "{feedback}  post-call conflicting statements could not be synchronized\n"
+                                        ),
+                                        unsynced_tail: true,
+                                    },
+                                ));
+                            }
                         }
                     }
                 }
@@ -421,6 +444,66 @@ mod tests {
         assert!(r.converted, "{}", r.feedback);
         assert!(r.devices.iter().any(|d| matches!(d, Device::FutureSync(1))), "{:?}", r.devices);
         assert!(!r.devices.iter().any(|d| matches!(d, Device::Delay(_))), "{:?}", r.devices);
+    }
+
+    #[test]
+    fn commutative_tail_rmws_get_synthesized_lock_placement() {
+        // Post-call writes at depths 0 and 1 conflict across
+        // invocations, but both are declared-commutative RMWs: the
+        // synthesized rw placement keeps the tails parallel instead of
+        // future-sync serializing them.
+        let out = run("(curare-declare (reorderable *))
+             (defun f (l)
+               (when (cdr l)
+                 (f (cdr l))
+                 (setf (car l) (* (car l) 2))
+                 (setf (cadr l) (* (cadr l) 3))))");
+        let r = out.report("f").unwrap();
+        assert!(r.converted, "{}", r.feedback);
+        let locks = r.devices.iter().find_map(|d| match d {
+            Device::Locks(l) => Some(l.clone()),
+            _ => None,
+        });
+        let locks = locks.unwrap_or_else(|| panic!("expected Device::Locks: {:?}", r.devices));
+        assert_eq!(locks.len(), 2, "{locks:?}");
+        assert!(!r.devices.iter().any(|d| matches!(d, Device::FutureSync(_))), "{:?}", r.devices);
+        assert!(out.source().contains("cri-lock"), "{}", out.source());
+        assert!(out.source().contains("cri-enqueue"), "{}", out.source());
+    }
+
+    #[test]
+    fn coalesced_locks_emit_fewer_brackets_same_placement() {
+        let src = "(curare-declare (reorderable *))
+             (defun f (l)
+               (when (cdr l)
+                 (f (cdr l))
+                 (setf (car l) (* (car l) 2))
+                 (setf (car l) (* (car l) 3))
+                 (setf (cadr l) (* (cadr l) 5))))";
+        let fine = run(src);
+        let fused = Curare::new().with_coalesced_locks(true).transform_source(src).unwrap();
+        for out in [&fine, &fused] {
+            let r = out.report("f").unwrap();
+            assert!(r.devices.iter().any(|d| matches!(d, Device::Locks(_))), "{:?}", r.devices);
+        }
+        let brackets = |out: &CurareOutput| out.source().matches("(cri-lock ").count();
+        assert!(brackets(&fused) < brackets(&fine), "{} !< {}", brackets(&fused), brackets(&fine));
+    }
+
+    #[test]
+    fn declared_lock_placement_is_applied_by_pipeline() {
+        // The order-sensitive accumulator normally future-syncs; a
+        // declared placement overrides that (and `curare check --locks`
+        // is where the declaration gets audited).
+        let out = run("(curare-declare (locks f (exclusive l car) (exclusive l cdr.car)))
+             (defun f (l)
+               (when (cdr l)
+                 (f (cdr l))
+                 (setf (cadr l) (+ (car l) (cadr l)))))");
+        let r = out.report("f").unwrap();
+        assert!(r.converted, "{}", r.feedback);
+        assert!(r.devices.iter().any(|d| matches!(d, Device::Locks(_))), "{:?}", r.devices);
+        assert!(!r.devices.iter().any(|d| matches!(d, Device::FutureSync(_))), "{:?}", r.devices);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+;; A deliberately wasteful declared lock placement: the figure-5
+;; walker writes strictly in the head of each invocation, so under
+;; head ordering (§3.2.2) every cross-invocation pair is already
+;; sequenced and no lock is needed. The declared all-pairs exclusive
+;; placement is sound but covers no live conflict: `curare check
+;; --locks` flags each lock as C008 (non-minimal, warning) and exits
+;; 1 — the same locks the synthesizer provably drops.
+(curare-declare (locks f (exclusive l car) (exclusive l cdr.car)))
+(defun f (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (f (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (f (cdr l)))))
+(defparameter *redundant* (let ((l (list 1 2 3 4 5))) (f l) l))

@@ -1,0 +1,14 @@
+;; A deliberately unsound declared lock placement: the tail writer
+;; conflicts with the read of its own destination one cell back, but
+;; the declaration takes only a *shared* lock on the write path —
+;; readers never exclude readers, so the conflicting unordered pair
+;; stays uncovered. `curare check --locks` reports this as C007
+;; (placement unsound) and exits 2. Used by ci.sh as the seeded
+;; lock-certifier violation fixture.
+(curare-declare (locks f (shared l cdr.car)))
+(defun f (l)
+  (when (cdr l)
+    (f (cdr l))
+    (setf (cadr l) (* (cadr l) 2))
+    (car l)))
+(defparameter *undercovered* (let ((l (list 1 2 3 4))) (f l) l))
