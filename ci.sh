@@ -108,4 +108,15 @@ rm -rf "$PROFILE_DIR"
 # Rebuild without the features so later steps use the plain binary.
 cargo build --release -p curare-bench
 
+echo "== work stealing: skew-sweep smoke gate (model ratios + threaded oracles)"
+# The subcommand itself fails the run on any oracle mismatch, a
+# <1.5x model speedup on either skewed distribution, or a >5%
+# uniform-load regression.
+STEAL_DIR="$(mktemp -d)"
+(cd "$STEAL_DIR" && "$REPO_DIR/target/release/experiments" steal \
+  --n 800 --sites 8 --json > /dev/null)
+target/release/experiments validate "$STEAL_DIR/BENCH_steal.json" \
+  schema bench host_threads servers runs
+rm -rf "$STEAL_DIR"
+
 echo "CI OK"

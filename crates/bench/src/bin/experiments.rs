@@ -23,6 +23,10 @@
 //!                                  # min-distance bound vs realized
 //!                                  # parallelism, exclusive vs rw vs
 //!                                  # coalesced placements
+//! cargo run ... experiments steal [--json] [--n N] [--sites K]
+//!                                  # skew sweep: uniform / 90-10 /
+//!                                  # Zipf site loads × central,
+//!                                  # sharded, sharded+steal
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` document of every threaded
@@ -66,6 +70,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("locksynth") {
         return locksynth_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("steal") {
+        return steal_cmd(&args[1..]);
     }
     // The largest pool any experiment spawns is 8 servers; the tracer
     // clamps larger lane indices to the external lane anyway.
@@ -1272,6 +1279,263 @@ fn locksynth_cmd(args: &[String]) -> ExitCode {
              {best_rw:.2}x, coalesced {best_co:.2}x over exclusive). In the threaded runs\n\
              the rw placements move most acquisitions to the shared path and coalescing\n\
              halves the bracket count; wall-clock discrimination needs >1 host core.\n"
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `experiments steal [--json] [--n N] [--sites K]` — the work-stealing
+/// skew sweep (ISSUE 9 / ROADMAP item 3). Three site-load
+/// distributions (uniform, 90/10, Zipf) each run under three
+/// schedulers: the central queue, the ownership-partitioned sharded
+/// scheduler with stealing off, and the same scheduler with stealing
+/// on.
+///
+/// Each cell pairs a deterministic model run ([`simulate_steal`], the
+/// same protocol the threaded pool executes: steal-half site
+/// migration plus steal-pop on a lone hot site) with a threaded pool
+/// run of the multi-site spreader workload. The headline ratios come
+/// from the model — on a single-core host threaded wall-clock cannot
+/// discriminate schedulers (the E2–E4 precedent) — while every
+/// threaded run is held to the sequential oracle (`*skew-sum*` and
+/// exact task counts) and contributes the real steal/park counters to
+/// `BENCH_steal.json`.
+///
+/// The gate fails on any oracle mismatch, or if the model's
+/// steal/no-steal makespan ratio is < 1.5 on either skewed
+/// distribution, or if stealing costs more than 5% on uniform load.
+/// `CURARE_NO_STEAL` (the escape hatch) downgrades the "steal" cells
+/// to no-steal runs; the cells record the effective setting.
+fn steal_cmd(args: &[String]) -> ExitCode {
+    use curare::runtime::{steal_default, RuntimeConfig, SchedMode};
+    use curare::sim::{hot_split, simulate_steal, zipf_split, StealSimConfig};
+
+    let mut json = false;
+    let mut n: usize = 4000;
+    let mut k: usize = 8;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--n" => {
+                match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => n = v,
+                    _ => {
+                        eprintln!("experiments: --n needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--sites" => {
+                match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(v) if v > 0 => k = v,
+                    _ => {
+                        eprintln!("experiments: --sites needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("experiments: unknown steal option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    const SERVERS: usize = 4;
+    // "Uniform" must mean uniform per *owner*: static ownership homes
+    // site `k` on server `k mod SERVERS`, so a site count that does
+    // not divide evenly would skew even the uniform distribution and
+    // the ±5% gate below would measure ownership imbalance, not
+    // stealing overhead.
+    let k = k.div_ceil(SERVERS) * SERVERS;
+    /// Model ticks per task (matches the leaf pad loosely; only the
+    /// ratios matter).
+    const GRAIN: u64 = 100;
+    /// Arithmetic busywork per leaf in the threaded runs.
+    const PAD: usize = 16;
+    const SEED: u64 = 9;
+
+    if !json {
+        println!(
+            "work-stealing skew sweep: {n} leaf tasks over {k} sites, {SERVERS} servers\n\
+             (model grain {GRAIN}, steal cost 25; threaded leaves pad {PAD}):"
+        );
+        println!(
+            "  {:>8} {:>15} {:>11} {:>9} {:>8} {:>7} {:>6} {:>6} {:>5}",
+            "dist",
+            "scheduler",
+            "model-time",
+            "model-par",
+            "wall-us",
+            "steals",
+            "migr",
+            "parks",
+            "ok"
+        );
+    }
+
+    let dists = [SkewDist::Uniform, SkewDist::Hot90, SkewDist::Zipf];
+    let mut ok = true;
+    let mut runs = Vec::new();
+    // Model makespans per dist: [central, sharded, sharded+steal].
+    let mut model = std::collections::BTreeMap::new();
+    for dist in dists {
+        let counts: Vec<u64> = match dist {
+            SkewDist::Uniform => (0..k).map(|i| (n / k) as u64 + u64::from(i < n % k)).collect(),
+            SkewDist::Hot90 => hot_split(n as u64, k, 90),
+            SkewDist::Zipf => zipf_split(n as u64, k),
+        };
+        // Central model: one shared queue balances perfectly; the
+        // makespan is the work bound whatever the site distribution.
+        let central_time = (n as u64 * GRAIN).div_ceil(SERVERS as u64).max(GRAIN);
+        let nosteal = simulate_steal(
+            &StealSimConfig::new(counts.clone()).grain(GRAIN).servers(SERVERS).steal(false),
+        );
+        let steal =
+            simulate_steal(&StealSimConfig::new(counts.clone()).grain(GRAIN).servers(SERVERS));
+        model.insert(dist.name(), [central_time, nosteal.total_time, steal.total_time]);
+
+        let values = skew_values(n, k, dist, SEED);
+        let expect_sum = skew_expected_sum(&values);
+        let program = skew_spreader(k, PAD);
+        for (sched, mode, steal_on, model_time, model_par) in [
+            ("central", SchedMode::Central, false, central_time, SERVERS as f64),
+            (
+                "sharded",
+                SchedMode::Sharded,
+                false,
+                nosteal.total_time,
+                nosteal.achieved_concurrency,
+            ),
+            (
+                "sharded+steal",
+                SchedMode::Sharded,
+                steal_default(),
+                steal.total_time,
+                steal.achieved_concurrency,
+            ),
+        ] {
+            let interp = Arc::new(Interp::new());
+            interp.load_str(&program).expect("spreader loads");
+            let rt = CriRuntime::with_config(
+                Arc::clone(&interp),
+                SERVERS,
+                RuntimeConfig { mode, steal: steal_on, ..RuntimeConfig::default() },
+            );
+            let l = value_list(&interp, &values);
+            let dt = time_once(|| rt.run("spread", &[l]).expect("pool run"));
+            let stats = rt.stats();
+            drop(rt);
+            let got = interp.load_str("*skew-sum*").expect("oracle global");
+            // 1 root + n spread continuations + n leaves, exactly once.
+            let cell_ok = got == Value::int(expect_sum) && stats.tasks == 2 * n as u64 + 1;
+            if !cell_ok {
+                eprintln!(
+                    "  DIVERGED {} {sched}: want sum {expect_sum} over {} tasks, \
+                     got {} over {}",
+                    dist.name(),
+                    2 * n + 1,
+                    interp.heap().display(got),
+                    stats.tasks
+                );
+            }
+            ok &= cell_ok;
+            let row = Json::obj()
+                .set("dist", dist.name())
+                .set("scheduler", sched)
+                .set("steal", steal_on)
+                .set("n", n as u64)
+                .set("sites", k as u64)
+                .set("model_time", model_time)
+                .set("model_parallelism", model_par)
+                .set("wall_ns", dt.as_nanos() as u64)
+                .set("tasks", stats.tasks)
+                .set("steal_attempts", stats.steal_attempts)
+                .set("steal_successes", stats.steal_successes)
+                .set("sites_migrated", stats.sites_migrated)
+                .set("parks", stats.parks)
+                .set("park_ns", stats.park_ns)
+                .set("peak_idle_servers", stats.peak_idle_servers as u64)
+                .set("result_ok", cell_ok);
+            if json {
+                println!("{row}");
+            } else {
+                println!(
+                    "  {:>8} {sched:>15} {model_time:>11} {model_par:>9.2} {:>8} {:>7} {:>6} {:>6} {cell_ok:>5}",
+                    dist.name(),
+                    dt.as_micros(),
+                    stats.steal_successes,
+                    stats.sites_migrated,
+                    stats.parks,
+                );
+            }
+            runs.push(row);
+        }
+    }
+
+    // The headline model ratios the gate enforces.
+    let ratio = |d: &str| {
+        let m = model[d];
+        m[1] as f64 / (m[2] as f64).max(1.0)
+    };
+    let hot_ratio = ratio("90-10");
+    let zipf_ratio = ratio("zipf");
+    let uniform_delta = {
+        let m = model["uniform"];
+        (m[2] as f64 - m[1] as f64) / (m[1] as f64).max(1.0)
+    };
+    if hot_ratio < 1.5 {
+        eprintln!("experiments: 90/10 model speedup {hot_ratio:.2}x < 1.5x gate");
+        ok = false;
+    }
+    if zipf_ratio < 1.5 {
+        eprintln!("experiments: Zipf model speedup {zipf_ratio:.2}x < 1.5x gate");
+        ok = false;
+    }
+    if uniform_delta.abs() > 0.05 {
+        eprintln!(
+            "experiments: stealing moved uniform makespan by {:.1}% (±5% gate)",
+            uniform_delta * 100.0
+        );
+        ok = false;
+    }
+
+    let doc = Json::obj()
+        .set("schema", "curare-bench/1")
+        .set("bench", "steal")
+        .set("host_threads", hardware_threads())
+        .set("servers", SERVERS as u64)
+        .set("n", n as u64)
+        .set("sites", k as u64)
+        .set("steal_default", steal_default())
+        .set("hot90_model_speedup", hot_ratio)
+        .set("zipf_model_speedup", zipf_ratio)
+        .set("uniform_model_delta", uniform_delta)
+        .set("runs", Json::Arr(runs));
+    if let Err(e) = std::fs::write("BENCH_steal.json", format!("{doc}\n")) {
+        eprintln!("experiments: BENCH_steal.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("  wrote BENCH_steal.json");
+        println!(
+            "expected shape: with a uniform site load every server drains its own sites and\n\
+             stealing changes nothing ({:+.1}% here); under 90/10 or Zipf skew the static\n\
+             owner of the hot site(s) becomes the bottleneck and stealing re-balances —\n\
+             model speedups {hot_ratio:.2}x (90/10) and {zipf_ratio:.2}x (Zipf). Threaded\n\
+             runs on this host verify the oracle and count real steals/parks; wall-clock\n\
+             scheduler discrimination needs >1 host core.\n",
+            uniform_delta * 100.0
         );
     }
     if ok {

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use curare::lisp::{Interp, Value};
 use curare::obs;
 use curare::prelude::*;
+use curare::sim;
 
 /// The paper's Figure 3: a simple recursive list walker.
 pub const FIGURE_3: &str = "(defun f (l) (when l (print (car l)) (f (cdr l))))";
@@ -225,6 +226,107 @@ pub fn time_once(f: impl FnOnce()) -> Duration {
     let start = Instant::now();
     f();
     start.elapsed()
+}
+
+/// How the skew workload spreads leaf tasks across call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewDist {
+    /// Every leaf site gets the same share.
+    Uniform,
+    /// 90% of the leaves land on the first site, the rest divide the
+    /// remainder evenly.
+    Hot90,
+    /// Zipf(1) shares: site `i` proportional to `1/(i+1)`.
+    Zipf,
+}
+
+impl SkewDist {
+    /// The stable name used in benchmark JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkewDist::Uniform => "uniform",
+            SkewDist::Hot90 => "90-10",
+            SkewDist::Zipf => "zipf",
+        }
+    }
+}
+
+/// Multi-call-site skew workload for the work-stealing experiments.
+///
+/// `spread` walks the driver list; each element enqueues one `leaf`
+/// invocation on a site chosen by the element's value (sites `1..=k`
+/// — `cri-enqueue` requires literal site indices, hence the `cond`
+/// ladder) plus the walk's own continuation on site 0. Every spread
+/// step therefore publishes a two-task batch, which cannot chain, so
+/// all leaves go through the site queues — the scheduler, not the
+/// chaining fast path, is what gets measured. Leaves do `pad`
+/// arithmetic steps of local busywork, then add `v + 1` into the
+/// global `*skew-sum*` with the race-free `atomic-incf`, giving every
+/// run a sequentially checkable oracle (lost or duplicated tasks move
+/// the sum).
+pub fn skew_spreader(k: usize, pad: usize) -> String {
+    assert!(k >= 1, "at least one leaf site");
+    let mut arms = String::new();
+    for v in 0..k {
+        arms.push_str(&format!("((= v {v}) (cri-enqueue {} leaf v))\n", v + 1));
+    }
+    let mut work = String::new();
+    for _ in 0..pad {
+        work.push_str("(setq x (+ x 1)) ");
+    }
+    format!(
+        "(defparameter *skew-sum* 0)
+(defun spread (l)
+  (when l
+    (let ((v (car l)))
+      (cond {arms} (t nil)))
+    (cri-enqueue 0 spread (cdr l))))
+(defun leaf (v)
+  (let ((x 0)) {work} x)
+  (atomic-incf *skew-sum* (+ v 1)))"
+    )
+}
+
+/// Leaf-site values for `n` elements under `dist` over `k` sites,
+/// deterministically shuffled by a splitmix64 Fisher–Yates from
+/// `seed`. Returned values are in `0..k` (the spreader maps value `v`
+/// to site `v + 1`).
+pub fn skew_values(n: usize, k: usize, dist: SkewDist, seed: u64) -> Vec<i64> {
+    let counts: Vec<u64> = match dist {
+        SkewDist::Uniform => (0..k).map(|i| (n / k) as u64 + u64::from(i < n % k)).collect(),
+        SkewDist::Hot90 => sim::hot_split(n as u64, k, 90),
+        SkewDist::Zipf => sim::zipf_split(n as u64, k),
+    };
+    let mut vals: Vec<i64> = Vec::with_capacity(n);
+    for (v, &c) in counts.iter().enumerate() {
+        vals.extend(std::iter::repeat_n(v as i64, c as usize));
+    }
+    let mut state = seed;
+    let mut mix = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..vals.len()).rev() {
+        vals.swap(i, (mix() % (i as u64 + 1)) as usize);
+    }
+    vals
+}
+
+/// The oracle sum the skew workload must produce: Σ (v + 1).
+pub fn skew_expected_sum(values: &[i64]) -> i64 {
+    values.iter().map(|v| v + 1).sum()
+}
+
+/// Build `values` as a heap list (first element first).
+pub fn value_list(interp: &Interp, values: &[i64]) -> Value {
+    let mut l = Value::NIL;
+    for &v in values.iter().rev() {
+        l = interp.heap().cons(Value::int(v), l);
+    }
+    l
 }
 
 /// Median-of-`runs` timing.

@@ -37,6 +37,9 @@
 //!   --no-fuse        disable superinstruction fusion in the bytecode
 //!                    compiler (differential escape hatch; also
 //!                    available process-wide as CURARE_NO_FUSE=1)
+//!   --no-steal       disable work stealing between sharded pool
+//!                    servers (scheduler A/B escape hatch; also
+//!                    available process-wide as CURARE_NO_STEAL=1)
 //!   --chaos-seed N   install a seeded fault plan for the pool run
 //!                    (needs a binary built with --features chaos)
 //!   --chaos-profile P  fault profile for --chaos-seed: delays,
@@ -177,6 +180,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_profile = String::from("mixed");
     let mut stall_budget_ms: Option<u64> = None;
+    let mut no_steal = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -210,6 +214,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--no-fuse" => {
                 no_fuse = true;
+                i += 1;
+            }
+            "--no-steal" => {
+                no_steal = true;
                 i += 1;
             }
             "--servers" => {
@@ -320,6 +328,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         let config = curare::runtime::RuntimeConfig {
             stall_budget: stall_budget_ms.map(std::time::Duration::from_millis),
+            steal: !no_steal && curare::runtime::steal_default(),
             ..curare::runtime::RuntimeConfig::default()
         };
         let rt = CriRuntime::with_config(Arc::clone(&interp), servers, config);

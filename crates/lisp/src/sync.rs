@@ -65,6 +65,21 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns true
+    /// if the wait timed out (vs. a notification or spurious wakeup).
+    /// Used by the pool's parked servers as a lost-wakeup backstop.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, res) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        res.timed_out()
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();

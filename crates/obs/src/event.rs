@@ -66,10 +66,19 @@ pub enum EventKind {
     /// A touch observed its future resolved and resumed (`arg` =
     /// toucher invocation id and future id, packed).
     TouchWake = 18,
+    /// An idle server stole work from a victim's site group (`arg` =
+    /// the stolen task's call site).
+    Steal = 19,
+    /// A server found no runnable or stealable work and parked on its
+    /// per-server condvar (`arg` = server index).
+    Park = 20,
+    /// A parked server woke — notified by a publisher or by the
+    /// backstop timeout (`arg` = server index).
+    Unpark = 21,
 }
 
 /// Number of distinct kinds (for per-kind count tables).
-pub const KIND_COUNT: usize = 19;
+pub const KIND_COUNT: usize = 22;
 
 impl EventKind {
     /// The stable wire name used in exported JSON.
@@ -94,6 +103,9 @@ impl EventKind {
             EventKind::InvStop => "inv_stop",
             EventKind::BindFuture => "bind_future",
             EventKind::TouchWake => "touch_wake",
+            EventKind::Steal => "steal",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
         }
     }
 
@@ -119,6 +131,9 @@ impl EventKind {
             16 => EventKind::InvStop,
             17 => EventKind::BindFuture,
             18 => EventKind::TouchWake,
+            19 => EventKind::Steal,
+            20 => EventKind::Park,
+            21 => EventKind::Unpark,
             _ => return None,
         })
     }

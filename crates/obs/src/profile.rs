@@ -155,7 +155,11 @@ pub struct EdgeCounts {
 pub struct PathAttribution {
     /// Executing on a server.
     pub exec_ns: u64,
-    /// Spawned but not yet started (scheduler queue time).
+    /// Spawned but not yet started (scheduler queue time). This is
+    /// the full spawn→start gap, so it charges *all* scheduler
+    /// latency to the queue bucket — including time the task sat
+    /// runnable while every server that could have taken it was
+    /// parked (a missed or slow wakeup shows up here, not as exec).
     pub queue_ns: u64,
     /// Blocked on an unresolved future (includes wake latency).
     pub future_wait_ns: u64,

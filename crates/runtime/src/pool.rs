@@ -100,6 +100,24 @@ pub struct PoolStats {
     /// True once the pool collapsed below its floor and fell back to
     /// sequential draining on the waiting thread.
     pub degraded: bool,
+    /// Steal rounds begun by servers whose own site group was empty
+    /// (each round makes a bounded number of victim probes).
+    pub steal_attempts: u64,
+    /// Steal rounds that returned a task (via site migration or a
+    /// single-task steal-pop).
+    pub steal_successes: u64,
+    /// Victim probes lost to a race (site migrated or drained between
+    /// the mask snapshot and the site lock).
+    pub steal_failed_races: u64,
+    /// Whole sites whose ownership migrated to a thief.
+    pub sites_migrated: u64,
+    /// Times a server parked on its condvar after the backoff spins
+    /// found nothing runnable or stealable.
+    pub parks: u64,
+    /// Total nanoseconds servers spent parked.
+    pub park_ns: u64,
+    /// Most servers simultaneously parked (idle) at any point.
+    pub peak_idle_servers: usize,
 }
 
 /// Pool construction options beyond the server count.
@@ -119,6 +137,18 @@ pub struct RuntimeConfig {
     /// waiting thread drains the queues sequentially so the run still
     /// completes with the sequentially-correct answer.
     pub degrade_floor: usize,
+    /// Let idle sharded servers steal work from a victim's site group
+    /// (whole-site migration / steal-pop; no effect in `Central`
+    /// mode). Defaults to true unless the `CURARE_NO_STEAL`
+    /// environment variable is set — the A/B escape hatch the skew
+    /// experiments use.
+    pub steal: bool,
+}
+
+/// The `steal` default: on, unless `CURARE_NO_STEAL` is set (to any
+/// value) in the environment.
+pub fn steal_default() -> bool {
+    std::env::var_os("CURARE_NO_STEAL").is_none()
 }
 
 impl Default for RuntimeConfig {
@@ -128,6 +158,7 @@ impl Default for RuntimeConfig {
             stall_budget: None,
             retry_limit: 2,
             degrade_floor: 1,
+            steal: steal_default(),
         }
     }
 }
@@ -149,29 +180,86 @@ enum Scheduler {
 }
 
 impl Scheduler {
-    fn push(&self, task: Task) {
+    /// Publish one task. Returns a wake mask: bit `min(owner, 63)` for
+    /// the sharded owner group that received it, or all-ones for the
+    /// central queue (any server may take central work).
+    fn push(&self, task: Task) -> u64 {
         match self {
-            Scheduler::Central(m) => m.lock().push(task),
+            Scheduler::Central(m) => {
+                m.lock().push(task);
+                u64::MAX
+            }
             Scheduler::Sharded(s) => s.push(task),
         }
     }
 
-    fn push_batch(&self, tasks: Vec<Task>) {
+    /// Publish a batch. Returns the union of the per-task wake masks.
+    fn push_batch(&self, tasks: Vec<Task>) -> u64 {
         match self {
             Scheduler::Central(m) => {
                 let mut q = m.lock();
                 for t in tasks {
                     q.push(t);
                 }
+                u64::MAX
             }
             Scheduler::Sharded(s) => s.push_batch(tasks),
         }
     }
 
+    /// Dequeue in global lowest-site-first order, ignoring ownership.
+    /// The helping-`touch` and degraded-drain path; pool servers use
+    /// [`Scheduler::pop_local`].
     fn pop(&self) -> Option<Task> {
         match self {
             Scheduler::Central(m) => m.lock().pop(),
             Scheduler::Sharded(s) => s.pop(),
+        }
+    }
+
+    /// Dequeue from server `index`'s own site group (central mode has
+    /// no groups — any work qualifies).
+    fn pop_local(&self, index: usize) -> Option<Task> {
+        match self {
+            Scheduler::Central(m) => m.lock().pop(),
+            Scheduler::Sharded(s) => s.pop_local(index),
+        }
+    }
+
+    /// Steal for server `index` from another group (no-op for the
+    /// central queue, where there is nothing to steal from).
+    fn steal(&self, index: usize, rng: &mut u64) -> Option<Task> {
+        match self {
+            Scheduler::Central(_) => None,
+            Scheduler::Sharded(s) => s.steal(index, rng),
+        }
+    }
+
+    /// True when server `index`'s own group shows work (central: any
+    /// work at all).
+    fn group_has_work(&self, index: usize) -> bool {
+        match self {
+            Scheduler::Central(m) => !m.lock().is_empty(),
+            Scheduler::Sharded(s) => s.group_has_work(index),
+        }
+    }
+
+    /// Retire a poisoned server's group, rehoming its sites. Returns
+    /// the wake mask of heir groups.
+    #[cfg(feature = "chaos")]
+    fn retire(&self, index: usize) -> u64 {
+        match self {
+            Scheduler::Central(_) => 0,
+            Scheduler::Sharded(s) => s.retire(index),
+        }
+    }
+
+    /// (attempts, successes, races, sites migrated) — zeros for the
+    /// central queue.
+    fn steal_stats(&self) -> (u64, u64, u64, u64) {
+        match self {
+            Scheduler::Central(_) => (0, 0, 0, 0),
+            Scheduler::Sharded(s) => s.steal_stats(),
         }
     }
 
@@ -256,13 +344,33 @@ struct Tally {
     chained: u64,
 }
 
+/// One server's parking spot: a private mutex/condvar pair so wakeups
+/// are targeted (the old shared condvar woke every idle server for
+/// every publish — a thundering herd under skew).
+#[derive(Default)]
+struct Parker {
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
 struct Shared {
     sched: Scheduler,
     mode: SchedMode,
-    /// Pairs with `work_cv`; held only to park/wake servers, never
-    /// while queues are manipulated.
-    idle: Mutex<()>,
-    work_cv: Condvar,
+    /// Whether idle servers steal (sharded mode with > 1 server).
+    steal: bool,
+    /// One parking spot per server. A publisher wakes exactly the
+    /// owner groups its tasks landed on (plus one thief in steal
+    /// mode), found through `parked_mask`.
+    parkers: Vec<Parker>,
+    /// Bit `min(index, 63)` set while that server is parked. Written
+    /// with SeqCst and read after a SeqCst fence in `wake_servers` so
+    /// the park-side work re-check and the publish-side parked-mask
+    /// read cannot both see stale state (the store-buffer lost-wakeup
+    /// interleaving); parked waits also carry a timeout backstop.
+    parked_mask: AtomicU64,
+    parks: AtomicU64,
+    park_ns: AtomicU64,
+    peak_parked: AtomicU64,
     done_m: Mutex<()>,
     done_cv: Condvar,
     pending: AtomicU64,
@@ -305,20 +413,98 @@ impl Shared {
         Arc::as_ptr(self) as usize
     }
 
-    fn notify_workers(&self, n: usize) {
-        let _g = self.idle.lock();
-        if n == 1 {
-            self.work_cv.notify_one();
-        } else {
-            self.work_cv.notify_all();
+    /// Wake parked servers after publishing work. `wake_mask` names
+    /// the owner groups that received tasks (bit `min(owner, 63)`);
+    /// `count` bounds how many servers are worth waking. In steal
+    /// mode one extra parked thief is woken beyond the owners, so a
+    /// burst landing on one group (or an owner that is busy executing)
+    /// gets picked up without waiting for the owner.
+    fn wake_servers(&self, wake_mask: u64, count: usize) {
+        if wake_mask == 0 {
+            return;
         }
+        // Pairs with the SeqCst parked-bit store in `park_server`: the
+        // fence orders "work published" before "parked mask read".
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let parked = self.parked_mask.load(Ordering::SeqCst);
+        if parked == 0 {
+            return;
+        }
+        let mut budget = count.max(1);
+        let mut owners = parked & wake_mask;
+        while owners != 0 && budget > 0 {
+            let i = owners.trailing_zeros() as usize;
+            owners &= owners - 1;
+            self.unpark(i);
+            budget -= 1;
+        }
+        if self.steal && budget > 0 {
+            let thieves = parked & !wake_mask;
+            if thieves != 0 {
+                self.unpark(thieves.trailing_zeros() as usize);
+            }
+        }
+    }
+
+    /// Wake every parked server (shutdown, degrade, retirement).
+    fn wake_all(&self) {
+        for i in 0..self.parkers.len() {
+            self.unpark(i);
+        }
+    }
+
+    /// Notify one parked server. Bit 63 of the parked mask is shared
+    /// by every server at or above 63, so a wake aimed there notifies
+    /// them all.
+    fn unpark(&self, bit: usize) {
+        if bit >= 63 {
+            for p in self.parkers.iter().skip(63) {
+                let _g = p.m.lock();
+                p.cv.notify_one();
+            }
+        } else if let Some(p) = self.parkers.get(bit) {
+            let _g = p.m.lock();
+            p.cv.notify_one();
+        }
+    }
+
+    /// Block server `index` until woken or the backstop `timeout`
+    /// elapses. The work re-check under the parker mutex (after the
+    /// SeqCst parked-bit store) pairs with `wake_servers`, so a
+    /// publish concurrent with parking either wakes us or is seen by
+    /// the re-check.
+    fn park_server(&self, index: usize, timeout: Duration) {
+        let bit = 1u64 << index.min(63);
+        let p = &self.parkers[index];
+        let mut g = p.m.lock();
+        let mask = self.parked_mask.fetch_or(bit, Ordering::SeqCst) | bit;
+        self.peak_parked.fetch_max(u64::from(mask.count_ones()), Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let work = if self.steal {
+            // A thief can take anything; park only on a globally empty
+            // scheduler.
+            self.sched.has_work()
+        } else {
+            self.sched.group_has_work(index)
+        };
+        if !work && !self.shutdown.load(Ordering::SeqCst) {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            self.sched_waits.fetch_add(1, Ordering::Relaxed);
+            curare_obs::record(EventKind::Park, index as u64);
+            let t0 = curare_obs::now_ns();
+            let _timed_out = p.cv.wait_timeout(&mut g, timeout);
+            self.park_ns.fetch_add(curare_obs::now_ns().saturating_sub(t0), Ordering::Relaxed);
+            curare_obs::record(EventKind::Unpark, index as u64);
+        }
+        drop(g);
+        self.parked_mask.fetch_and(!bit, Ordering::SeqCst);
     }
 
     /// Publish a task immediately (root submits, unbatchable paths).
     fn submit_now(&self, task: Task) {
         self.pending.fetch_add(1, Ordering::AcqRel);
-        self.sched.push(task);
-        self.notify_workers(1);
+        let wake = self.sched.push(task);
+        self.wake_servers(wake, 1);
     }
 
     /// Publish an invocation's collected successors, draining `tasks`
@@ -343,10 +529,10 @@ impl Shared {
         }
         let n = tasks.len();
         self.pending.fetch_add(n as u64, Ordering::AcqRel);
-        self.sched.push_batch(std::mem::take(tasks));
+        let wake = self.sched.push_batch(std::mem::take(tasks));
         self.batched_submits.fetch_add(1, Ordering::Relaxed);
         curare_obs::record(EventKind::BatchFlush, n as u64);
-        self.notify_workers(n);
+        self.wake_servers(wake, n);
         None
     }
 
@@ -355,8 +541,8 @@ impl Shared {
     /// return to its caller instead of executing it, and by the retry
     /// policy (a requeued panicked task keeps its held pending count).
     fn requeue_chained(&self, task: Task) {
-        self.sched.push(task);
-        self.notify_workers(1);
+        let wake = self.sched.push(task);
+        self.wake_servers(wake, 1);
         if self.degraded.load(Ordering::Acquire) {
             // A degraded pool's tasks are drained by the thread in
             // `wait_idle`, which sleeps on `done_cv`, not `work_cv`.
@@ -413,6 +599,12 @@ impl Shared {
         self.poisoned.fetch_add(1, Ordering::Relaxed);
         let now_alive = self.alive.fetch_sub(1, Ordering::AcqRel) - 1;
         curare_obs::record(EventKind::ServerPoisoned, now_alive as u64);
+        // Rehome the dead server's sites to live groups and wake the
+        // heirs, so queued work never strands with a retired owner.
+        let heirs = self.sched.retire(index);
+        if heirs != 0 {
+            self.wake_servers(heirs, usize::MAX);
+        }
         if now_alive < self.degrade_floor && !self.degraded.swap(true, Ordering::AcqRel) {
             curare_obs::record(EventKind::Degraded, now_alive as u64);
             let _g = self.done_m.lock();
@@ -637,6 +829,7 @@ impl RuntimeHooks for CriHooks {
                 // Helped tasks refresh it on completion (their guard's
                 // exit), because helping *is* progress.
                 let _beat = self.shared.watched.then(|| BeatGuard::enter(PHASE_TOUCH_WAIT, id));
+                let mut idle_us: u64 = 1;
                 loop {
                     if let Some(result) = self.shared.futures.try_get(id) {
                         curare_obs::record_touch(id);
@@ -653,6 +846,7 @@ impl RuntimeHooks for CriHooks {
                     }
                     match self.shared.sched.pop() {
                         Some(t) => {
+                            idle_us = 1;
                             let mut tally = Tally::default();
                             let mut next = Some(t);
                             while let Some(t) = next.take() {
@@ -667,9 +861,12 @@ impl RuntimeHooks for CriHooks {
                             }
                         }
                         None => {
-                            // The resolving task runs elsewhere; yield
-                            // briefly rather than spin.
-                            std::thread::sleep(std::time::Duration::from_micros(20));
+                            // The resolving task runs elsewhere; back
+                            // off exponentially (1 µs doubling to a
+                            // 256 µs cap) rather than spin-poll at a
+                            // fixed rate.
+                            std::thread::sleep(std::time::Duration::from_micros(idle_us));
+                            idle_us = (idle_us * 2).min(256);
                         }
                     }
                 }
@@ -739,9 +936,10 @@ impl CriRuntime {
     /// mode, stall watchdog, retry limit, degradation floor).
     pub fn with_config(interp: Arc<Interp>, servers: usize, config: RuntimeConfig) -> Self {
         let servers = servers.max(1);
+        let steal = config.steal && config.mode == SchedMode::Sharded && servers > 1;
         let sched = match config.mode {
             SchedMode::Central => Scheduler::Central(Mutex::new(QueueSet::new())),
-            SchedMode::Sharded => Scheduler::Sharded(ShardedQueues::new()),
+            SchedMode::Sharded => Scheduler::Sharded(ShardedQueues::with_servers(servers, steal)),
         };
         let watched = config.stall_budget.is_some();
         let beats = if watched {
@@ -752,8 +950,12 @@ impl CriRuntime {
         let shared = Arc::new(Shared {
             sched,
             mode: config.mode,
-            idle: Mutex::new(()),
-            work_cv: Condvar::new(),
+            steal,
+            parkers: (0..servers).map(|_| Parker::default()).collect(),
+            parked_mask: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            park_ns: AtomicU64::new(0),
+            peak_parked: AtomicU64::new(0),
             done_m: Mutex::new(()),
             done_cv: Condvar::new(),
             pending: AtomicU64::new(0),
@@ -912,7 +1114,16 @@ impl CriRuntime {
 
     /// Lifetime statistics.
     pub fn stats(&self) -> PoolStats {
+        let (steal_attempts, steal_successes, steal_failed_races, sites_migrated) =
+            self.shared.sched.steal_stats();
         PoolStats {
+            steal_attempts,
+            steal_successes,
+            steal_failed_races,
+            sites_migrated,
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            park_ns: self.shared.park_ns.load(Ordering::Relaxed),
+            peak_idle_servers: self.shared.peak_parked.load(Ordering::Relaxed) as usize,
             tasks: self.shared.executed.load(Ordering::Relaxed),
             peak_queue: self.shared.sched.peak(),
             lock_acquisitions: self.shared.locks.acquisitions(),
@@ -974,11 +1185,19 @@ impl CriRuntime {
                     SchedMode::Sharded => "sharded",
                 },
             )
+            .set("steal", self.shared.steal)
             .set("tasks", stats.tasks)
             .set("peak_queue", stats.peak_queue)
             .set("chained_tasks", stats.chained_tasks)
             .set("batched_submits", stats.batched_submits)
             .set("sched_lock_waits", stats.sched_lock_waits)
+            .set("steal_attempts", stats.steal_attempts)
+            .set("steal_successes", stats.steal_successes)
+            .set("steal_failed_races", stats.steal_failed_races)
+            .set("sites_migrated", stats.sites_migrated)
+            .set("parks", stats.parks)
+            .set("park_ns", stats.park_ns)
+            .set("peak_idle_servers", stats.peak_idle_servers)
             .set("tlab_refills", stats.tlab_refills)
             .set("task_retries", stats.task_retries)
             .set("servers_poisoned", stats.servers_poisoned)
@@ -1036,11 +1255,8 @@ impl CriRuntime {
 
 impl Drop for CriRuntime {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self.shared.idle.lock();
-            self.shared.work_cv.notify_all();
-        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -1051,6 +1267,14 @@ impl Drop for CriRuntime {
         self.interp.set_hooks(Arc::new(curare_lisp::SequentialHooks));
     }
 }
+
+/// Idle policy knobs for `server_loop`: a few exponentially widening
+/// spin rounds absorb the publish-to-pop latency of a busy pool, then
+/// the server parks on its condvar with an escalating timeout backstop
+/// (so even a theoretically lost wakeup only delays, never hangs).
+const IDLE_SPIN_ROUNDS: u32 = 6;
+const PARK_TIMEOUT_MIN: Duration = Duration::from_millis(1);
+const PARK_TIMEOUT_MAX: Duration = Duration::from_millis(64);
 
 fn server_loop(interp: &Interp, shared: &Arc<Shared>, index: usize) {
     // Servers get a large native stack; let the evaluator use most of
@@ -1063,11 +1287,26 @@ fn server_loop(interp: &Interp, shared: &Arc<Shared>, index: usize) {
     if shared.watched {
         watchdog::set_current_beat(shared.beats.get(index).cloned());
     }
+    // Per-server deterministic victim-selection stream: seeded from
+    // the index alone, so a chaos replay of the same seed and program
+    // draws the same victim sequence on every run.
+    let mut rng: u64 = (index as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let mut idle_rounds: u32 = 0;
+    let mut park_timeout = PARK_TIMEOUT_MIN;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if let Some(t) = shared.sched.pop() {
+        let popped = shared.sched.pop_local(index).or_else(|| {
+            let stolen = shared.sched.steal(index, &mut rng);
+            if let Some(t) = &stolen {
+                curare_obs::record(EventKind::Steal, t.site as u64);
+            }
+            stolen
+        });
+        if let Some(t) = popped {
+            idle_rounds = 0;
+            park_timeout = PARK_TIMEOUT_MIN;
             let mut tally = Tally::default();
             let mut next = Some(t);
             while let Some(t) = next.take() {
@@ -1079,17 +1318,20 @@ fn server_loop(interp: &Interp, shared: &Arc<Shared>, index: usize) {
             }
             continue;
         }
-        // Park. The predicate re-check under the idle lock pairs with
-        // publishers notifying under the same lock: no lost wakeups.
-        let mut g = shared.idle.lock();
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        if shared.sched.has_work() {
+        // Nothing local, nothing stealable. Back off with widening
+        // spin rounds first — work often lands within microseconds on
+        // a busy pool — then park for real.
+        if idle_rounds < IDLE_SPIN_ROUNDS {
+            for _ in 0..(1u32 << idle_rounds) {
+                std::hint::spin_loop();
+            }
+            std::thread::yield_now();
+            idle_rounds += 1;
             continue;
         }
-        shared.sched_waits.fetch_add(1, Ordering::Relaxed);
-        shared.work_cv.wait(&mut g);
+        shared.park_server(index, park_timeout);
+        park_timeout = (park_timeout * 2).min(PARK_TIMEOUT_MAX);
+        idle_rounds = 0;
     }
 }
 

@@ -13,13 +13,24 @@
 //!   A nonempty-site bitmask makes `pop` skip empty queues instead of
 //!   scanning them, and `clear` drops tasks in place.
 //! - [`ShardedQueues`] is the low-contention structure
-//!   (`SchedMode::Sharded`): one lock *per call site* plus an atomic
-//!   nonempty-site bitmask, so concurrent servers contend only when
-//!   they touch the same site, and an idle `pop` reads one atomic
-//!   instead of walking every queue.
+//!   (`SchedMode::Sharded`): one lock *per call site*, sites
+//!   partitioned into per-server ownership groups, each group with its
+//!   own atomic nonempty-site bitmask. A server scans only its own
+//!   group's mask; when that is empty it *steals* from a victim
+//!   server's group — migrating whole sites (the queue stays in place,
+//!   only the owner cell and mask bits move, so per-site FIFO is
+//!   preserved by construction), or popping a single task when the
+//!   victim has just one non-empty site.
+//!
+//! Mask discipline: every group-mask set/clear and every owner-cell
+//! write happens while holding that site's lock, so a reader holding
+//! the lock always sees owner, queue, and mask in agreement. The
+//! lock-free group-mask read in `pop_group` is only a routing hint,
+//! re-verified under the lock; the authoritative emptiness signal is
+//! `len`, incremented *before* a task becomes visible.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use curare_lisp::sync::{Mutex, RwLock};
@@ -50,6 +61,9 @@ pub struct Task {
 
 /// Sites at or above this index share the top bitmask bit.
 const SHARED_BIT: usize = 63;
+
+/// Bounded steal retries before a thief gives up and backs off.
+const STEAL_RETRIES: usize = 4;
 
 fn site_bit(site: usize) -> u64 {
     1u64 << site.min(SHARED_BIT)
@@ -184,33 +198,115 @@ impl QueueSet {
     }
 }
 
-/// One call site's FIFO queue behind its own lock.
-#[derive(Debug, Default)]
+/// Owner sentinel for a site that has never held a task.
+const UNOWNED: usize = usize::MAX;
+
+/// One call site's FIFO queue behind its own lock, plus the index of
+/// the server group that currently owns it. The owner cell is written
+/// only under the queue lock (first push assigns the home owner;
+/// stealing and retirement reassign it), so the queue itself never
+/// moves — migration is a metadata flip, which is what preserves
+/// per-site FIFO across steals by construction.
+#[derive(Debug)]
 struct SiteQueue {
     q: Mutex<VecDeque<Task>>,
+    owner: AtomicUsize,
+}
+
+impl Default for SiteQueue {
+    fn default() -> Self {
+        Self { q: Mutex::new(VecDeque::new()), owner: AtomicUsize::new(UNOWNED) }
+    }
 }
 
 /// The ordered set of per-call-site queues, internally synchronized
-/// with one lock per site.
-///
-/// The `mask` is a *routing hint*: bit `min(site, 63)` is set while
-/// that site may hold tasks (bit 63 is shared by every site ≥ 63, so
-/// it is re-verified by rescanning before trusting its absence). The
-/// authoritative emptiness signal is `len`, incremented *before* a
-/// task becomes visible and decremented after removal, so a reader
-/// seeing `len == 0` knows no published task is waiting.
-#[derive(Debug, Default)]
+/// with one lock per site, partitioned into per-server ownership
+/// groups with optional work stealing (see module docs).
+#[derive(Debug)]
 pub struct ShardedQueues {
     sites: RwLock<Vec<Arc<SiteQueue>>>,
-    mask: AtomicU64,
+    /// One nonempty-site bitmask per server group. Bit `min(site, 63)`
+    /// is set while a site owned by that group may hold tasks; bit 63
+    /// is shared by every site ≥ 63 and re-verified by rescanning.
+    groups: Vec<AtomicU64>,
+    /// Bit `i` set while server group `i` is live (cleared by
+    /// [`ShardedQueues::retire`] when a server is poisoned). Only the
+    /// first 64 groups are tracked; the constructor caps group count.
+    live: AtomicU64,
+    /// Whether thieves may migrate sites between groups.
+    steal: bool,
     len: AtomicU64,
     peak: AtomicU64,
+    steal_attempts: AtomicU64,
+    steal_successes: AtomicU64,
+    steal_races: AtomicU64,
+    sites_migrated: AtomicU64,
+}
+
+impl Default for ShardedQueues {
+    fn default() -> Self {
+        Self::with_servers(1, false)
+    }
 }
 
 impl ShardedQueues {
-    /// An empty queue set.
+    /// An empty queue set with a single ownership group (every server
+    /// shares it; no stealing). Used by tests and by the degraded
+    /// drain path.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue set partitioned into one ownership group per
+    /// server. `steal` enables site migration between groups. Group
+    /// count is capped at 64 so the live mask and the parked-server
+    /// mask stay one word; extra servers share group `i % 64`.
+    pub fn with_servers(servers: usize, steal: bool) -> Self {
+        let n = servers.clamp(1, 64);
+        let live = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Self {
+            sites: RwLock::new(Vec::new()),
+            groups: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            live: AtomicU64::new(live),
+            steal,
+            len: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
+            steal_successes: AtomicU64::new(0),
+            steal_races: AtomicU64::new(0),
+            sites_migrated: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of ownership groups (== capped server count).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The ownership group a server index maps to.
+    pub fn group_of(&self, server: usize) -> usize {
+        server % self.groups.len()
+    }
+
+    /// The home (static-hash) owner for a site — where it lands before
+    /// any migration, and the rehoming base after its owner retires.
+    fn home(&self, site: usize) -> usize {
+        self.next_live(site % self.groups.len())
+    }
+
+    /// First live group at or round-robin after `from`. Falls back to
+    /// `from` itself if every group is retired (the pool aborts in
+    /// that state; tasks must still land somewhere drainable).
+    fn next_live(&self, from: usize) -> usize {
+        let n = self.groups.len();
+        let live = self.live.load(Ordering::Acquire);
+        for i in 0..n {
+            let g = (from + i) % n;
+            if live & (1u64 << g) != 0 {
+                return g;
+            }
+        }
+        from % n
     }
 
     fn site_queue(&self, site: usize) -> Arc<SiteQueue> {
@@ -227,15 +323,36 @@ impl ShardedQueues {
         Arc::clone(&sites[site])
     }
 
+    /// Current owner group of `site`, resolving unowned or retired
+    /// owners to the site's live home. Used by the pool to route
+    /// chaining decisions and targeted wakeups.
+    pub fn owner_of(&self, site: usize) -> usize {
+        let owner = {
+            let sites = self.sites.read();
+            match sites.get(site) {
+                Some(sq) => sq.owner.load(Ordering::Acquire),
+                None => UNOWNED,
+            }
+        };
+        if owner == UNOWNED || self.live.load(Ordering::Acquire) & (1u64 << owner) == 0 {
+            self.home(site)
+        } else {
+            owner
+        }
+    }
+
     /// Publish a batch of tasks, preserving their order. Consecutive
     /// tasks for the same site are pushed under one site-lock
-    /// acquisition.
-    pub fn push_batch(&self, tasks: Vec<Task>) {
+    /// acquisition. Returns a wake mask: bit `min(owner, 63)` set for
+    /// every owner group that received work (the pool unparks those
+    /// servers).
+    pub fn push_batch(&self, tasks: Vec<Task>) -> u64 {
         if tasks.is_empty() {
-            return;
+            return 0;
         }
         let new_len = self.len.fetch_add(tasks.len() as u64, Ordering::AcqRel) + tasks.len() as u64;
         self.peak.fetch_max(new_len, Ordering::Relaxed);
+        let mut wake = 0u64;
         let mut tasks = tasks.into_iter().peekable();
         while let Some(task) = tasks.next() {
             let site = task.site;
@@ -245,43 +362,75 @@ impl ShardedQueues {
             while tasks.peek().is_some_and(|t| t.site == site) {
                 q.push_back(tasks.next().expect("peeked"));
             }
-            self.mask.fetch_or(site_bit(site), Ordering::AcqRel);
+            // Resolve the owner under the site lock: assign the home
+            // owner on first use, rehome if the recorded owner retired.
+            let mut owner = sq.owner.load(Ordering::Relaxed);
+            if owner == UNOWNED || self.live.load(Ordering::Acquire) & (1u64 << owner) == 0 {
+                owner = self.home(site);
+                sq.owner.store(owner, Ordering::Release);
+            }
+            self.groups[owner].fetch_or(site_bit(site), Ordering::AcqRel);
+            wake |= 1u64 << owner.min(63);
         }
+        wake
     }
 
-    /// Publish a single task.
-    pub fn push(&self, task: Task) {
-        self.push_batch(vec![task]);
+    /// Publish a single task. Returns the same wake mask as
+    /// [`ShardedQueues::push_batch`].
+    pub fn push(&self, task: Task) -> u64 {
+        self.push_batch(vec![task])
     }
 
-    /// Dequeue from the lowest-indexed non-empty site.
+    /// Dequeue from the lowest-indexed non-empty site, ignoring
+    /// ownership (global §4.1 order). Used by helping `touch` waiters,
+    /// the degraded drain, and single-consumer tests; pool servers use
+    /// [`ShardedQueues::pop_local`] + [`ShardedQueues::steal`].
     pub fn pop(&self) -> Option<Task> {
         #[cfg(feature = "chaos")]
         if let Some(r) = crate::chaos::pop_shuffle() {
             return self.pop_shuffled(r);
         }
-        self.pop_inner()
+        self.pop_any()
     }
 
-    fn pop_inner(&self) -> Option<Task> {
+    fn pop_any(&self) -> Option<Task> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.scan_from(0)
+    }
+
+    /// Dequeue from the calling server's own group: lowest-indexed
+    /// non-empty site it owns.
+    pub fn pop_local(&self, server: usize) -> Option<Task> {
+        let g = self.group_of(server);
+        #[cfg(feature = "chaos")]
+        if let Some(r) = crate::chaos::pop_shuffle() {
+            return self.pop_group_rotated(g, r).or_else(|| self.pop_group(g));
+        }
+        self.pop_group(g)
+    }
+
+    fn pop_group(&self, g: usize) -> Option<Task> {
         loop {
-            let mask = self.mask.load(Ordering::Acquire);
-            if mask == 0 {
-                if self.len.load(Ordering::Acquire) == 0 {
-                    return None;
-                }
-                // A push is mid-flight (len leads visibility) or a
-                // shared-bit clear raced: fall back to a full scan
-                // once; the caller retries while `has_work`.
-                return self.scan_from(0);
+            let gmask = self.groups[g].load(Ordering::Acquire);
+            if gmask == 0 {
+                return None;
             }
-            let site = mask.trailing_zeros() as usize;
+            let site = gmask.trailing_zeros() as usize;
             if site < SHARED_BIT {
                 let sq = self.site_queue(site);
                 let mut q = sq.q.lock();
+                if sq.owner.load(Ordering::Relaxed) != g {
+                    // The site migrated away between the mask read and
+                    // the lock; drop the stale hint (under the lock,
+                    // so a concurrent re-migration back re-sets it).
+                    self.groups[g].fetch_and(!site_bit(site), Ordering::AcqRel);
+                    continue;
+                }
                 if let Some(t) = q.pop_front() {
                     if q.is_empty() {
-                        self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                        self.groups[g].fetch_and(!site_bit(site), Ordering::AcqRel);
                     }
                     drop(q);
                     self.len.fetch_sub(1, Ordering::AcqRel);
@@ -289,20 +438,73 @@ impl ShardedQueues {
                 }
                 // Stale hint: clear under the site lock so a racing
                 // pusher (serialized on the same lock) re-sets it.
-                self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                self.groups[g].fetch_and(!site_bit(site), Ordering::AcqRel);
             } else {
-                if let Some(t) = self.scan_from(SHARED_BIT) {
+                if let Some(t) = self.scan_group_shared(g) {
                     return Some(t);
                 }
                 // Clear the shared bit, then rescan: a site ≥ 63 push
                 // may have landed between the scan and the clear.
-                self.mask.fetch_and(!site_bit(SHARED_BIT), Ordering::AcqRel);
-                if let Some(t) = self.scan_from(SHARED_BIT) {
-                    self.mask.fetch_or(site_bit(SHARED_BIT), Ordering::AcqRel);
+                self.groups[g].fetch_and(!site_bit(SHARED_BIT), Ordering::AcqRel);
+                if let Some(t) = self.scan_group_shared(g) {
+                    self.groups[g].fetch_or(site_bit(SHARED_BIT), Ordering::AcqRel);
                     return Some(t);
                 }
             }
         }
+    }
+
+    /// Chaos variant of `pop_group`: take the head of a rotated
+    /// non-empty site within the group instead of the lowest-indexed
+    /// one. Within-site FIFO is preserved (always `pop_front`); only
+    /// the cross-site preference is perturbed.
+    #[cfg(feature = "chaos")]
+    fn pop_group_rotated(&self, g: usize, r: u64) -> Option<Task> {
+        let sites: Vec<Arc<SiteQueue>> = {
+            let sites = self.sites.read();
+            sites.iter().cloned().collect()
+        };
+        if sites.is_empty() {
+            return None;
+        }
+        let n = sites.len();
+        let start = (r % n as u64) as usize;
+        for i in 0..n {
+            let site = (start + i) % n;
+            let mut q = sites[site].q.lock();
+            if sites[site].owner.load(Ordering::Relaxed) != g {
+                continue;
+            }
+            if let Some(t) = q.pop_front() {
+                if q.is_empty() && site < SHARED_BIT {
+                    self.groups[g].fetch_and(!site_bit(site), Ordering::AcqRel);
+                }
+                drop(q);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Pop the lowest site ≥ 63 owned by group `g`.
+    fn scan_group_shared(&self, g: usize) -> Option<Task> {
+        let sites: Vec<Arc<SiteQueue>> = {
+            let sites = self.sites.read();
+            sites.iter().skip(SHARED_BIT).cloned().collect()
+        };
+        for sq in sites {
+            let mut q = sq.q.lock();
+            if sq.owner.load(Ordering::Relaxed) != g {
+                continue;
+            }
+            if let Some(t) = q.pop_front() {
+                drop(q);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        None
     }
 
     fn scan_from(&self, start: usize) -> Option<Task> {
@@ -315,7 +517,11 @@ impl ShardedQueues {
             let mut q = sq.q.lock();
             if let Some(t) = q.pop_front() {
                 if q.is_empty() && site < SHARED_BIT {
-                    self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                    let owner = sq.owner.load(Ordering::Relaxed);
+                    if owner != UNOWNED {
+                        self.groups[owner.min(self.groups.len() - 1)]
+                            .fetch_and(!site_bit(site), Ordering::AcqRel);
+                    }
                 }
                 drop(q);
                 self.len.fetch_sub(1, Ordering::AcqRel);
@@ -325,13 +531,12 @@ impl ShardedQueues {
         None
     }
 
-    /// Chaos dequeue: start the site scan at a rotated offset so the
-    /// cross-site preference is perturbed while within-site FIFO is
-    /// preserved (`scan` always pops from the front). Falls back to
-    /// the normal pop (without redrawing a shuffle decision, which
-    /// could recurse unboundedly under an always-shuffle profile) when
-    /// the rotated scan finds nothing, so the mid-publish race
-    /// handling stays in one place.
+    /// Chaos dequeue for the ownership-oblivious [`ShardedQueues::pop`]:
+    /// start the site scan at a rotated offset so the cross-site
+    /// preference is perturbed while within-site FIFO is preserved.
+    /// Falls back to the normal pop (without redrawing a shuffle
+    /// decision, which could recurse unboundedly under an
+    /// always-shuffle profile) when the rotated scan finds nothing.
     #[cfg(feature = "chaos")]
     fn pop_shuffled(&self, r: u64) -> Option<Task> {
         let sites: Vec<Arc<SiteQueue>> = {
@@ -346,7 +551,11 @@ impl ShardedQueues {
                 let mut q = sites[site].q.lock();
                 if let Some(t) = q.pop_front() {
                     if q.is_empty() && site < SHARED_BIT {
-                        self.mask.fetch_and(!site_bit(site), Ordering::AcqRel);
+                        let owner = sites[site].owner.load(Ordering::Relaxed);
+                        if owner != UNOWNED {
+                            self.groups[owner.min(self.groups.len() - 1)]
+                                .fetch_and(!site_bit(site), Ordering::AcqRel);
+                        }
                     }
                     drop(q);
                     self.len.fetch_sub(1, Ordering::AcqRel);
@@ -354,12 +563,143 @@ impl ShardedQueues {
                 }
             }
         }
-        self.pop_inner()
+        self.pop_any()
     }
 
-    /// True when a published (or mid-publish) task exists.
+    /// Steal work for `thief` from another group. Victims are chosen
+    /// by the caller-supplied splitmix64 stream (`rng`), bounded to
+    /// [`STEAL_RETRIES`] attempts. When the victim owns ≥ 2 non-empty
+    /// sites below the shared bit, half of them (the highest-indexed
+    /// ones, so the victim keeps its preferred low sites) migrate to
+    /// the thief — owner cell and mask bit flip under each site's
+    /// lock; the queue never moves, so per-site FIFO is preserved by
+    /// construction. When the victim has a single non-empty site (or
+    /// only shared-bit work), one task is popped from its front
+    /// instead, which keeps a single hot site parallelizable. Returns
+    /// a task on success.
+    pub fn steal(&self, thief: usize, rng: &mut u64) -> Option<Task> {
+        let n = self.groups.len();
+        if !self.steal || n <= 1 {
+            return None;
+        }
+        let me = self.group_of(thief);
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..STEAL_RETRIES {
+            let word = splitmix64(rng);
+            let victim = self.pick_victim(me, word)?;
+            let vmask = self.groups[victim].load(Ordering::Acquire);
+            let low = vmask & !site_bit(SHARED_BIT);
+            let count = low.count_ones() as usize;
+            if count >= 2 {
+                // Steal-half: migrate the highest-indexed half.
+                let take = count / 2;
+                let mut migrated = 0usize;
+                let mut rem = low;
+                for _ in 0..take {
+                    let site = (63 - rem.leading_zeros()) as usize;
+                    rem &= !site_bit(site);
+                    if self.migrate_site(site, victim, me) {
+                        migrated += 1;
+                    } else {
+                        self.steal_races.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if migrated > 0 {
+                    self.sites_migrated.fetch_add(migrated as u64, Ordering::Relaxed);
+                    if let Some(t) = self.pop_group(me) {
+                        self.steal_successes.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                }
+            } else if vmask != 0 {
+                // Single hot site (or shared-bit-only work): take one
+                // task off its front rather than shuffling ownership
+                // around — this is what lets several servers chew on
+                // one skewed site at once.
+                if let Some(t) = self.pop_group(victim) {
+                    self.steal_successes.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+                self.steal_races.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        None
+    }
+
+    /// Pick a live, non-empty victim group other than `me`, scanning
+    /// round-robin from a seeded start.
+    fn pick_victim(&self, me: usize, word: u64) -> Option<usize> {
+        let n = self.groups.len();
+        let live = self.live.load(Ordering::Acquire);
+        let start = (word % n as u64) as usize;
+        for i in 0..n {
+            let v = (start + i) % n;
+            if v == me || live & (1u64 << v) == 0 {
+                continue;
+            }
+            if self.groups[v].load(Ordering::Acquire) != 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Flip `site`'s owner from `victim` to `thief` under the site
+    /// lock, moving its mask bit between the groups. Returns false if
+    /// the site was no longer the victim's or had drained (a lost
+    /// race).
+    fn migrate_site(&self, site: usize, victim: usize, thief: usize) -> bool {
+        let sq = self.site_queue(site);
+        let q = sq.q.lock();
+        if sq.owner.load(Ordering::Relaxed) != victim {
+            return false;
+        }
+        if q.is_empty() {
+            // Drained since the mask snapshot; fix the stale hint.
+            self.groups[victim].fetch_and(!site_bit(site), Ordering::AcqRel);
+            return false;
+        }
+        sq.owner.store(thief, Ordering::Release);
+        self.groups[victim].fetch_and(!site_bit(site), Ordering::AcqRel);
+        self.groups[thief].fetch_or(site_bit(site), Ordering::AcqRel);
+        true
+    }
+
+    /// Retire a server group (chaos-poisoned thread): mark it dead and
+    /// rehome every site it owns to the next live group. Returns the
+    /// wake mask of groups that inherited non-empty sites.
+    pub fn retire(&self, server: usize) -> u64 {
+        let g = self.group_of(server);
+        self.live.fetch_and(!(1u64 << g), Ordering::AcqRel);
+        let sites: Vec<(usize, Arc<SiteQueue>)> = {
+            let sites = self.sites.read();
+            sites.iter().enumerate().map(|(i, sq)| (i, Arc::clone(sq))).collect()
+        };
+        let mut wake = 0u64;
+        for (site, sq) in sites {
+            let q = sq.q.lock();
+            if sq.owner.load(Ordering::Relaxed) != g {
+                continue;
+            }
+            let heir = self.home(site);
+            sq.owner.store(heir, Ordering::Release);
+            self.groups[g].fetch_and(!site_bit(site), Ordering::AcqRel);
+            if !q.is_empty() {
+                self.groups[heir].fetch_or(site_bit(site), Ordering::AcqRel);
+                wake |= 1u64 << heir.min(63);
+            }
+        }
+        wake
+    }
+
+    /// True when a published (or mid-publish) task exists anywhere.
     pub fn has_work(&self) -> bool {
         self.len.load(Ordering::Acquire) > 0
+    }
+
+    /// True when the server's own group mask shows work.
+    pub fn group_has_work(&self, server: usize) -> bool {
+        self.groups[self.group_of(server)].load(Ordering::Acquire) != 0
     }
 
     /// Total queued tasks (may briefly lead visibility during a push).
@@ -377,11 +717,26 @@ impl ShardedQueues {
         self.peak.load(Ordering::Relaxed) as usize
     }
 
+    /// Steal statistics: (attempts, successes, lost races, sites
+    /// migrated).
+    pub fn steal_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.steal_attempts.load(Ordering::Relaxed),
+            self.steal_successes.load(Ordering::Relaxed),
+            self.steal_races.load(Ordering::Relaxed),
+            self.sites_migrated.load(Ordering::Relaxed),
+        )
+    }
+
     /// True when a freshly produced task for `site` could run
-    /// immediately without violating the lowest-site-first, FIFO-
-    /// within-site discipline: every site at or below it is empty.
+    /// immediately without violating the FIFO-within-site discipline:
+    /// the site's *current owner* (chaining follows migration) has no
+    /// queued work at or below the site. Re-reads the owner cell on
+    /// every call, so a chained successor lands with whichever group
+    /// the site was stolen into.
     pub fn can_chain(&self, site: usize) -> bool {
-        self.mask.load(Ordering::Acquire) & bits_through(site) == 0
+        let owner = self.owner_of(site);
+        self.groups[owner].load(Ordering::Acquire) & bits_through(site) == 0
     }
 
     /// Remove and return every queued task (error shutdown needs to
@@ -396,12 +751,24 @@ impl ShardedQueues {
             let mut q = sq.q.lock();
             out.extend(q.drain(..));
         }
-        self.mask.store(0, Ordering::Release);
+        for g in &self.groups {
+            g.store(0, Ordering::Release);
+        }
         if !out.is_empty() {
             self.len.fetch_sub(out.len() as u64, Ordering::AcqRel);
         }
         out
     }
+}
+
+/// splitmix64 step: advances the state and returns the mixed word.
+/// Seeded per server by the pool so chaos replays stay deterministic.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -600,5 +967,149 @@ mod tests {
         });
         assert_eq!(consumed.load(Ordering::Acquire), produced);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ownership_partitions_sites_across_groups() {
+        let q = ShardedQueues::with_servers(4, true);
+        for s in 0..8 {
+            q.push(task(s, s as i64));
+        }
+        for s in 0..8 {
+            assert_eq!(q.owner_of(s), s % 4, "home owner is site % servers");
+        }
+        // Each server sees only its own two sites.
+        for g in 0..4 {
+            assert!(q.group_has_work(g));
+            let a = q.pop_local(g).unwrap().args[0].as_int().unwrap();
+            let b = q.pop_local(g).unwrap().args[0].as_int().unwrap();
+            assert_eq!((a as usize % 4, b as usize % 4), (g, g));
+            assert!(a < b, "lowest owned site first");
+            assert!(q.pop_local(g).is_none());
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steal_migrates_half_the_victims_sites_and_preserves_fifo() {
+        let q = ShardedQueues::with_servers(2, true);
+        // Four sites, all homed on group 0 (sites 0 and 2... with 2
+        // servers, even sites are group 0). Push FIFO pairs on each.
+        for site in [0usize, 2, 4, 6] {
+            q.push(task(site, (site * 10) as i64));
+            q.push(task(site, (site * 10 + 1) as i64));
+        }
+        assert!(!q.group_has_work(1));
+        let mut rng = 7u64;
+        let t = q.steal(1, &mut rng).expect("thief finds work");
+        let (att, succ, _races, migrated) = q.steal_stats();
+        assert_eq!(att, 1);
+        assert_eq!(succ, 1);
+        assert_eq!(migrated, 2, "half of 4 sites migrate");
+        // The stolen task is the head of a migrated site (FIFO).
+        assert_eq!(t.args[0].as_int().unwrap() % 10, 0, "stole a site's head");
+        let site = t.site;
+        assert_eq!(q.owner_of(site), 1, "owner cell followed the steal");
+        let next = q.pop_local(1).expect("second owned-site task");
+        // Drain everything; per-site order must be (x0, x1) for all x.
+        let mut tail: Vec<Task> = vec![next];
+        while let Some(t) = q.pop_local(1) {
+            tail.push(t);
+        }
+        while let Some(t) = q.pop_local(0) {
+            tail.push(t);
+        }
+        let mut last: std::collections::HashMap<usize, i64> = Default::default();
+        last.insert(site, t.args[0].as_int().unwrap());
+        for t in &tail {
+            let v = t.args[0].as_int().unwrap();
+            if let Some(prev) = last.insert(t.site, v) {
+                assert!(prev < v, "per-site FIFO across migration");
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steal_pop_shares_a_single_hot_site() {
+        let q = ShardedQueues::with_servers(4, true);
+        for i in 0..6 {
+            q.push(task(0, i));
+        }
+        let mut rng = 1u64;
+        let t = q.steal(2, &mut rng).expect("steal-pop from the hot site");
+        assert_eq!(t.args[0].as_int().unwrap(), 0, "front of the queue");
+        assert_eq!(q.owner_of(0), 0, "single hot site stays with its owner");
+        let (_, _, _, migrated) = q.steal_stats();
+        assert_eq!(migrated, 0);
+        // Owner still drains in FIFO order.
+        for want in 1..6 {
+            assert_eq!(q.pop_local(0).unwrap().args[0].as_int().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn steal_disabled_never_migrates() {
+        let q = ShardedQueues::with_servers(4, false);
+        for s in 0..8 {
+            q.push(task(s, s as i64));
+        }
+        let mut rng = 3u64;
+        assert!(q.steal(3, &mut rng).is_none());
+        assert_eq!(q.steal_stats(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn retire_rehomes_sites_to_live_groups() {
+        let q = ShardedQueues::with_servers(4, true);
+        for s in 0..4 {
+            q.push(task(s, s as i64));
+        }
+        let wake = q.retire(1);
+        assert_ne!(wake, 0, "heir with non-empty site must be woken");
+        assert_ne!(q.owner_of(1), 1, "dead group owns nothing");
+        assert!(!q.group_has_work(1));
+        // All four tasks still drain via their (new) owners.
+        let mut got = 0;
+        for g in 0..4 {
+            while q.pop_local(g).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 4);
+        // New pushes for a site homed on the dead group land live.
+        q.push(task(5, 50));
+        assert_ne!(q.owner_of(5), 1);
+        assert!(q.pop_local(q.owner_of(5)).is_some());
+    }
+
+    #[test]
+    fn can_chain_follows_the_migrated_owner() {
+        let q = ShardedQueues::with_servers(2, true);
+        // Sites 0 and 2 homed on group 0, two tasks each so the
+        // migrated site still has queued work after the steal's pop.
+        q.push_batch(vec![task(0, 1), task(0, 2), task(2, 3), task(2, 4)]);
+        // Group 1 owns nothing: a site-3 task (homed on group 1)
+        // could chain even though group 0 has queued work.
+        assert!(q.can_chain(3), "chain decision is per owner group");
+        assert!(!q.can_chain(2), "queued site-2 work blocks its own site");
+        let mut rng = 11u64;
+        let stolen = q.steal(1, &mut rng).expect("steal-half succeeds");
+        // The higher site (2) migrated; its remaining queued task now
+        // blocks chaining through group 1 at or above its index.
+        assert_eq!(stolen.site, 2);
+        assert_eq!(q.owner_of(2), 1);
+        assert!(!q.can_chain(2), "remaining site-2 work follows the thief");
+        assert!(!q.can_chain(5), "homed on the thief, outranked by site 2");
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
     }
 }

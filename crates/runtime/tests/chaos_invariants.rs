@@ -103,6 +103,30 @@ fn pop_shuffle_preserves_per_site_fifo_in_the_sharded_queues() {
 }
 
 #[test]
+fn steal_under_shuffle_preserves_per_site_fifo() {
+    // Stealing composes with the chaos dequeue shuffle: server 1
+    // drains its own (shuffle-rotated) sites, then migrates /
+    // steal-pops server 0's. Within-site order must survive both
+    // perturbations at once — migration moves whole queues and
+    // steal-pop takes the front, so FIFO holds by construction even
+    // while the shuffle legalizes any cross-site order.
+    let _g = guard();
+    for seed in 0..8u64 {
+        with_plan(always_shuffle(seed), || {
+            let q = ShardedQueues::with_servers(2, true);
+            for tag in 0..40 {
+                for site in 0..4 {
+                    q.push(task(site, tag));
+                }
+            }
+            let mut rng = seed.wrapping_add(1);
+            assert_per_site_fifo(|| q.pop_local(1).or_else(|| q.steal(1, &mut rng)), 4);
+            assert!(q.is_empty(), "thief must have drained both groups");
+        });
+    }
+}
+
+#[test]
 fn futures_stay_first_write_wins_under_resolution_stalls() {
     let _g = guard();
     let plan = FaultPlan::new(

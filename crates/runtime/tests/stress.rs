@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use curare_lisp::{Interp, Value};
-use curare_runtime::{CriRuntime, SchedMode, UnorderedRuntime};
+use curare_runtime::{CriRuntime, RuntimeConfig, SchedMode, UnorderedRuntime};
 use curare_transform::Curare;
 
 fn int_list(interp: &Interp, n: i64) -> Value {
@@ -275,6 +275,231 @@ fn multi_call_site_fanout_is_exact_under_contention() {
         if mode == SchedMode::Sharded {
             assert!(stats.batched_submits > 0, "multi-site fanout must batch: {stats:?}");
         }
+    }
+}
+
+/// Multi-site spreader over `k` leaf sites: `spread` walks the value
+/// list, enqueueing one `leaf` per element on site `v + 1` (the cond
+/// ladder — `cri-enqueue` takes literal site indices) plus its own
+/// continuation on site 0. Each step publishes a two-task batch, so
+/// every leaf goes through the site queues and a skewed value list
+/// strands queued work on one owner — the shape stealing exists for.
+fn skew_src(k: usize) -> String {
+    let mut arms = String::new();
+    for v in 0..k {
+        arms.push_str(&format!("((= v {v}) (cri-enqueue {} leaf v))\n", v + 1));
+    }
+    format!(
+        "(defparameter *sum* 0)
+         (defun spread (l)
+           (when l
+             (let ((v (car l)))
+               (cond {arms} (t nil)))
+             (cri-enqueue 0 spread (cdr l))))
+         (defun leaf (v) (atomic-incf *sum* (+ v 1)))"
+    )
+}
+
+fn value_list(interp: &Interp, values: &[i64]) -> Value {
+    let mut l = Value::NIL;
+    for &v in values.iter().rev() {
+        l = interp.heap().cons(Value::int(v), l);
+    }
+    l
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn skewed_workload_is_exact_with_and_without_stealing() {
+    // 90% of the leaves land on one site: with stealing off the
+    // site's static owner drains them alone; with stealing on idle
+    // servers migrate sites / steal-pop the hot queue. Either way the
+    // oracle sum and the exactly-once task count must hold.
+    let n = 3000usize;
+    let k = 4usize;
+    let values: Vec<i64> =
+        (0..n).map(|i| if i % 10 == 0 { (i / 10 % k) as i64 } else { 0 }).collect();
+    let expect: i64 = values.iter().map(|v| v + 1).sum();
+    for steal in [false, true] {
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&skew_src(k)).unwrap();
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            4,
+            RuntimeConfig { mode: SchedMode::Sharded, steal, ..RuntimeConfig::default() },
+        );
+        let l = value_list(&interp, &values);
+        rt.run("spread", &[l]).unwrap();
+        assert_eq!(interp.load_str("*sum*").unwrap(), Value::int(expect), "steal={steal}");
+        let stats = rt.stats();
+        assert_eq!(stats.tasks, 2 * n as u64 + 1, "exactly-once: steal={steal} {stats:?}");
+        if !steal {
+            assert_eq!(stats.steal_successes, 0, "stealing must stay off: {stats:?}");
+            assert_eq!(stats.sites_migrated, 0, "stealing must stay off: {stats:?}");
+        }
+    }
+}
+
+#[test]
+fn chained_successors_follow_migrated_sites() {
+    // The steal-vs-chain race: a single-successor walk chains on site
+    // 0 while a hot fan loads sites 1 and 2, so stealing migrates
+    // sites between servers mid-walk. The chain check must consult
+    // the *current* owner on every step — chaining onto a server that
+    // no longer drains the site would strand or reorder the
+    // continuation. Exactness of both totals is the detector.
+    let src = "(defun driver (l n)
+                 (cri-enqueue 0 walk l)
+                 (cri-enqueue 1 fan n))
+               (defun walk (l)
+                 (when l
+                   (atomic-incf *w* (car l))
+                   (cri-enqueue 0 walk (cdr l))))
+               (defun fan (n)
+                 (when (> n 0)
+                   (cri-enqueue 2 leaf 1)
+                   (cri-enqueue 1 fan (- n 1))))
+               (defun leaf (v) (atomic-incf *f* v))";
+    for round in 0..10 {
+        let interp = Arc::new(Interp::new());
+        interp.load_str(src).unwrap();
+        interp.load_str("(defparameter *w* 0) (defparameter *f* 0)").unwrap();
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            4,
+            RuntimeConfig { mode: SchedMode::Sharded, steal: true, ..RuntimeConfig::default() },
+        );
+        let n = 800i64;
+        let l = int_list(&interp, n);
+        rt.run("driver", &[l, Value::int(n)]).unwrap();
+        assert_eq!(interp.load_str("*w*").unwrap(), Value::int(n * (n + 1) / 2), "round {round}");
+        assert_eq!(interp.load_str("*f*").unwrap(), Value::int(n), "round {round}");
+        // driver + (n+1) walks + (n+1) fans + n leaves.
+        assert_eq!(rt.stats().tasks, 3 * n as u64 + 3, "round {round}");
+    }
+}
+
+#[test]
+fn e11_sequentializability_holds_under_stealing() {
+    // The E11 property with the thief in play: a future-synced
+    // program with conflicting writes must still leave the heap
+    // exactly as a sequential run does when idle servers migrate
+    // sites and steal-pop hot queues.
+    let src = "(defun f (l)
+                 (cond ((null l) nil)
+                       ((null (cdr l)) (f (cdr l)))
+                       (t (setf (cadr l) (+ (car l) (cadr l)))
+                          (f (cdr l)))))";
+    let n = 1500;
+    let build = format!("(let ((l nil)) (dotimes (i {n}) (setq l (cons 1 l))) l)");
+    let seq = Interp::new();
+    seq.load_str(src).unwrap();
+    let expect = {
+        let l = seq.load_str(&build).unwrap();
+        seq.call("f", &[l]).unwrap();
+        seq.heap().display(l)
+    };
+    let out = Curare::new().transform_source(src).unwrap();
+    for steal in [true, false] {
+        for servers in [2usize, 8] {
+            let interp = Arc::new(Interp::new());
+            interp.load_str(&out.source()).unwrap();
+            let rt = CriRuntime::with_config(
+                Arc::clone(&interp),
+                servers,
+                RuntimeConfig { mode: SchedMode::Sharded, steal, ..RuntimeConfig::default() },
+            );
+            let l = interp.load_str(&build).unwrap();
+            rt.run("f", &[l]).unwrap();
+            assert_eq!(
+                interp.heap().display(l),
+                expect,
+                "heap diverged from sequential (steal={steal}, {servers} servers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn parked_servers_never_trip_the_stall_watchdog() {
+    // An idle server parks on its condvar with an escalating timeout.
+    // Parked is the idle phase, not a stall: sitting parked far past
+    // the stall budget must produce zero watchdog dumps, and the pool
+    // must still serve the next run afterwards.
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&skew_src(2)).unwrap();
+    let rt = CriRuntime::with_config(
+        Arc::clone(&interp),
+        4,
+        RuntimeConfig {
+            mode: SchedMode::Sharded,
+            steal: true,
+            stall_budget: Some(std::time::Duration::from_millis(40)),
+            ..RuntimeConfig::default()
+        },
+    );
+    let values = vec![0i64; 200];
+    let l = value_list(&interp, &values);
+    rt.run("spread", &[l]).unwrap();
+    // All four servers now sit parked; the 40ms budget elapses many
+    // times over.
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    assert!(
+        rt.stall_dumps().is_empty(),
+        "parked servers must not be counted as stalled: {:?}",
+        rt.stall_dumps()
+    );
+    interp.load_str("(setq *sum* 0)").unwrap();
+    let l = value_list(&interp, &values);
+    rt.run("spread", &[l]).unwrap();
+    assert_eq!(interp.load_str("*sum*").unwrap(), Value::int(200));
+    assert!(rt.stats().parks > 0, "the idle gap must actually have parked servers");
+}
+
+#[test]
+fn random_skewed_workloads_run_exactly_once() {
+    // Hand-rolled property test (the heavy-tests proptest dep is
+    // gated off in this tree): splitmix64-generated site counts,
+    // skews, server counts, and steal settings; every case must keep
+    // the oracle sum and the exactly-once task count.
+    let mut state = 0xC0FF_EE00_u64;
+    for case in 0..12 {
+        let k = 1 + (splitmix64(&mut state) % 6) as usize;
+        let n = 100 + (splitmix64(&mut state) % 500) as usize;
+        let servers = 1 + (splitmix64(&mut state) % 6) as usize;
+        let steal = case % 3 != 0;
+        // Skew: each value biased toward site 0 with probability
+        // rising per case, the rest spread by the mix stream.
+        let hot_pct = splitmix64(&mut state) % 101;
+        let values: Vec<i64> = (0..n)
+            .map(|_| {
+                if splitmix64(&mut state) % 100 < hot_pct {
+                    0
+                } else {
+                    (splitmix64(&mut state) % k as u64) as i64
+                }
+            })
+            .collect();
+        let expect: i64 = values.iter().map(|v| v + 1).sum();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&skew_src(k)).unwrap();
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            servers,
+            RuntimeConfig { mode: SchedMode::Sharded, steal, ..RuntimeConfig::default() },
+        );
+        let l = value_list(&interp, &values);
+        rt.run("spread", &[l]).unwrap();
+        let ctx = format!("case {case}: k={k} n={n} servers={servers} steal={steal}");
+        assert_eq!(interp.load_str("*sum*").unwrap(), Value::int(expect), "{ctx}");
+        assert_eq!(rt.stats().tasks, 2 * n as u64 + 1, "{ctx}");
     }
 }
 
