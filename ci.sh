@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Offline CI gate: everything here runs with zero external crates.
-# The Criterion/proptest suites are behind the off-by-default
-# `bench-ext` / `heavy-tests` features and are NOT part of this gate.
+# The Criterion suites are behind the off-by-default `bench-ext`
+# feature and are NOT part of this gate; the in-tree `heavy-tests`
+# property batteries run in the speculation section below.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -91,6 +92,31 @@ target/release/experiments validate "$CHAOS_DIR/BENCH_chaos.json" \
   schema bench host_threads seeds profile runs degrade_demo
 rm -rf "$CHAOS_DIR"
 target/release/experiments sanitize --chaos-seed 7 > /dev/null
+
+echo "== speculation: property battery, example contract, sweep gate"
+cargo clippy -p curare-runtime --features heavy-tests --all-targets -- -D warnings
+cargo test -q -p curare-runtime --features heavy-tests --test speculation_properties
+# The ⊤-write fixture is refused by the static transformer…
+# (plain grep, not -q: early grep exit would SIGPIPE curare under pipefail)
+target/release/curare run examples/lisp/fixtures/scrub.lisp --servers 4 \
+  --call "(scrub *data*)" 2>&1 | grep "scrub: converted = false" > /dev/null
+# …but admitted under --speculate, committing without escalation.
+target/release/curare run examples/lisp/fixtures/scrub.lisp --servers 4 \
+  --speculate --call "(scrub *data*)" 2>&1 | grep "escalated: false" > /dev/null
+# Sweep: sequential-oracle match under both schedulers, the ⊤-write
+# demo must commit clean in parallel, and the chaos shuffle+speculate
+# seeds must all match (the subcommand fails itself on any miss).
+# Running sanitize first exercises the BENCH_sanitize.json linkage.
+SPEC_DIR="$(mktemp -d)"
+(cd "$SPEC_DIR" \
+  && "$REPO_DIR/target/release/experiments" sanitize --json > /dev/null \
+  && CURARE_SPEC_SEEDS=4 "$REPO_DIR/target/release/experiments" speculate \
+    --json > /dev/null)
+target/release/experiments validate "$SPEC_DIR/BENCH_sanitize.json" \
+  schema file diagnostics precision
+target/release/experiments validate "$SPEC_DIR/BENCH_spec.json" \
+  schema bench host_threads programs timing chaos sanitizer
+rm -rf "$SPEC_DIR"
 
 echo "== causal profiler: lints, per-opcode tests, work/span smoke gate"
 cargo clippy -p curare-lisp --features profile-ops --all-targets -- -D warnings

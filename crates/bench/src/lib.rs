@@ -150,6 +150,54 @@ pub fn read_window_walker_naive_locks(k: usize, reads: usize) -> String {
     )
 }
 
+/// Build the ⊤-write walker for the speculation experiments: the
+/// write root passes through the identity helper `veil`, which the
+/// interprocedural analysis cannot see through, so the conflict
+/// report carries an unknown write (the C002/⊤ verdict) and the
+/// static pipeline refuses to parallelize. At runtime every
+/// invocation writes only its own cell, so a speculative run commits
+/// 100% clean — the workload class SpecMode exists to reclaim. Each
+/// rewrite does `pad` arithmetic steps of local busywork so the
+/// per-invocation grain outweighs task + journaling overhead and the
+/// sequential-vs-speculative timing is meaningful.
+pub fn scrub_top_write(pad: usize) -> String {
+    let mut work = String::new();
+    for _ in 0..pad {
+        work.push_str("(setq x (+ x 1)) ");
+    }
+    format!(
+        "(defun veil (l) l)
+(defun crunch (v)
+  (let ((x v)) {work} x))
+(defun scrub (l)
+  (when (consp l)
+    (scrub (cdr l))
+    (setf (car (veil l)) (crunch (car l)))))"
+    )
+}
+
+/// The under-declared-aliasing workload: `mix` walks two lists the
+/// analysis assumes disjoint, but callers pass the *same* list for
+/// both, so parent tail reads of `a` race child tail writes through
+/// `b`. A speculative run must detect the conflicts at commit time,
+/// abort and replay (or escalate to the sequential rerun), and still
+/// produce exactly the sequential answer. Call as `(mix l l)`.
+pub const ALIASED_MIX: &str = "(defun mix (a b)
+  (when (consp b)
+    (mix (cddr a) (cdr b))
+    (setf (car b) (car a))))";
+
+/// Like [`transformed_interp`], but with speculative admission on:
+/// functions the static analysis refuses (⊤-writes, unprovable
+/// aliasing) are converted anyway and marked `Device::Speculate`.
+pub fn speculative_interp(src: &str) -> (Arc<Interp>, CurareOutput) {
+    let out =
+        Curare::new().with_speculation(true).transform_source(src).expect("program transforms");
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).expect("transformed program loads");
+    (interp, out)
+}
+
 /// Run `f` on a thread with a large native stack (deep sequential
 /// recursion in the original, untransformed programs needs it).
 pub fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
@@ -494,6 +542,34 @@ mod tests {
         // Cells 0..13 are doubled (the guard stops the walk 3 cells
         // from the end); the list was 16..1, so the head becomes 32.
         assert_eq!(interp.heap().display(l), "(32 30 28 26 24 22 20 18 16 14 12 10 8 3 2 1)");
+    }
+
+    #[test]
+    fn scrub_is_refused_statically_but_admitted_speculatively() {
+        let src = scrub_top_write(4);
+        let refused = Curare::new().transform_source(&src).unwrap();
+        assert!(!refused.report("scrub").unwrap().converted, "⊤-write must block statically");
+        let (_, out) = speculative_interp(&src);
+        let r = out.report("scrub").unwrap();
+        assert!(r.converted, "speculation must admit the ⊤-write walker: {}", r.feedback);
+        assert!(r.devices.contains(&Device::Speculate), "{:?}", r.devices);
+    }
+
+    #[test]
+    fn aliased_mix_admits_speculatively() {
+        let (interp, out) = speculative_interp(ALIASED_MIX);
+        let r = out.report("mix").unwrap();
+        assert!(r.converted && r.devices.contains(&Device::Speculate), "{:?}", r.devices);
+        // Sequential hooks: the transformed entry still computes the
+        // sequential answer on an aliased call.
+        let plain = Interp::new();
+        plain.load_str(ALIASED_MIX).unwrap();
+        let lo = int_list(&plain, 8);
+        plain.call("mix", &[lo, lo]).unwrap();
+        let want = plain.heap().display(lo);
+        let l = int_list(&interp, 8);
+        interp.call("mix", &[l, l]).unwrap();
+        assert_eq!(interp.heap().display(l), want);
     }
 
     #[test]

@@ -40,6 +40,11 @@
 //!   --no-steal       disable work stealing between sharded pool
 //!                    servers (scheduler A/B escape hatch; also
 //!                    available process-wide as CURARE_NO_STEAL=1)
+//!   --speculate      admit statically unproven functions optimistically:
+//!                    the pool logs their heap accesses, validates them
+//!                    against the sequential order at quiescence, and
+//!                    aborts/replays (or reruns sequentially) on conflict
+//!                    (kill switch: CURARE_NO_SPEC=1)
 //!   --chaos-seed N   install a seeded fault plan for the pool run
 //!                    (needs a binary built with --features chaos)
 //!   --chaos-profile P  fault profile for --chaos-seed: delays,
@@ -153,8 +158,13 @@ fn check(args: &[String]) -> ExitCode {
 }
 
 fn transform(args: &[String]) -> Result<(), String> {
-    let src = read_file(args)?;
-    let out = Curare::new().transform_source(&src).map_err(|e| e.to_string())?;
+    let speculate = args.iter().any(|a| a == "--speculate");
+    let files: Vec<String> = args.iter().filter(|a| *a != "--speculate").cloned().collect();
+    let src = read_file(&files)?;
+    let out = Curare::new()
+        .with_speculation(speculate)
+        .transform_source(&src)
+        .map_err(|e| e.to_string())?;
     print!("{}", out.source());
     for r in &out.reports {
         eprintln!(";; {}: converted = {}, devices = {:?}", r.name, r.converted, r.devices);
@@ -181,6 +191,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut chaos_profile = String::from("mixed");
     let mut stall_budget_ms: Option<u64> = None;
     let mut no_steal = false;
+    let mut speculate = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -220,6 +231,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 no_steal = true;
                 i += 1;
             }
+            "--speculate" => {
+                speculate = true;
+                i += 1;
+            }
             "--servers" => {
                 servers = args
                     .get(i + 1)
@@ -256,6 +271,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if (chaos_seed.is_some() || stall_budget_ms.is_some()) && servers == 0 {
         return Err("--chaos-seed/--stall-budget-ms need a pool run (--servers N)".into());
     }
+    if speculate && (servers == 0 || sequential) {
+        return Err("--speculate needs a transformed pool run (--servers N with --call)".into());
+    }
     #[cfg(not(feature = "chaos"))]
     if chaos_seed.is_some() {
         return Err("chaos support is compiled out; rebuild with --features chaos".into());
@@ -278,7 +296,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let loaded_src = if sequential {
         src
     } else {
-        let out = Curare::new().transform_source(&src).map_err(|e| e.to_string())?;
+        let out = Curare::new()
+            .with_speculation(speculate)
+            .transform_source(&src)
+            .map_err(|e| e.to_string())?;
         for r in &out.reports {
             eprintln!(";; {}: converted = {}, devices = {:?}", r.name, r.converted, r.devices);
         }
@@ -329,6 +350,7 @@ fn run(args: &[String]) -> Result<(), String> {
         let config = curare::runtime::RuntimeConfig {
             stall_budget: stall_budget_ms.map(std::time::Duration::from_millis),
             steal: !no_steal && curare::runtime::steal_default(),
+            speculate,
             ..curare::runtime::RuntimeConfig::default()
         };
         let rt = CriRuntime::with_config(Arc::clone(&interp), servers, config);
@@ -338,6 +360,16 @@ fn run(args: &[String]) -> Result<(), String> {
             ";; pool: {} tasks, peak queue {}, {} lock acquisitions",
             stats.tasks, stats.peak_queue, stats.lock_acquisitions
         );
+        if rt.speculating() {
+            eprintln!(
+                ";; speculation: {} commits ({} clean), {} aborts, {} replays, escalated: {}",
+                stats.spec_commits,
+                stats.spec_clean,
+                stats.spec_aborts,
+                stats.spec_replays,
+                stats.spec_escalated
+            );
+        }
         #[cfg(feature = "chaos")]
         if let Some(seed) = chaos_seed {
             eprintln!(

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use crate::arena::AtomicArena;
 use crate::chash::LispHash;
 use crate::error::{LispError, Result};
+use crate::speclog;
 use crate::value::{ConsId, StrId, StructId, SymId, Val, Value, VectorId};
 use curare_sexpr::Sexpr;
 
@@ -134,16 +135,38 @@ impl Heap {
         Value::cons(id)
     }
 
+    /// The mutable word behind a packed sanitizer/speculation location
+    /// (cons car/cdr or struct slot — never a global or vector slot).
+    pub(crate) fn spec_loc_cell(&self, loc: u64) -> &AtomicU64 {
+        if loc & curare_obs::sanitize::STRUCT_LOC_BIT != 0 {
+            self.slots.get(loc & !curare_obs::sanitize::STRUCT_LOC_BIT)
+        } else if loc & 1 != 0 {
+            &self.conses.get(loc >> 1).cdr
+        } else {
+            &self.conses.get(loc >> 1).car
+        }
+    }
+
     /// Read the `car` of cons `id`.
     pub fn car_of(&self, id: ConsId) -> Value {
         curare_obs::record_access(id << 1, false, false, 0);
-        Value::from_bits(self.conses.get(id).car.load(Ordering::Acquire))
+        let lo = speclog::read_begin();
+        let v = Value::from_bits(self.conses.get(id).car.load(Ordering::Acquire));
+        if let Some(lo) = lo {
+            speclog::read_end(id << 1, lo);
+        }
+        v
     }
 
     /// Read the `cdr` of cons `id`.
     pub fn cdr_of(&self, id: ConsId) -> Value {
         curare_obs::record_access(id << 1 | 1, false, false, 1);
-        Value::from_bits(self.conses.get(id).cdr.load(Ordering::Acquire))
+        let lo = speclog::read_begin();
+        let v = Value::from_bits(self.conses.get(id).cdr.load(Ordering::Acquire));
+        if let Some(lo) = lo {
+            speclog::read_end(id << 1 | 1, lo);
+        }
+        v
     }
 
     /// `(car v)`: nil for nil, error for non-lists.
@@ -169,7 +192,15 @@ impl Heap {
         match v.decode() {
             Val::Cons(id) => {
                 curare_obs::record_access(id << 1, true, false, 0);
-                self.conses.get(id).car.store(new.bits(), Ordering::Release);
+                let cell = &self.conses.get(id).car;
+                match speclog::write_section() {
+                    Some(sec) => {
+                        let old = cell.load(Ordering::Acquire);
+                        cell.store(new.bits(), Ordering::Release);
+                        sec.store_heap(id << 1, old, new.bits());
+                    }
+                    None => cell.store(new.bits(), Ordering::Release),
+                }
                 Ok(())
             }
             _ => Err(self.type_error("cons", v, "rplaca")),
@@ -181,7 +212,15 @@ impl Heap {
         match v.decode() {
             Val::Cons(id) => {
                 curare_obs::record_access(id << 1 | 1, true, false, 1);
-                self.conses.get(id).cdr.store(new.bits(), Ordering::Release);
+                let cell = &self.conses.get(id).cdr;
+                match speclog::write_section() {
+                    Some(sec) => {
+                        let old = cell.load(Ordering::Acquire);
+                        cell.store(new.bits(), Ordering::Release);
+                        sec.store_heap(id << 1 | 1, old, new.bits());
+                    }
+                    None => cell.store(new.bits(), Ordering::Release),
+                }
                 Ok(())
             }
             _ => Err(self.type_error("cons", v, "rplacd")),
@@ -282,13 +321,14 @@ impl Heap {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
                 let slot = base + idx as u64;
-                curare_obs::record_access(
-                    curare_obs::sanitize::STRUCT_LOC_BIT | slot,
-                    false,
-                    false,
-                    2 + idx as u64,
-                );
-                Ok(Value::from_bits(self.slots.get(slot).load(Ordering::Acquire)))
+                let loc = curare_obs::sanitize::STRUCT_LOC_BIT | slot;
+                curare_obs::record_access(loc, false, false, 2 + idx as u64);
+                let lo = speclog::read_begin();
+                let v = Value::from_bits(self.slots.get(slot).load(Ordering::Acquire));
+                if let Some(lo) = lo {
+                    speclog::read_end(loc, lo);
+                }
+                Ok(v)
             }
             _ => Err(self.type_error("struct", v, "struct field read")),
         }
@@ -303,13 +343,17 @@ impl Heap {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
                 let slot = base + idx as u64;
-                curare_obs::record_access(
-                    curare_obs::sanitize::STRUCT_LOC_BIT | slot,
-                    true,
-                    false,
-                    2 + idx as u64,
-                );
-                self.slots.get(slot).store(new.bits(), Ordering::Release);
+                let loc = curare_obs::sanitize::STRUCT_LOC_BIT | slot;
+                curare_obs::record_access(loc, true, false, 2 + idx as u64);
+                let cell = self.slots.get(slot);
+                match speclog::write_section() {
+                    Some(sec) => {
+                        let old = cell.load(Ordering::Acquire);
+                        cell.store(new.bits(), Ordering::Release);
+                        sec.store_heap(loc, old, new.bits());
+                    }
+                    None => cell.store(new.bits(), Ordering::Release),
+                }
                 Ok(())
             }
             _ => Err(self.type_error("struct", v, "struct field write")),
@@ -321,14 +365,14 @@ impl Heap {
     /// The §3.2.3 reordering device for commutative structure-field
     /// updates; concurrent updates never lose increments.
     pub fn atomic_add_field(&self, cell: Value, field: u32, delta: i64) -> Result<Value> {
-        let slot: &AtomicU64 = match (cell.decode(), field) {
+        let (slot, loc): (&AtomicU64, u64) = match (cell.decode(), field) {
             (Val::Cons(id), 0) => {
                 curare_obs::record_access(id << 1, true, true, 0);
-                &self.conses.get(id).car
+                (&self.conses.get(id).car, id << 1)
             }
             (Val::Cons(id), 1) => {
                 curare_obs::record_access(id << 1 | 1, true, true, 1);
-                &self.conses.get(id).cdr
+                (&self.conses.get(id).cdr, id << 1 | 1)
             }
             (Val::Struct(id), f) if f >= 2 => {
                 let (_, base, len) = self.struct_header(id);
@@ -337,16 +381,16 @@ impl Heap {
                     return Err(LispError::IndexOutOfRange { index: idx as i64, len });
                 }
                 let s = base + idx as u64;
-                curare_obs::record_access(
-                    curare_obs::sanitize::STRUCT_LOC_BIT | s,
-                    true,
-                    true,
-                    f as u64,
-                );
-                self.slots.get(s)
+                let loc = curare_obs::sanitize::STRUCT_LOC_BIT | s;
+                curare_obs::record_access(loc, true, true, f as u64);
+                (self.slots.get(s), loc)
             }
             _ => return Err(self.type_error("locatable cell", cell, "atomic-incf-cell")),
         };
+        // Holding the journal section across the CAS keeps the
+        // journal's append order equal to the location's update order
+        // (undo recomputes values by replaying that order).
+        let sec = speclog::write_section();
         loop {
             let old_bits = slot.load(Ordering::Acquire);
             let old = Value::from_bits(old_bits);
@@ -364,6 +408,9 @@ impl Heap {
                 .compare_exchange(old_bits, new.bits(), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                if let Some(sec) = sec {
+                    sec.add_heap(loc, delta);
+                }
                 return Ok(new);
             }
         }

@@ -14,6 +14,7 @@ use crate::error::{LispError, Result};
 use crate::eval::Evaluator;
 use crate::heap::Heap;
 use crate::lower::Lowerer;
+use crate::speclog;
 use crate::value::{FuncId, SymId, Value};
 use curare_sexpr::parse_all;
 
@@ -359,7 +360,8 @@ impl Interp {
 
     /// Read global `sym`.
     pub fn get_global(&self, sym: SymId) -> Result<Value> {
-        let v = Value::from_bits(self.global_cell(sym).load(Ordering::Acquire));
+        let cell = self.global_cell(sym);
+        let v = Value::from_bits(speclog::note_global_read(sym, || cell.load(Ordering::Acquire)));
         if v == Value::UNBOUND {
             return Err(LispError::Unbound(self.heap.sym_name(sym).to_string()));
         }
@@ -368,7 +370,15 @@ impl Interp {
 
     /// Write global `sym`.
     pub fn set_global(&self, sym: SymId, v: Value) {
-        self.global_cell(sym).store(v.bits(), Ordering::Release);
+        let cell = self.global_cell(sym);
+        match speclog::write_section() {
+            Some(sec) => {
+                let old = cell.load(Ordering::Acquire);
+                cell.store(v.bits(), Ordering::Release);
+                sec.store_global(sym, &cell, old, v.bits());
+            }
+            None => cell.store(v.bits(), Ordering::Release),
+        }
     }
 
     /// Snapshot every bound global as `(symbol, value)` pairs, in no
@@ -388,6 +398,9 @@ impl Interp {
     /// reordering device); returns the new value.
     pub fn atomic_incf_global(&self, sym: SymId, delta: i64) -> Result<Value> {
         let cell = self.global_cell(sym);
+        // See `Heap::atomic_add_field`: the CAS runs inside the journal
+        // section so journal order matches the cell's update order.
+        let sec = speclog::write_section();
         loop {
             let old_bits = cell.load(Ordering::Acquire);
             let old = Value::from_bits(old_bits);
@@ -408,6 +421,9 @@ impl Interp {
                 .compare_exchange(old_bits, new.bits(), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                if let Some(sec) = sec {
+                    sec.add_global(sym, &cell, delta);
+                }
                 return Ok(new);
             }
         }
@@ -415,8 +431,14 @@ impl Interp {
 
     // ----- misc services ---------------------------------------------
 
-    /// Append a printed line to the output log.
+    /// Append a printed line to the output log. Under `SpecMode` the
+    /// line is diverted into the speculation journal instead, so that
+    /// aborted invocations leave no output and committed lines are
+    /// released in sequential order.
     pub fn emit(&self, line: String) {
+        if speclog::divert_emit(&line) {
+            return;
+        }
         self.output.lock().push(line);
     }
 

@@ -48,6 +48,7 @@ pub mod heap;
 pub mod hir;
 pub mod interp;
 pub mod lower;
+pub mod speclog;
 pub mod sync;
 pub mod unparse;
 pub mod value;

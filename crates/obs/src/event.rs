@@ -75,10 +75,22 @@ pub enum EventKind {
     /// A parked server woke — notified by a publisher or by the
     /// backstop timeout (`arg` = server index).
     Unpark = 21,
+    /// The speculation validator committed an optimistically executed
+    /// invocation: its logged accesses were consistent with the
+    /// sequential order (`arg` = invocation id).
+    SpecCommit = 22,
+    /// The validator observed a cross-invocation conflict that
+    /// contradicts sequential order and aborted the sequentially later
+    /// invocation, undoing its journaled writes (`arg` = invocation
+    /// id).
+    SpecAbort = 23,
+    /// An aborted invocation was re-executed after its conflictor
+    /// (`arg` = invocation id).
+    SpecReplay = 24,
 }
 
 /// Number of distinct kinds (for per-kind count tables).
-pub const KIND_COUNT: usize = 22;
+pub const KIND_COUNT: usize = 25;
 
 impl EventKind {
     /// The stable wire name used in exported JSON.
@@ -106,6 +118,9 @@ impl EventKind {
             EventKind::Steal => "steal",
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
+            EventKind::SpecCommit => "spec_commit",
+            EventKind::SpecAbort => "spec_abort",
+            EventKind::SpecReplay => "spec_replay",
         }
     }
 
@@ -134,6 +149,9 @@ impl EventKind {
             19 => EventKind::Steal,
             20 => EventKind::Park,
             21 => EventKind::Unpark,
+            22 => EventKind::SpecCommit,
+            23 => EventKind::SpecAbort,
+            24 => EventKind::SpecReplay,
             _ => return None,
         })
     }

@@ -57,7 +57,8 @@ pub use report::{validate_keys, RunReport, SCHEMA_REPORT, SCHEMA_TRACE};
 pub use ring::{RingSnapshot, TraceRing};
 pub use sanitize::{
     current_invocation, install_sanitizer, new_invocation, record_access, record_spawn,
-    record_touch, sanitizing_enabled, set_invocation, AccessLog, SanEvent, SanRecord,
+    record_touch, sanitizing_enabled, set_invocation, set_speculating, speculating_enabled,
+    AccessLog, SanEvent, SanRecord,
 };
 pub use timeline::Timeline;
 pub use tracer::{install, installed, record, set_lane, tracing_enabled, Tracer};

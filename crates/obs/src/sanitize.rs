@@ -121,6 +121,12 @@ impl AccessLog {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// True while the runtime's speculation mode wants nonzero invocation
+/// ids. Unlike the sanitizer this is a first-class runtime mode, not a
+/// feature chain: `SpecMode` needs every CRI task identified so the
+/// `curare-lisp` write journal can attribute heap effects, whether or
+/// not the `sanitize` feature (the test-only oracle) is compiled in.
+static SPECULATING: AtomicBool = AtomicBool::new(false);
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static CURRENT: Mutex<Option<Arc<AccessLog>>> = Mutex::new(None);
 /// Global invocation-id source; 0 is reserved for "no invocation".
@@ -151,17 +157,34 @@ pub fn sanitizing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Arm (`true`) or disarm (`false`) speculation-mode invocation-id
+/// minting. The pool arms this for the duration of a `SpecMode` run so
+/// every CRI task gets a nonzero id even without the `sanitize`
+/// feature; ids come from the same [`NEXT_INV`] sequence the sanitizer
+/// and profiler use.
+#[inline]
+pub fn set_speculating(on: bool) {
+    SPECULATING.store(on, Ordering::Release);
+}
+
+/// True while speculation-mode invocation-id minting is armed.
+#[inline]
+pub fn speculating_enabled() -> bool {
+    SPECULATING.load(Ordering::Relaxed)
+}
+
 /// A fresh nonzero invocation id for a task being spawned. Returns 0
-/// unless the sanitizer (compiled in and installed) or the causal
-/// profiler ([`crate::profile::set_profiling`]) wants ids, so the
-/// plain runtime never pays the atomic increment.
+/// unless the sanitizer (compiled in and installed), the speculation
+/// mode ([`set_speculating`]), or the causal profiler
+/// ([`crate::profile::set_profiling`]) wants ids, so the plain runtime
+/// never pays the atomic increment.
 #[inline]
 pub fn new_invocation() -> u64 {
     #[cfg(feature = "sanitize")]
     let sanitizing = ENABLED.load(Ordering::Relaxed);
     #[cfg(not(feature = "sanitize"))]
     let sanitizing = false;
-    if sanitizing || crate::profile::profiling_enabled() {
+    if sanitizing || speculating_enabled() || crate::profile::profiling_enabled() {
         NEXT_INV.fetch_add(1, Ordering::Relaxed)
     } else {
         0

@@ -52,7 +52,9 @@ pub mod watchdog;
 
 pub use futures::FutureTable;
 pub use locktable::{Location, LockTable};
-pub use pool::{steal_default, CriHooks, CriRuntime, PoolStats, RuntimeConfig, SchedMode};
+pub use pool::{
+    spec_default, steal_default, CriHooks, CriRuntime, PoolStats, RuntimeConfig, SchedMode,
+};
 pub use queue::{QueueSet, Task};
 pub use spawner::{SpawnHooks, SpawnRuntime};
 pub use unordered::{UnorderedHooks, UnorderedRuntime};

@@ -36,13 +36,14 @@
 //! `Mutex<QueueSet>` with per-task submit/notify, as the measured
 //! baseline for the E8/E12 comparisons.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use curare_lisp::speclog;
 use curare_lisp::sync::{Condvar, Mutex};
 use curare_lisp::{FuncId, Interp, LispError, RuntimeHooks, Val, Value};
 use curare_obs::{EventKind, Json, RunReport};
@@ -118,6 +119,20 @@ pub struct PoolStats {
     pub park_ns: u64,
     /// Most servers simultaneously parked (idle) at any point.
     pub peak_idle_servers: usize,
+    /// Speculative invocations committed by the validator.
+    pub spec_commits: u64,
+    /// Speculative invocations aborted on a detected conflict (an
+    /// invocation aborted in several rounds counts each time).
+    pub spec_aborts: u64,
+    /// Aborted invocations replayed after their conflictors.
+    pub spec_replays: u64,
+    /// Committed invocations that never aborted (the commit-clean
+    /// numerator; `spec_commits` is the denominator).
+    pub spec_clean: u64,
+    /// True once a speculative run gave up (retry budget, a replay
+    /// surprise, or a parked error) and fell back to the sequential
+    /// rerun.
+    pub spec_escalated: bool,
 }
 
 /// Pool construction options beyond the server count.
@@ -143,12 +158,28 @@ pub struct RuntimeConfig {
     /// environment variable is set — the A/B escape hatch the skew
     /// experiments use.
     pub steal: bool,
+    /// Run in `SpecMode`: invocations execute optimistically, heap
+    /// effects are journaled, and a commit-time validator aborts and
+    /// replays conflicting invocations (escalating to a sequential
+    /// rerun when speculation cannot converge). Off by default; the
+    /// `CURARE_NO_SPEC` environment variable force-disables it even
+    /// when requested.
+    pub speculate: bool,
+    /// Abort/replay rounds before a speculative run gives up and
+    /// falls to the sequential-degradation rerun.
+    pub spec_retry_limit: u32,
 }
 
 /// The `steal` default: on, unless `CURARE_NO_STEAL` is set (to any
 /// value) in the environment.
 pub fn steal_default() -> bool {
     std::env::var_os("CURARE_NO_STEAL").is_none()
+}
+
+/// The speculation kill switch: a requested `speculate` is honoured
+/// unless `CURARE_NO_SPEC` is set (to any value) in the environment.
+pub fn spec_default() -> bool {
+    std::env::var_os("CURARE_NO_SPEC").is_none()
 }
 
 impl Default for RuntimeConfig {
@@ -159,6 +190,8 @@ impl Default for RuntimeConfig {
             retry_limit: 2,
             degrade_floor: 1,
             steal: steal_default(),
+            speculate: false,
+            spec_retry_limit: 8,
         }
     }
 }
@@ -406,6 +439,25 @@ struct Shared {
     /// Functions declared idempotent: real (non-injected) panics in
     /// these are retry-eligible too.
     idempotent: Mutex<HashSet<FuncId>>,
+    // ---- speculation layer (`SpecMode`) ----
+    /// True when this pool runs speculatively: spawns register with
+    /// the journal and publish eagerly, body errors park instead of
+    /// aborting the run, and `run` validates at quiescence.
+    speculate: bool,
+    /// Abort/replay rounds before escalating to the sequential rerun.
+    spec_retry_limit: u32,
+    spec_commits: AtomicU64,
+    spec_aborts: AtomicU64,
+    spec_replays: AtomicU64,
+    spec_clean: AtomicU64,
+    spec_escalated: AtomicBool,
+}
+
+thread_local! {
+    /// True while this thread reruns invocations inline and
+    /// sequentially (the speculation escalation path): hook-routed
+    /// spawns call straight through instead of enqueueing.
+    static INLINE_SEQ: Cell<bool> = const { Cell::new(false) };
 }
 
 impl Shared {
@@ -766,11 +818,21 @@ impl CriHooks {
 impl RuntimeHooks for CriHooks {
     fn enqueue(
         &self,
-        _interp: &Interp,
+        interp: &Interp,
         site: usize,
         fid: FuncId,
         args: Vec<Value>,
     ) -> Result<(), LispError> {
+        if INLINE_SEQ.with(Cell::get) {
+            return interp.call_fid_owned(fid, args).map(|_| ());
+        }
+        if self.shared.speculate && speclog::replaying() {
+            // Suppressed spawn inside a replayed body: match it
+            // against the original run's record instead of enqueueing
+            // (the subtree already executed; divergence escalates).
+            speclog::replay_spawn(fid, &args, false);
+            return Ok(());
+        }
         if self.shared.aborting.load(Ordering::Acquire) {
             return Ok(());
         }
@@ -781,15 +843,35 @@ impl RuntimeHooks for CriHooks {
             curare_obs::record_spawn(inv, None);
             curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
         }
-        if let Some(task) =
-            self.try_batch(Task { fid, args, site, future: None, inv, parent, attempts: 0 })
-        {
+        let task = Task { fid, args, site, future: None, inv, parent, attempts: 0 };
+        if self.shared.speculate {
+            // Register before publishing so the child can never run
+            // ahead of its journal entry, and publish eagerly: the
+            // batch buffer would serialize the parent's tail against
+            // its successors, which is exactly the overlap
+            // speculation exists to win.
+            speclog::register_invocation(inv, parent, task.fid, &task.args);
+            speclog::record_spawn(parent, inv, task.fid, &task.args, false);
+            self.shared.submit_now(task);
+            return Ok(());
+        }
+        if let Some(task) = self.try_batch(task) {
             self.shared.submit_now(task);
         }
         Ok(())
     }
 
-    fn future(&self, _interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value, LispError> {
+    fn future(&self, interp: &Interp, fid: FuncId, args: Vec<Value>) -> Result<Value, LispError> {
+        if INLINE_SEQ.with(Cell::get) {
+            return interp.call_fid_owned(fid, args);
+        }
+        if self.shared.speculate && speclog::replaying() {
+            // The original future's value was already consumed by its
+            // toucher; a replay cannot re-create it. Fall back to the
+            // sequential rerun.
+            speclog::escalate_now();
+            return Err(LispError::User("speculative replay cannot re-create a future".into()));
+        }
         let fut = self.shared.futures.create();
         let Val::Future(id) = fut.decode() else { unreachable!("create returns a future") };
         if self.shared.aborting.load(Ordering::Acquire) {
@@ -804,9 +886,14 @@ impl RuntimeHooks for CriHooks {
             curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
             curare_obs::record(EventKind::BindFuture, curare_obs::pack_pair(inv, id));
         }
-        if let Some(task) =
-            self.try_batch(Task { fid, args, site: 0, future: Some(id), inv, parent, attempts: 0 })
-        {
+        let task = Task { fid, args, site: 0, future: Some(id), inv, parent, attempts: 0 };
+        if self.shared.speculate {
+            speclog::register_invocation(inv, parent, task.fid, &task.args);
+            speclog::record_spawn(parent, inv, task.fid, &task.args, true);
+            self.shared.submit_now(task);
+            return Ok(fut);
+        }
+        if let Some(task) = self.try_batch(task) {
             self.shared.submit_now(task);
         }
         Ok(fut)
@@ -979,6 +1066,13 @@ impl CriRuntime {
             degraded: AtomicBool::new(false),
             stall_dumps: Mutex::new(Vec::new()),
             idempotent: Mutex::new(HashSet::new()),
+            speculate: config.speculate && spec_default(),
+            spec_retry_limit: config.spec_retry_limit,
+            spec_commits: AtomicU64::new(0),
+            spec_aborts: AtomicU64::new(0),
+            spec_replays: AtomicU64::new(0),
+            spec_clean: AtomicU64::new(0),
+            spec_escalated: AtomicBool::new(false),
         });
         interp.set_hooks(Arc::new(CriHooks { shared: Arc::clone(&shared) }));
 
@@ -1030,6 +1124,9 @@ impl CriRuntime {
             .ok_or_else(|| LispError::UndefinedFunction(fname.to_string()))?;
         self.shared.aborting.store(false, Ordering::Release);
         *self.shared.error.lock() = None;
+        if self.shared.speculate {
+            return self.run_speculative(fid, args);
+        }
 
         let parent = curare_obs::current_invocation();
         let inv = curare_obs::new_invocation();
@@ -1051,6 +1148,75 @@ impl CriRuntime {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// A `SpecMode` run: arm the journal, execute optimistically, and
+    /// resolve at quiescence — validate the interleaving against the
+    /// sequential ranks, abort and replay conflicting invocations,
+    /// and commit; or roll everything back and rerun the roots inline
+    /// when speculation cannot converge. Exactly one speculative run
+    /// may be in flight per process (the journal is process-global).
+    fn run_speculative(&self, fid: FuncId, args: &[Value]) -> Result<(), LispError> {
+        curare_obs::set_speculating(true);
+        speclog::arm();
+        let parent = curare_obs::current_invocation();
+        let inv = curare_obs::new_invocation();
+        curare_obs::record_spawn(inv, None);
+        curare_obs::record(EventKind::Spawn, curare_obs::pack_pair(parent, inv));
+        speclog::register_invocation(inv, 0, fid, args);
+        self.shared.submit_now(Task {
+            fid,
+            args: args.to_vec(),
+            site: 0,
+            future: None,
+            inv,
+            parent,
+            attempts: 0,
+        });
+        self.wait_idle();
+        // Quiesced: every task has finished, so validation and any
+        // replays run single-threaded on this thread (replayed bodies
+        // route their spawns through `replay_spawn` in the hooks).
+        let res = speclog::resolve(self.interp.heap(), self.shared.spec_retry_limit, &mut {
+            let interp = &self.interp;
+            move |fid, args| interp.call_fid_owned(fid, args)
+        });
+        curare_obs::set_speculating(false);
+        self.shared.spec_commits.fetch_add(res.committed, Ordering::Relaxed);
+        self.shared.spec_aborts.fetch_add(res.aborts, Ordering::Relaxed);
+        self.shared.spec_replays.fetch_add(res.replays, Ordering::Relaxed);
+        self.shared.spec_clean.fetch_add(res.clean, Ordering::Relaxed);
+        // The journal is disarmed now, so committed lines (already in
+        // sequential order) append to the ordinary output log.
+        for line in res.output {
+            self.interp.emit(line);
+        }
+        if res.escalated {
+            self.shared.spec_escalated.store(true, Ordering::Release);
+            for (fid, args) in res.roots {
+                // A genuine sequential error surfaces here, exactly as
+                // the non-speculative run would have reported it.
+                self.run_inline(fid, args)?;
+            }
+        }
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Execute one invocation inline and sequentially (the speculation
+    /// escalation path): hook-routed spawns call straight through, and
+    /// fault injection is suppressed so the rerun always progresses.
+    fn run_inline(&self, fid: FuncId, args: Vec<Value>) -> Result<(), LispError> {
+        INLINE_SEQ.with(|f| f.set(true));
+        let body = || self.interp.call_fid_owned(fid, args).map(|_| ());
+        #[cfg(feature = "chaos")]
+        let res = crate::chaos::with_suppressed(body);
+        #[cfg(not(feature = "chaos"))]
+        let res = body();
+        INLINE_SEQ.with(|f| f.set(false));
+        res
     }
 
     /// Spawn `(fname args...)` as a future from the caller's thread.
@@ -1140,7 +1306,17 @@ impl CriRuntime {
             stall_dumps: self.shared.stalls.load(Ordering::Relaxed),
             faults_injected: installed_faults(),
             degraded: self.shared.degraded.load(Ordering::Acquire),
+            spec_commits: self.shared.spec_commits.load(Ordering::Relaxed),
+            spec_aborts: self.shared.spec_aborts.load(Ordering::Relaxed),
+            spec_replays: self.shared.spec_replays.load(Ordering::Relaxed),
+            spec_clean: self.shared.spec_clean.load(Ordering::Relaxed),
+            spec_escalated: self.shared.spec_escalated.load(Ordering::Acquire),
         }
+    }
+
+    /// True when this pool runs in `SpecMode`.
+    pub fn speculating(&self) -> bool {
+        self.shared.speculate
     }
 
     /// Declare `fname` idempotent-by-construction (a pure reader per
@@ -1203,7 +1379,13 @@ impl CriRuntime {
             .set("servers_poisoned", stats.servers_poisoned)
             .set("stall_dumps", stats.stall_dumps)
             .set("faults_injected", stats.faults_injected)
-            .set("degraded", stats.degraded);
+            .set("degraded", stats.degraded)
+            .set("speculate", self.shared.speculate)
+            .set("spec_commits", stats.spec_commits)
+            .set("spec_aborts", stats.spec_aborts)
+            .set("spec_replays", stats.spec_replays)
+            .set("spec_clean", stats.spec_clean)
+            .set("spec_escalated", stats.spec_escalated);
         let hs = self.interp.heap().stats();
         let heap = Json::obj()
             .set("conses", hs.conses)
@@ -1384,6 +1566,9 @@ fn execute_task(
         match caught {
             Ok(r) => r,
             Err(payload) => {
+                if shared.speculate {
+                    speclog::flush_reads();
+                }
                 curare_obs::set_invocation(prev_inv);
                 if inv != 0 {
                     curare_obs::record(EventKind::InvStop, inv);
@@ -1400,12 +1585,32 @@ fn execute_task(
                 // completed tasks of this chain; publish them before
                 // any path that returns without a later flush.
                 shared.flush_tally(tally);
+                if shared.speculate {
+                    // SpecMode has no retry/poison ladder: park the
+                    // panic as an errored invocation and let the
+                    // validator escalate to the fault-suppressed
+                    // sequential rerun, which is exactly-once by
+                    // construction.
+                    speclog::record_error(inv);
+                    if let Some(id) = future {
+                        shared
+                            .futures
+                            .fail(id, LispError::User("task panicked under speculation".into()));
+                    }
+                    shared.finish_one();
+                    return None;
+                }
                 return handle_panic(interp, shared, payload, retry_copy, future, tally);
             }
         }
     };
     #[cfg(not(feature = "chaos"))]
     let result = interp.call_fid_owned(fid, args);
+    if shared.speculate {
+        // Buffered read brackets must reach the journal before this
+        // task's completion can let the run quiesce.
+        speclog::flush_reads();
+    }
     curare_obs::set_invocation(prev_inv);
     if inv != 0 {
         curare_obs::record(EventKind::InvStop, inv);
@@ -1428,6 +1633,17 @@ fn execute_task(
             if let Some(id) = future {
                 shared.futures.resolve(id, v);
             }
+        }
+        Err(e) if shared.speculate => {
+            // SpecMode parks the error instead of aborting the run:
+            // the failing body may have read misspeculated state, so
+            // the validator decides at quiescence — a genuine error
+            // reproduces in the sequential rerun. Waiters still
+            // unblock through the failed future.
+            if let Some(id) = future {
+                shared.futures.fail(id, e);
+            }
+            speclog::record_error(inv);
         }
         Err(e) => {
             if let Some(id) = future {

@@ -12,7 +12,7 @@ use std::time::Duration;
 use curare_lisp::{Interp, LispError, Val, Value};
 use curare_runtime::chaos::{self, ChaosProfile, FaultPlan};
 use curare_runtime::queue::ShardedQueues;
-use curare_runtime::{CriRuntime, FutureTable, QueueSet, RuntimeConfig, Task};
+use curare_runtime::{CriRuntime, FutureTable, QueueSet, RuntimeConfig, SchedMode, Task};
 use curare_transform::Curare;
 
 // The chaos install point is process-global; serialize every test
@@ -317,6 +317,159 @@ fn watchdog_dumps_on_a_genuine_stall() {
         assert!(text.contains("curare-stall/1"), "dump carries its schema tag: {text}");
         assert!(text.contains("\"phase\""), "dump names the stuck phase: {text}");
     });
+}
+
+// ----------------------------------------------------------------
+// SpecMode × chaos
+// ----------------------------------------------------------------
+
+/// Run `f` on a big native stack (sequential oracles recurse one
+/// frame per list cell).
+fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    const STACK: usize = 256 << 20;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(STACK)
+            .spawn_scoped(scope, || {
+                curare_lisp::eval::set_thread_stack_budget(STACK - (8 << 20));
+                f()
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("big-stack thread panicked")
+    })
+}
+
+/// ⊤-write walker: parallel only under speculation (transform case A).
+const SCRUB: &str = "(defun frob (l) l)
+     (defun crunch (x) (+ x 1))
+     (defun scrub (l)
+       (when (consp l)
+         (scrub (cdr l))
+         (setf (car (frob l)) (crunch (car l)))))";
+
+/// Cross-parameter walker, called with both arguments aliased below:
+/// conflicts only the runtime validator can see.
+const MIX: &str = "(defun mix (a b)
+      (when (consp b)
+        (mix (cddr a) (cdr b))
+        (setf (car b) (car a))))";
+
+fn spec_interp(src: &str) -> Arc<Interp> {
+    let out = Curare::new().with_speculation(true).transform_source(src).unwrap();
+    let interp = Arc::new(Interp::new());
+    interp.load_str(&out.source()).unwrap();
+    interp
+}
+
+/// Build the walker's input, run `entry` through `exec` (aliasing both
+/// arguments for `mix`), and display the mutated list.
+fn walker_observe(
+    interp: &Arc<Interp>,
+    entry: &str,
+    n: i64,
+    exec: &dyn Fn(&str, &[Value]),
+) -> String {
+    let l = int_list(interp, n);
+    if entry == "mix" {
+        exec(entry, &[l, l]);
+    } else {
+        exec(entry, &[l]);
+    }
+    interp.heap().display(l)
+}
+
+fn walker_oracle(src: &str, entry: &str, n: i64) -> String {
+    with_big_stack(|| {
+        let interp = spec_interp(src);
+        walker_observe(&interp, entry, n, &|e, args| {
+            interp.call(e, args).expect("oracle run");
+        })
+    })
+}
+
+/// Injected panics under `SpecMode` must not retry, poison, or double
+/// any effect: panicked invocations park as errored, the validator
+/// escalates, the rollback erases every journaled write, and the
+/// fault-suppressed sequential rerun applies each effect exactly once.
+#[test]
+fn speculative_effects_stay_exactly_once_when_panics_force_escalation() {
+    let _g = guard();
+    let n = 120i64;
+    let plan = FaultPlan::new(13, ChaosProfile::named("panics").unwrap());
+    with_plan(plan, || {
+        let out = Curare::new()
+            .with_speculation(true)
+            .transform_source(
+                "(curare-declare (reorderable +))
+                 (defun walk (l)
+                   (when l
+                     (setq *sum* (+ *sum* (car l)))
+                     (walk (cdr l))))",
+            )
+            .unwrap();
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).unwrap();
+        interp.load_str("(defparameter *sum* 0)").unwrap();
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            4,
+            RuntimeConfig { speculate: true, ..RuntimeConfig::default() },
+        );
+        let l = int_list(&interp, n);
+        rt.run("walk", &[l]).expect("speculative chaos run completes");
+        assert_eq!(
+            interp.load_str("*sum*").unwrap(),
+            Value::int(n * (n + 1) / 2),
+            "rollback + sequential rerun must leave each increment exactly once"
+        );
+        let stats = rt.stats();
+        assert!(stats.spec_escalated, "a 15% panic rate over {n} tasks must escalate: {stats:?}");
+        assert_eq!(stats.task_retries, 0, "SpecMode parks panics, it never requeues: {stats:?}");
+        assert_eq!(stats.servers_poisoned, 0, "SpecMode never poisons servers: {stats:?}");
+        assert!(!stats.degraded, "escalation is not the poison/degrade ladder: {stats:?}");
+    });
+}
+
+/// The abort machinery racing the chaos adversary: full-rate dequeue
+/// shuffling plus small delays, on the two speculation-specific
+/// programs, across 32 seeds and both schedulers — every run must
+/// still land on the sequential oracle exactly.
+#[test]
+fn shuffled_speculative_sweep_matches_oracle_across_32_seeds() {
+    let _g = guard();
+    let shuffle = || ChaosProfile {
+        shuffle_ppm: 1_000_000,
+        delay_ppm: 200_000,
+        delay_max_us: 50,
+        ..ChaosProfile::quiet("spec-shuffle")
+    };
+    for mode in [SchedMode::Central, SchedMode::Sharded] {
+        for seed in 0..32u64 {
+            let (src, entry) = if seed % 2 == 0 { (SCRUB, "scrub") } else { (MIX, "mix") };
+            let n = 24 + (seed as i64 % 13);
+            let expect = walker_oracle(src, entry, n);
+            let plan = FaultPlan::new(seed, shuffle());
+            let (got, stats) = with_plan(plan, || {
+                let interp = spec_interp(src);
+                let rt = CriRuntime::with_config(
+                    Arc::clone(&interp),
+                    4,
+                    RuntimeConfig { mode, speculate: true, ..RuntimeConfig::default() },
+                );
+                let got = walker_observe(&interp, entry, n, &|e, args| {
+                    rt.run(e, args).expect("speculative run completes");
+                });
+                (got, rt.stats())
+            });
+            assert_eq!(
+                got, expect,
+                "{entry} diverged (seed {seed}, {mode:?}, n {n}); \
+                 commits {} aborts {} replays {} escalated {}",
+                stats.spec_commits, stats.spec_aborts, stats.spec_replays, stats.spec_escalated
+            );
+        }
+    }
 }
 
 /// Regression (orphaned-future fix): a producer that dies between

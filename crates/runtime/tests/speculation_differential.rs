@@ -1,0 +1,388 @@
+//! Speculative-execution differential battery (`SpecMode`).
+//!
+//! The contract under test: a speculative run — optimistic parallel
+//! execution, journaled effects, commit-time validation with
+//! abort/replay, sequential-rerun escalation — produces *exactly* the
+//! sequential oracle's observable outcome (structure, globals, and
+//! printed output), for every program, under both schedulers. The
+//! programs mirror the example set (`examples/lisp`) and the chaos
+//! battery's fixtures, plus two speculation-specific ones:
+//!
+//! - `Scrub`, a ⊤-write walker (`(setf (car (frob l)) ...)`) the
+//!   static analysis must refuse — it runs in parallel *only* under
+//!   speculation (transform case A), and must commit clean;
+//! - `AliasedMix`, a cross-parameter walker called with both
+//!   arguments aliased to one list — the single-access-path premise
+//!   is violated at runtime in a way no static check can see, so the
+//!   validator must abort and replay until the sequential answer
+//!   emerges.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use curare_lisp::{Interp, Value};
+use curare_runtime::{CriRuntime, PoolStats, RuntimeConfig, SchedMode};
+use curare_transform::Curare;
+
+// The speculation journal is process-global; serialize every test
+// that arms it (same pattern as the chaos and tracer suites).
+static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Run `f` on a big native stack (the sequential oracle recurses one
+/// frame per list cell).
+fn with_big_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    const STACK: usize = 256 << 20;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(STACK)
+            .spawn_scoped(scope, || {
+                curare_lisp::eval::set_thread_stack_budget(STACK - (8 << 20));
+                f()
+            })
+            .expect("spawn big-stack thread")
+            .join()
+            .expect("big-stack thread panicked")
+    })
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Prog {
+    /// Paper Figure 5: conflicting neighbour-sum walker (head order).
+    Figure5,
+    /// Distance-1 tail writer (lock pipeline).
+    Rotate,
+    /// Commutative global accumulation (`reorderable +`), with output.
+    SumWalk,
+    /// Tail writer with conflict distance `k`.
+    DistanceK(usize),
+    /// Paper Figure 12 `remq` via the DPS transform.
+    Remq,
+    /// The `examples/lisp/sum.lisp` fold: pure reduction through an
+    /// accumulator cell and atomic RMWs.
+    SumFold,
+    /// ⊤-write walker: unanalyzable write root, admitted only under
+    /// speculation.
+    Scrub,
+    /// Cross-parameter walker, called with aliased arguments.
+    AliasedMix,
+}
+
+impl Prog {
+    fn source(self) -> String {
+        match self {
+            Prog::Figure5 => "(defun f (l)
+                  (cond ((null l) nil)
+                        ((null (cdr l)) (f (cdr l)))
+                        (t (setf (cadr l) (+ (car l) (cadr l)))
+                           (f (cdr l)))))"
+                .into(),
+            Prog::Rotate => "(defun rotate (l)
+                  (when l
+                    (rotate (cdr l))
+                    (setf (cdr l) (car l))))"
+                .into(),
+            Prog::SumWalk => "(curare-declare (reorderable +))
+                 (defun walk (l)
+                   (when l
+                     (setq *sum* (+ *sum* (car l)))
+                     (walk (cdr l))))"
+                .into(),
+            Prog::DistanceK(k) => {
+                let mut place = "l".to_string();
+                for _ in 0..k {
+                    place = format!("(cdr {place})");
+                }
+                format!(
+                    "(defun fk (l)
+                       (when l
+                         (fk (cdr l))
+                         (when {place}
+                           (setf (car {place}) (car l)))))"
+                )
+            }
+            Prog::Remq => "(defun remq (obj lst)
+                  (cond ((null lst) nil)
+                        ((eq obj (car lst)) (remq obj (cdr lst)))
+                        (t (cons (car lst) (remq obj (cdr lst))))))"
+                .into(),
+            Prog::SumFold => "(curare-declare (reorderable +))
+                 (defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))"
+                .into(),
+            Prog::Scrub => "(defun frob (l) l)
+                 (defun crunch (x) (+ x 1))
+                 (defun scrub (l)
+                   (when (consp l)
+                     (scrub (cdr l))
+                     (setf (car (frob l)) (crunch (car l)))))"
+                .into(),
+            Prog::AliasedMix => "(defun mix (a b)
+                  (when (consp b)
+                    (mix (cddr a) (cdr b))
+                    (setf (car b) (car a))))"
+                .into(),
+        }
+    }
+
+    /// Transform (with speculation admission on) and load into a
+    /// fresh interpreter. Returns the interpreter and whether the
+    /// function converted at all.
+    fn interp(self) -> Arc<Interp> {
+        let out = Curare::new()
+            .with_speculation(true)
+            .transform_source(&self.source())
+            .expect("transforms");
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).expect("loads");
+        interp
+    }
+
+    /// Build this program's input, run its entry through `exec`, and
+    /// return the canonical observation (mutated structure, global,
+    /// accumulator, or DPS result — plus any printed output) as one
+    /// display string.
+    fn observe(self, interp: &Arc<Interp>, n: i64, exec: &dyn Fn(&str, &[Value])) -> String {
+        let heap = interp.heap();
+        let structure = match self {
+            Prog::Figure5 => {
+                let mut data = Value::NIL;
+                for _ in 0..n {
+                    data = heap.cons(Value::int(1), data);
+                }
+                exec("f", &[data]);
+                heap.display(data)
+            }
+            Prog::Rotate | Prog::DistanceK(_) => {
+                let entry = if matches!(self, Prog::Rotate) { "rotate" } else { "fk" };
+                let mut data = Value::NIL;
+                for i in 0..n {
+                    data = heap.cons(Value::int(i + 1), data);
+                }
+                exec(entry, &[data]);
+                heap.display(data)
+            }
+            Prog::SumWalk => {
+                interp.load_str("(defparameter *sum* 0)").unwrap();
+                let mut data = Value::NIL;
+                for i in 0..n {
+                    data = heap.cons(Value::int(i + 1), data);
+                }
+                exec("walk", &[data]);
+                let v = interp.load_str("*sum*").unwrap();
+                heap.display(v)
+            }
+            Prog::Remq => {
+                let obj = heap.sym_value("a");
+                let syms = ["a", "b", "a", "c", "d"];
+                let mut lst = Value::NIL;
+                for i in 0..n {
+                    lst = heap.cons(heap.sym_value(syms[i as usize % syms.len()]), lst);
+                }
+                let dest = heap.cons(Value::NIL, Value::NIL);
+                exec("remq-d", &[dest, obj, lst]);
+                heap.display(heap.cdr(dest).unwrap())
+            }
+            Prog::SumFold => {
+                let mut data = Value::NIL;
+                for i in 0..n {
+                    data = heap.cons(Value::int(i + 1), data);
+                }
+                let acc = heap.cons(Value::int(0), Value::NIL);
+                exec("sum-acc", &[acc, data]);
+                heap.display(heap.car(acc).unwrap())
+            }
+            Prog::Scrub => {
+                let mut data = Value::NIL;
+                for i in 0..n {
+                    data = heap.cons(Value::int(i + 1), data);
+                }
+                exec("scrub", &[data]);
+                heap.display(data)
+            }
+            Prog::AliasedMix => {
+                let mut data = Value::NIL;
+                for i in 0..n {
+                    data = heap.cons(Value::int(i + 1), data);
+                }
+                // Both parameters alias one list: the analysis's
+                // unaliased-parameters premise is false at runtime.
+                exec("mix", &[data, data]);
+                heap.display(data)
+            }
+        };
+        let output = interp.take_output().join("\n");
+        format!("{structure}\n--output--\n{output}")
+    }
+
+    /// Sequential oracle observation for size `n` (the transformed
+    /// source under `SequentialHooks`).
+    fn oracle(self, n: i64) -> String {
+        with_big_stack(|| {
+            let interp = self.interp();
+            self.observe(&interp, n, &|entry, args| {
+                interp.call(entry, args).expect("oracle run");
+            })
+        })
+    }
+
+    /// One speculative pooled run.
+    fn spec_run(self, n: i64, mode: SchedMode, servers: usize) -> (String, PoolStats) {
+        let interp = self.interp();
+        let rt = CriRuntime::with_config(
+            Arc::clone(&interp),
+            servers,
+            RuntimeConfig { mode, speculate: true, ..RuntimeConfig::default() },
+        );
+        assert!(rt.speculating(), "speculation must be armed (is CURARE_NO_SPEC set?)");
+        let observed = self.observe(&interp, n, &|entry, args| {
+            rt.run(entry, args).expect("speculative run completes");
+        });
+        let stats = rt.stats();
+        drop(rt);
+        (observed, stats)
+    }
+}
+
+const PROGRAMS: [Prog; 8] = [
+    Prog::Figure5,
+    Prog::Rotate,
+    Prog::SumWalk,
+    Prog::DistanceK(2),
+    Prog::Remq,
+    Prog::SumFold,
+    Prog::Scrub,
+    Prog::AliasedMix,
+];
+
+fn sweep(mode: SchedMode) {
+    let _g = guard();
+    for prog in PROGRAMS {
+        for round in 0..4u64 {
+            let n = 24 + (round as i64 * 13);
+            let expect = prog.oracle(n);
+            let (got, stats) = prog.spec_run(n, mode, 4);
+            assert_eq!(
+                got, expect,
+                "{prog:?} diverged from the sequential oracle ({mode:?}, n {n}); \
+                 stats: commits {} aborts {} replays {} escalated {}",
+                stats.spec_commits, stats.spec_aborts, stats.spec_replays, stats.spec_escalated
+            );
+        }
+    }
+}
+
+#[test]
+fn every_program_matches_oracle_central() {
+    sweep(SchedMode::Central);
+}
+
+#[test]
+fn every_program_matches_oracle_sharded() {
+    sweep(SchedMode::Sharded);
+}
+
+/// The ⊤-write walker is the speculation headline: statically Blocked
+/// (unanalyzable write root), it must actually run as parallel
+/// invocations under `SpecMode` and commit without escalation.
+#[test]
+fn top_write_walker_commits_clean_in_parallel() {
+    let _g = guard();
+    let n = 64;
+    let expect = Prog::Scrub.oracle(n);
+    let (got, stats) = Prog::Scrub.spec_run(n, SchedMode::Sharded, 4);
+    assert_eq!(got, expect);
+    assert!(!stats.spec_escalated, "scrub must not need the sequential fallback");
+    assert!(
+        stats.spec_commits >= n as u64,
+        "one committed invocation per cell, got {}",
+        stats.spec_commits
+    );
+    assert_eq!(
+        stats.spec_clean, stats.spec_commits,
+        "writes are per-cell disjoint: every invocation must commit clean"
+    );
+}
+
+/// The under-declared-aliasing fixture: `mix` looks conflict-free to
+/// the analysis (distinct parameters), but both arguments alias one
+/// list. The validator must detect the cross-invocation read/write
+/// races, abort, and converge to the sequential answer.
+#[test]
+fn aliased_arguments_abort_and_converge() {
+    let _g = guard();
+    let mut aborts = 0u64;
+    for round in 0..6u64 {
+        let n = 32 + (round as i64 * 11);
+        let expect = Prog::AliasedMix.oracle(n);
+        let (got, stats) = Prog::AliasedMix.spec_run(n, SchedMode::Sharded, 4);
+        assert_eq!(got, expect, "aliased mix diverged (n {n})");
+        aborts += stats.spec_aborts;
+        if stats.spec_escalated {
+            // Escalation is a legal outcome (it reruns sequentially);
+            // count it as detection too.
+            aborts += 1;
+        }
+    }
+    assert!(
+        aborts > 0,
+        "the aliasing race must have been detected at least once across the battery"
+    );
+}
+
+/// Speculative runs print through the journal: committed lines come
+/// out in sequential order, aborted invocations leave no output.
+#[test]
+fn printed_output_is_committed_in_sequential_order() {
+    let _g = guard();
+    let src = "(defun chant (l)
+           (when (consp l)
+             (chant (cdr l))
+             (print (car l))))";
+    let build = || {
+        let out = Curare::new().with_speculation(true).transform_source(src).expect("transforms");
+        let interp = Arc::new(Interp::new());
+        interp.load_str(&out.source()).expect("loads");
+        interp
+    };
+    let mk_list = |interp: &Arc<Interp>, n: i64| {
+        let mut data = Value::NIL;
+        for i in 0..n {
+            data = interp.heap().cons(Value::int(i + 1), data);
+        }
+        data
+    };
+    let n = 40;
+    let oracle = with_big_stack(|| {
+        let interp = build();
+        let data = mk_list(&interp, n);
+        interp.call("chant", &[data]).expect("oracle");
+        interp.take_output()
+    });
+    let interp = build();
+    let rt = CriRuntime::with_config(
+        Arc::clone(&interp),
+        4,
+        RuntimeConfig { speculate: true, ..RuntimeConfig::default() },
+    );
+    let data = mk_list(&interp, n);
+    rt.run("chant", &[data]).expect("speculative run");
+    assert_eq!(interp.take_output(), oracle, "printed lines must commit in sequential order");
+}
+
+/// `CURARE_NO_SPEC`'s in-process equivalent: a pool configured without
+/// speculation reports `speculating() == false` and journals nothing.
+#[test]
+fn speculation_off_is_the_default() {
+    let _g = guard();
+    let interp = Prog::Figure5.interp();
+    let rt = CriRuntime::with_config(Arc::clone(&interp), 2, RuntimeConfig::default());
+    assert!(!rt.speculating());
+    let mut data = Value::NIL;
+    for _ in 0..8 {
+        data = interp.heap().cons(Value::int(1), data);
+    }
+    rt.run("f", &[data]).expect("plain run");
+    assert_eq!(rt.stats().spec_commits, 0);
+}

@@ -56,6 +56,12 @@ pub enum Device {
     /// Rewritten from a linear reduction to an accumulating walker
     /// (§5, Huet–Lang-style; requires a reorderable operator).
     Fold,
+    /// Admitted to optimistic execution under `SpecMode`: conflicts
+    /// are statically unproven (⊤-write, unsyncable tail, or
+    /// alias-contingent cross-parameter accesses), so the invocations
+    /// run in parallel journaled, and the runtime's commit-time
+    /// validator aborts/replays any that contradict sequential order.
+    Speculate,
     /// Converted to CRI enqueue form (call-site count).
     Cri(usize),
 }
@@ -133,6 +139,7 @@ pub struct Curare {
     heap: Heap,
     decls: DeclDb,
     coalesce_locks: bool,
+    speculate: bool,
 }
 
 impl Default for Curare {
@@ -144,7 +151,7 @@ impl Default for Curare {
 impl Curare {
     /// A transformer with an empty declaration database.
     pub fn new() -> Self {
-        Curare { heap: Heap::new(), decls: DeclDb::new(), coalesce_locks: false }
+        Curare { heap: Heap::new(), decls: DeclDb::new(), coalesce_locks: false, speculate: false }
     }
 
     /// Merge adjacent lock brackets with identical lock sets when the
@@ -152,6 +159,19 @@ impl Curare {
     /// acquisitions; exclusion is unchanged). Off by default.
     pub fn with_coalesced_locks(mut self, on: bool) -> Self {
         self.coalesce_locks = on;
+        self
+    }
+
+    /// Admit statically unprovable functions to optimistic execution
+    /// (`SpecMode`, `curare run --speculate`): instead of refusing a
+    /// ⊤-write or an unsyncable tail, convert to plain CRI form and
+    /// mark the function [`Device::Speculate`] — the runtime journals
+    /// its heap accesses and aborts/replays conflicting invocations at
+    /// commit time. Proven devices (head ordering, certified locks,
+    /// future synchronization) are still preferred where they apply.
+    /// Off by default.
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculate = on;
         self
     }
 
@@ -290,6 +310,31 @@ impl Curare {
                         return Ok((vec![cri.form, fold.wrapper], report));
                     }
                 }
+                // SpecMode admission, case A: blocked *only* by writes
+                // the analysis cannot resolve (⊤-write). The static
+                // refusal is a may-conflict, not a will-conflict: run
+                // the invocations optimistically and let the runtime
+                // validator catch any real collision.
+                if self.speculate
+                    && !analysis.reasons.is_empty()
+                    && analysis.reasons.iter().all(|r| matches!(r, BlockReason::UnknownWrite))
+                {
+                    if let Ok(cri) = cri_convert(&current) {
+                        devices.push(Device::Speculate);
+                        devices.push(Device::Cri(cri.sites));
+                        let report = FunctionReport {
+                            name,
+                            verdict,
+                            devices,
+                            converted: true,
+                            feedback: format!(
+                                "{feedback}  admitted to speculative execution (unproven write roots)\n"
+                            ),
+                            unsynced_tail: false,
+                        };
+                        return Ok((vec![cri.form], report));
+                    }
+                }
                 return Ok((
                     vec![current],
                     FunctionReport {
@@ -303,6 +348,20 @@ impl Curare {
                 ));
             }
             Verdict::ConflictFree | Verdict::NeedsSynchronization { .. } => {}
+        }
+
+        // SpecMode admission, case C: a conflict-free verdict whose
+        // accesses span several parameter roots rests on the
+        // single-access-path premise that the roots never alias. Under
+        // speculation mark such functions so the journaled run is
+        // validated — under-declared aliasing then aborts and replays
+        // instead of silently diverging from the sequential answer.
+        if self.speculate && matches!(verdict, Verdict::ConflictFree) {
+            let roots: std::collections::BTreeSet<usize> =
+                analysis.accesses.records.iter().map(|r| r.root).collect();
+            if analysis.accesses.writes().next().is_some() && roots.len() >= 2 {
+                devices.push(Device::Speculate);
+            }
         }
 
         // Synchronization device selection for real conflicts. The
@@ -345,19 +404,27 @@ impl Curare {
                                 current = synced.form;
                             }
                             None => {
-                                return Ok((
-                                    vec![current],
-                                    FunctionReport {
-                                        name,
-                                        verdict,
-                                        devices,
-                                        converted: false,
-                                        feedback: format!(
-                                            "{feedback}  post-call conflicting statements could not be synchronized\n"
-                                        ),
-                                        unsynced_tail: true,
-                                    },
-                                ));
+                                // SpecMode admission, case B: the tail
+                                // is order-sensitive and future sync
+                                // refused it — run it optimistically
+                                // instead of sequentially.
+                                if self.speculate {
+                                    devices.push(Device::Speculate);
+                                } else {
+                                    return Ok((
+                                        vec![current],
+                                        FunctionReport {
+                                            name,
+                                            verdict,
+                                            devices,
+                                            converted: false,
+                                            feedback: format!(
+                                                "{feedback}  post-call conflicting statements could not be synchronized\n"
+                                            ),
+                                            unsynced_tail: true,
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
@@ -669,6 +736,82 @@ mod tests {
         let a = orig.load_str(driver).unwrap();
         let b = xformed.load_str(driver).unwrap();
         assert_eq!(orig.heap().display(a), xformed.heap().display(b));
+    }
+
+    #[test]
+    fn speculation_admits_unknown_write_roots() {
+        // `(car (frob l))` hides the write root behind a call: ⊤-write,
+        // Blocked without speculation, plain CRI + Speculate with it.
+        let src = "(defun frob (l) l)
+             (defun scrub (l)
+               (when (consp l)
+                 (scrub (cdr l))
+                 (setf (car (frob l)) 0)))";
+        let plain = run(src);
+        assert!(!plain.report("scrub").unwrap().converted);
+        let out = Curare::new().with_speculation(true).transform_source(src).unwrap();
+        let r = out.report("scrub").unwrap();
+        assert!(r.converted, "{}", r.feedback);
+        assert_eq!(r.verdict, Verdict::Blocked);
+        assert!(r.devices.contains(&Device::Speculate), "{:?}", r.devices);
+        assert!(r.devices.iter().any(|d| matches!(d, Device::Cri(1))), "{:?}", r.devices);
+        assert!(out.source().contains("cri-enqueue"), "{}", out.source());
+        // No synchronization device rides along: speculation runs the
+        // body as-is and the runtime validator carries correctness.
+        assert!(!out.source().contains("future"), "{}", out.source());
+        assert!(!out.source().contains("cri-lock"), "{}", out.source());
+    }
+
+    #[test]
+    fn speculation_marks_alias_contingent_conflict_free_functions() {
+        // Cross-parameter write/read: conflict-free only under the
+        // no-aliasing premise, so SpecMode marks it for validation.
+        let src = "(defun mix (a b)
+               (when (consp b)
+                 (mix (cddr a) (cdr b))
+                 (setf (car b) (car a))))";
+        let out = Curare::new().with_speculation(true).transform_source(src).unwrap();
+        let r = out.report("mix").unwrap();
+        assert!(r.converted, "{}", r.feedback);
+        assert_eq!(r.verdict, Verdict::ConflictFree);
+        assert!(r.devices.contains(&Device::Speculate), "{:?}", r.devices);
+        // Single-root conflict-free functions stay unmarked.
+        let out2 = Curare::new()
+            .with_speculation(true)
+            .transform_source("(defun f (l) (when l (f (cdr l)) (setf (car l) 0)))")
+            .unwrap();
+        assert!(!out2.report("f").unwrap().devices.contains(&Device::Speculate));
+    }
+
+    #[test]
+    fn speculation_leaves_blocked_value_users_alone() {
+        // UsesCallResult is not a may-conflict — speculation cannot
+        // run a consumer before its producer's value exists (DPS/fold
+        // already serve this class), so `sum` stays blocked.
+        let out = Curare::new()
+            .with_speculation(true)
+            .transform_source("(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))")
+            .unwrap();
+        let r = out.report("sum").unwrap();
+        assert!(!r.devices.contains(&Device::Speculate), "{:?}", r.devices);
+    }
+
+    #[test]
+    fn speculation_keeps_proven_devices() {
+        // Future sync applies and is certified: speculation must not
+        // displace it.
+        let out = Curare::new()
+            .with_speculation(true)
+            .transform_source(
+                "(defun f (l)
+                   (when l
+                     (f (cdr l))
+                     (setf (cdr l) (car l))))",
+            )
+            .unwrap();
+        let r = out.report("f").unwrap();
+        assert!(r.converted, "{}", r.feedback);
+        assert!(r.devices.iter().any(|d| matches!(d, Device::FutureSync(1))), "{:?}", r.devices);
     }
 
     #[test]
